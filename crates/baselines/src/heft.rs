@@ -1,0 +1,369 @@
+//! HEFT (Heterogeneous Earliest Finish Time, Topcuoglu et al.) baselines.
+//!
+//! Two variants are provided:
+//!
+//! * [`Heft`] — *contention-aware* HEFT: upward ranks computed from mean execution costs
+//!   and nominal communication costs; tasks processed in descending rank; every candidate
+//!   processor is evaluated by routing the incoming messages over the shortest-path table
+//!   and booking link slots (like DLS) and by insertion-based placement on the processor.
+//!   This is a stronger modern baseline than DLS and is not part of the original paper.
+//! * [`ContentionObliviousHeft`] — classic HEFT exactly as published: it assumes a fully
+//!   connected, contention-free network while making decisions.  The resulting processor
+//!   assignment and per-processor task order are then **re-simulated** under the full link
+//!   contention model (messages routed over the shortest-path table, link slots booked in
+//!   message-ready order).  The gap between the two variants quantifies how much ignoring
+//!   link contention costs — the paper's core motivation (ablation A3 in DESIGN.md).
+
+use crate::message_router::{commit_route, route_message};
+use bsa_network::{HeterogeneousSystem, ProcId, RoutingTable};
+use bsa_schedule::{Schedule, ScheduleBuilder, ScheduleError, Scheduler};
+use bsa_taskgraph::{TaskGraph, TaskId, TopologicalOrder};
+
+/// Upward rank of every task: `rank(t) = mean_cost(t) + max over successors of
+/// (nominal comm + rank(succ))`.
+fn upward_ranks(graph: &TaskGraph, system: &HeterogeneousSystem) -> Vec<f64> {
+    let topo = TopologicalOrder::compute(graph);
+    let mut rank = vec![0.0f64; graph.num_tasks()];
+    for t in topo.iter_rev() {
+        let mut best = 0.0f64;
+        for &eid in graph.out_edges(t) {
+            let e = graph.edge(eid);
+            let via = e.nominal_cost + rank[e.dst.index()];
+            if via > best {
+                best = via;
+            }
+        }
+        rank[t.index()] = system.exec_costs.mean_cost(t) + best;
+    }
+    rank
+}
+
+/// Tasks in scheduling priority order: descending upward rank (ties by id).
+fn priority_order(graph: &TaskGraph, system: &HeterogeneousSystem) -> Vec<TaskId> {
+    let rank = upward_ranks(graph, system);
+    let mut order: Vec<TaskId> = graph.task_ids().collect();
+    order.sort_by(|&a, &b| {
+        rank[b.index()]
+            .partial_cmp(&rank[a.index()])
+            .unwrap()
+            .then(a.cmp(&b))
+    });
+    order
+}
+
+/// Contention-aware HEFT.
+#[derive(Debug, Clone, Default)]
+pub struct Heft;
+
+impl Heft {
+    /// Creates a contention-aware HEFT scheduler.
+    pub fn new() -> Self {
+        Heft
+    }
+}
+
+impl Scheduler for Heft {
+    fn name(&self) -> &str {
+        "HEFT-CA"
+    }
+
+    fn schedule(
+        &self,
+        graph: &TaskGraph,
+        system: &HeterogeneousSystem,
+    ) -> Result<Schedule, ScheduleError> {
+        let mut builder = ScheduleBuilder::new(graph, system)?;
+        let table = RoutingTable::shortest_paths(&system.topology);
+        let order = priority_order(graph, system);
+
+        // HEFT's rank order is a valid topological order (rank strictly decreases along
+        // edges), so every predecessor is scheduled before its successors.
+        for t in order {
+            let mut best: Option<(ProcId, f64, f64)> = None; // (proc, start, finish)
+            for p in system.topology.proc_ids() {
+                let mut da = 0.0f64;
+                for &eid in graph.in_edges(t) {
+                    let e = graph.edge(eid);
+                    let sp = builder.proc_of(e.src).expect("preds scheduled first");
+                    let (_, arrival) =
+                        route_message(&builder, &table, eid, sp, p, builder.finish_of(e.src));
+                    da = da.max(arrival);
+                }
+                let exec = builder.exec_cost(t, p);
+                let start = builder.earliest_proc_slot(p, da, exec);
+                let finish = start + exec;
+                let better = best.map_or(true, |(_, _, bf)| finish < bf - 1e-12);
+                if better {
+                    best = Some((p, start, finish));
+                }
+            }
+            let (p, _, _) = best.expect("at least one processor exists");
+            // Commit messages and placement for the chosen processor.
+            let mut da = 0.0f64;
+            for &eid in graph.in_edges(t) {
+                let e = graph.edge(eid);
+                let sp = builder.proc_of(e.src).expect("preds scheduled first");
+                let (hops, arrival) =
+                    route_message(&builder, &table, eid, sp, p, builder.finish_of(e.src));
+                commit_route(&mut builder, eid, hops);
+                da = da.max(arrival);
+            }
+            let exec = builder.exec_cost(t, p);
+            let start = builder.earliest_proc_slot(p, da, exec);
+            builder.place_task(t, p, start);
+        }
+        builder.build(self.name())
+    }
+}
+
+/// Classic contention-oblivious HEFT whose mapping is re-simulated under the contention
+/// model.
+#[derive(Debug, Clone, Default)]
+pub struct ContentionObliviousHeft;
+
+impl ContentionObliviousHeft {
+    /// Creates the scheduler.
+    pub fn new() -> Self {
+        ContentionObliviousHeft
+    }
+
+    /// Runs the *decision phase* only: classic HEFT on an idealised fully-connected,
+    /// contention-free network.  Returns the processor assignment and the idealised finish
+    /// times (used to define the per-processor order).
+    fn decide(
+        &self,
+        graph: &TaskGraph,
+        system: &HeterogeneousSystem,
+    ) -> (Vec<ProcId>, Vec<f64>) {
+        let order = priority_order(graph, system);
+        let m = system.num_processors();
+        let mut assignment = vec![ProcId(0); graph.num_tasks()];
+        let mut finish = vec![0.0f64; graph.num_tasks()];
+        let mut start = vec![0.0f64; graph.num_tasks()];
+        // Idealised per-processor timelines (busy intervals) for insertion.
+        let mut timelines: Vec<Vec<(f64, f64)>> = vec![Vec::new(); m];
+
+        for t in order {
+            let mut best: Option<(ProcId, f64, f64)> = None;
+            for p in system.topology.proc_ids() {
+                let mut da = 0.0f64;
+                for &eid in graph.in_edges(t) {
+                    let e = graph.edge(eid);
+                    let comm = if assignment[e.src.index()] == p {
+                        0.0
+                    } else {
+                        e.nominal_cost
+                    };
+                    da = da.max(finish[e.src.index()] + comm);
+                }
+                let exec = system.exec_cost(t, p);
+                let st = earliest_gap(&timelines[p.index()], da, exec);
+                let better = best.map_or(true, |(_, _, bf)| st + exec < bf - 1e-12);
+                if better {
+                    best = Some((p, st, st + exec));
+                }
+            }
+            let (p, st, ft) = best.expect("at least one processor");
+            assignment[t.index()] = p;
+            start[t.index()] = st;
+            finish[t.index()] = ft;
+            let tl = &mut timelines[p.index()];
+            let pos = tl.partition_point(|iv| iv.0 < st);
+            tl.insert(pos, (st, ft));
+        }
+        (assignment, start)
+    }
+}
+
+/// Earliest gap search over a sorted list of busy `(start, finish)` intervals.
+fn earliest_gap(intervals: &[(f64, f64)], ready: f64, duration: f64) -> f64 {
+    let mut candidate = ready;
+    for &(s, f) in intervals {
+        if candidate + duration <= s + 1e-9 {
+            return candidate;
+        }
+        if f > candidate {
+            candidate = f;
+        }
+    }
+    candidate
+}
+
+impl Scheduler for ContentionObliviousHeft {
+    fn name(&self) -> &str {
+        "HEFT-CO"
+    }
+
+    fn schedule(
+        &self,
+        graph: &TaskGraph,
+        system: &HeterogeneousSystem,
+    ) -> Result<Schedule, ScheduleError> {
+        let (assignment, ideal_start) = self.decide(graph, system);
+        let table = RoutingTable::shortest_paths(&system.topology);
+        let mut builder = ScheduleBuilder::new(graph, system)?;
+
+        // Re-simulate under the contention model: keep the assignment and the per-processor
+        // order implied by the idealised start times, then replay the tasks in a
+        // dependency-driven order, routing every remote message over the table and booking
+        // contention-free link slots as the producers actually finish.
+        let mut per_proc: Vec<Vec<TaskId>> = vec![Vec::new(); system.num_processors()];
+        for t in graph.task_ids() {
+            per_proc[assignment[t.index()].index()].push(t);
+        }
+        for list in &mut per_proc {
+            list.sort_by(|&a, &b| {
+                ideal_start[a.index()]
+                    .partial_cmp(&ideal_start[b.index()])
+                    .unwrap()
+                    .then(a.cmp(&b))
+            });
+        }
+        // A task is ready once all its predecessors AND the task before it on its processor
+        // have final times.  The combined relation is acyclic because the per-processor
+        // order is a linear extension of the idealised (precedence-respecting) start times.
+        let n = graph.num_tasks();
+        let mut pending = vec![0usize; n];
+        let mut proc_successor: Vec<Option<TaskId>> = vec![None; n];
+        for list in &per_proc {
+            for w in list.windows(2) {
+                pending[w[1].index()] += 1;
+                proc_successor[w[0].index()] = Some(w[1]);
+            }
+        }
+        for t in graph.task_ids() {
+            pending[t.index()] += graph.in_degree(t);
+        }
+        let mut ready: Vec<TaskId> = graph
+            .task_ids()
+            .filter(|&t| pending[t.index()] == 0)
+            .collect();
+        ready.sort();
+        let mut placed = 0usize;
+        while let Some(t) = ready.pop() {
+            let p = assignment[t.index()];
+            let mut da = 0.0f64;
+            for &eid in graph.in_edges(t) {
+                let e = graph.edge(eid);
+                let sp = assignment[e.src.index()];
+                let (hops, arrival) =
+                    route_message(&builder, &table, eid, sp, p, builder.finish_of(e.src));
+                commit_route(&mut builder, eid, hops);
+                da = da.max(arrival);
+            }
+            let start = builder.earliest_proc_append(p, da);
+            builder.place_task(t, p, start);
+            placed += 1;
+            let unlock = |x: TaskId, pending: &mut Vec<usize>, ready: &mut Vec<TaskId>| {
+                pending[x.index()] -= 1;
+                if pending[x.index()] == 0 {
+                    ready.push(x);
+                    ready.sort();
+                }
+            };
+            for s in graph.successors(t) {
+                unlock(s, &mut pending, &mut ready);
+            }
+            if let Some(s) = proc_successor[t.index()] {
+                unlock(s, &mut pending, &mut ready);
+            }
+        }
+        if placed != n {
+            return Err(ScheduleError::Internal(
+                "contention re-simulation deadlocked (inconsistent processor order)".into(),
+            ));
+        }
+        builder.build(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bsa_network::builders::{clique, hypercube_for, ring};
+    use bsa_network::{CommCostModel, ExecutionCostMatrix, HeterogeneityRange};
+    use bsa_schedule::validate::assert_valid;
+    use bsa_workloads::paper_example;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn paper_setup() -> (TaskGraph, HeterogeneousSystem) {
+        let g = paper_example::figure1_graph();
+        let exec = ExecutionCostMatrix::from_rows(&paper_example::table1_rows());
+        let topo = ring(4).unwrap();
+        let comm = CommCostModel::homogeneous(&topo);
+        (g, HeterogeneousSystem::new(topo, exec, comm))
+    }
+
+    #[test]
+    fn upward_ranks_decrease_along_edges() {
+        let (g, sys) = paper_setup();
+        let rank = upward_ranks(&g, &sys);
+        for e in g.edges() {
+            assert!(rank[e.src.index()] > rank[e.dst.index()]);
+        }
+    }
+
+    #[test]
+    fn contention_aware_heft_is_valid_on_the_paper_example() {
+        let (g, sys) = paper_setup();
+        let s = Heft::new().schedule(&g, &sys).unwrap();
+        assert_valid(&s, &g, &sys);
+        assert!(s.schedule_length() < 238.0);
+    }
+
+    #[test]
+    fn contention_oblivious_heft_is_still_a_valid_contention_schedule() {
+        let (g, sys) = paper_setup();
+        let s = ContentionObliviousHeft::new().schedule(&g, &sys).unwrap();
+        assert_valid(&s, &g, &sys);
+    }
+
+    #[test]
+    fn oblivious_variant_is_never_better_than_its_own_idealised_model_suggests() {
+        // The re-simulated length must be at least the contention-aware length minus noise
+        // is NOT guaranteed, but both must be valid and positive; on communication-heavy
+        // graphs the oblivious variant usually loses.  We assert validity and that both
+        // beat nothing pathological (positive, finite).
+        let mut rng = StdRng::seed_from_u64(4);
+        let g = bsa_workloads::random_dag::paper_random_graph(60, 0.1, &mut rng).unwrap();
+        let sys = HeterogeneousSystem::generate(
+            &g,
+            ring(8).unwrap(),
+            HeterogeneityRange::DEFAULT,
+            HeterogeneityRange::homogeneous(),
+            &mut rng,
+        );
+        let aware = Heft::new().schedule(&g, &sys).unwrap();
+        let oblivious = ContentionObliviousHeft::new().schedule(&g, &sys).unwrap();
+        assert_valid(&aware, &g, &sys);
+        assert_valid(&oblivious, &g, &sys);
+        assert!(aware.schedule_length().is_finite());
+        assert!(oblivious.schedule_length().is_finite());
+    }
+
+    #[test]
+    fn heft_variants_are_valid_across_topologies_and_deterministic() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let g = bsa_workloads::random_dag::paper_random_graph(50, 1.0, &mut rng).unwrap();
+        for topo in [
+            ring(8).unwrap(),
+            hypercube_for(8).unwrap(),
+            clique(8).unwrap(),
+        ] {
+            let sys = HeterogeneousSystem::generate(
+                &g,
+                topo,
+                HeterogeneityRange::DEFAULT,
+                HeterogeneityRange::homogeneous(),
+                &mut rng,
+            );
+            for scheduler in [&Heft::new() as &dyn Scheduler, &ContentionObliviousHeft::new()] {
+                let a = scheduler.schedule(&g, &sys).unwrap();
+                let b = scheduler.schedule(&g, &sys).unwrap();
+                assert_valid(&a, &g, &sys);
+                assert_eq!(a.schedule_length(), b.schedule_length());
+            }
+        }
+    }
+}

@@ -1,0 +1,82 @@
+//! Reference schedulers used as sanity bounds in tests and experiments.
+
+use bsa_network::{HeterogeneousSystem, ProcId};
+use bsa_schedule::{Schedule, ScheduleBuilder, ScheduleError, Scheduler};
+use bsa_taskgraph::{TaskGraph, TopologicalOrder};
+
+/// Runs every task on the single processor whose total execution time is smallest, in
+/// topological order.  No communication ever occurs, so the schedule length equals
+/// [`HeterogeneousSystem::best_serial_length`].  Any sensible parallel scheduler should
+/// match or beat this on graphs with exploitable parallelism; none should need more
+/// link bandwidth.
+#[derive(Debug, Clone, Default)]
+pub struct SerialScheduler;
+
+impl SerialScheduler {
+    /// Creates the serial reference scheduler.
+    pub fn new() -> Self {
+        SerialScheduler
+    }
+
+    /// The processor the scheduler would pick for `graph` on `system`.
+    pub fn best_processor(graph: &TaskGraph, system: &HeterogeneousSystem) -> ProcId {
+        let mut best = ProcId(0);
+        let mut best_total = f64::INFINITY;
+        for p in system.topology.proc_ids() {
+            let total: f64 = graph.task_ids().map(|t| system.exec_cost(t, p)).sum();
+            if total < best_total {
+                best_total = total;
+                best = p;
+            }
+        }
+        best
+    }
+}
+
+impl Scheduler for SerialScheduler {
+    fn name(&self) -> &str {
+        "SERIAL"
+    }
+
+    fn schedule(
+        &self,
+        graph: &TaskGraph,
+        system: &HeterogeneousSystem,
+    ) -> Result<Schedule, ScheduleError> {
+        let p = Self::best_processor(graph, system);
+        let mut builder = ScheduleBuilder::new(graph, system)?;
+        let topo = TopologicalOrder::compute(graph);
+        let mut cursor = 0.0;
+        for t in topo.iter() {
+            builder.place_task(t, p, cursor);
+            cursor = builder.finish_of(t);
+        }
+        builder.build(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bsa_network::builders::ring;
+    use bsa_network::{CommCostModel, ExecutionCostMatrix};
+    use bsa_schedule::validate::assert_valid;
+    use bsa_workloads::paper_example;
+
+    #[test]
+    fn serial_schedule_length_equals_best_serial_bound() {
+        let g = paper_example::figure1_graph();
+        let exec = ExecutionCostMatrix::from_rows(&paper_example::table1_rows());
+        let topo = ring(4).unwrap();
+        let comm = CommCostModel::homogeneous(&topo);
+        let sys = HeterogeneousSystem::new(topo, exec, comm);
+        let s = SerialScheduler::new().schedule(&g, &sys).unwrap();
+        assert_valid(&s, &g, &sys);
+        assert_eq!(s.schedule_length(), sys.best_serial_length(&g));
+        assert_eq!(s.processors_used(), 1);
+        assert_eq!(s.total_communication_cost(), 0.0);
+        // Column sums of Table 1: P1 = 281, P2 = 238, P3 = 359, P4 = 367 -> best is P2.
+        assert_eq!(SerialScheduler::best_processor(&g, &sys), ProcId(1));
+        assert_eq!(s.schedule_length(), 238.0);
+    }
+}

@@ -1,0 +1,76 @@
+//! Ablation benches (DESIGN.md A1/A2): BSA configuration variants on one representative
+//! instance — the VIP rule, pivot selection strategy, insertion vs append, and the
+//! phase-start finish-time comparison.  Schedule lengths are printed once so the quality
+//! impact of each knob is visible next to its cost.
+
+use bsa_bench::{random_graph, system};
+use bsa_core::{Bsa, BsaConfig, PivotStrategy};
+use bsa_network::builders::TopologyKind;
+use bsa_network::ProcId;
+use bsa_schedule::Scheduler;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn variants() -> Vec<(&'static str, BsaConfig)> {
+    vec![
+        ("paper_default", BsaConfig::default()),
+        ("no_vip_rule", BsaConfig::without_vip_rule()),
+        (
+            "worst_pivot",
+            BsaConfig {
+                pivot_strategy: PivotStrategy::LongestCriticalPath,
+                ..BsaConfig::default()
+            },
+        ),
+        (
+            "fixed_pivot_p1",
+            BsaConfig {
+                pivot_strategy: PivotStrategy::Fixed(ProcId(0)),
+                ..BsaConfig::default()
+            },
+        ),
+        (
+            "no_insertion",
+            BsaConfig {
+                insertion: false,
+                ..BsaConfig::default()
+            },
+        ),
+        (
+            "phase_start_compare",
+            BsaConfig {
+                compare_against_phase_start: true,
+                ..BsaConfig::default()
+            },
+        ),
+        (
+            "two_sweeps",
+            BsaConfig {
+                sweeps: 2,
+                ..BsaConfig::default()
+            },
+        ),
+    ]
+}
+
+fn bench_ablations(c: &mut Criterion) {
+    let graph = random_graph(80, 1.0, 11);
+    let sys = system(&graph, TopologyKind::Ring, 50.0, 11);
+
+    let mut group = c.benchmark_group("bsa_ablations");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    for (name, config) in variants() {
+        let len = Bsa::new(config).schedule(&graph, &sys).unwrap().schedule_length();
+        println!("[ablation] {name}: schedule length = {len:.0}");
+        group.bench_with_input(BenchmarkId::from_parameter(name), &config, |b, cfg| {
+            b.iter(|| Bsa::new(*cfg).schedule(&graph, &sys).unwrap().schedule_length())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

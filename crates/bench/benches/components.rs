@@ -1,0 +1,66 @@
+//! Component micro-benchmarks: graph level computation, critical-path extraction, BSA
+//! serialization, routing-table construction, timeline gap search, and the
+//! order-preserving recompute — the building blocks whose costs dominate the schedulers.
+
+use bsa_bench::{random_graph, system};
+use bsa_core::serialize;
+use bsa_network::builders::TopologyKind;
+use bsa_network::{ProcId, RoutingTable};
+use bsa_schedule::{ScheduleBuilder, Timeline};
+use bsa_taskgraph::GraphLevels;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn bench_components(c: &mut Criterion) {
+    let graph = random_graph(200, 1.0, 99);
+    let sys = system(&graph, TopologyKind::Hypercube, 50.0, 99);
+    let costs = sys.exec_costs.column(ProcId(0));
+
+    let mut group = c.benchmark_group("components");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+
+    group.bench_function("graph_levels_200", |b| {
+        b.iter(|| GraphLevels::with_costs(&graph, &costs, 1.0).critical_path_length())
+    });
+    group.bench_function("critical_path_200", |b| {
+        let levels = GraphLevels::with_costs(&graph, &costs, 1.0);
+        b.iter(|| levels.critical_path(&graph).tasks.len())
+    });
+    group.bench_function("serialization_200", |b| {
+        b.iter(|| serialize(&graph, &costs).order.len())
+    });
+    group.bench_function("routing_table_hypercube16", |b| {
+        b.iter(|| RoutingTable::shortest_paths(&sys.topology).num_processors())
+    });
+    group.bench_function("timeline_insert_1000", |b| {
+        b.iter(|| {
+            let mut t = Timeline::new();
+            for i in 0..1000u32 {
+                let start = t.earliest_gap(f64::from(i % 37), 3.0);
+                t.insert(start, 3.0, i);
+            }
+            t.len()
+        })
+    });
+    group.bench_function("recompute_serialized_200", |b| {
+        let mut builder = ScheduleBuilder::new(&graph, &sys).unwrap();
+        let order = bsa_taskgraph::TopologicalOrder::compute(&graph);
+        let mut cursor = 0.0;
+        for t in order.iter() {
+            builder.place_task(t, ProcId(0), cursor);
+            cursor = builder.finish_of(t);
+        }
+        b.iter(|| {
+            let mut b2 = builder.clone();
+            b2.recompute_times().unwrap();
+            b2.schedule_length()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_components);
+criterion_main!(benches);

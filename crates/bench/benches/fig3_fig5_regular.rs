@@ -1,0 +1,42 @@
+//! Benchmarks backing Figures 3 and 5: scheduling the regular-application graphs
+//! (Gaussian elimination / LU / Laplace) on the paper's four 16-processor topologies with
+//! BSA and DLS.  Each benchmark also prints the schedule lengths once, so a `cargo bench`
+//! run doubles as a small-scale regeneration of the figure's series.
+
+use bsa_baselines::Dls;
+use bsa_bench::{regular_graph, system};
+use bsa_core::Bsa;
+use bsa_network::builders::TopologyKind;
+use bsa_schedule::Scheduler;
+use bsa_workloads::RegularApp;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn bench_regular(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3_fig5_regular");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+
+    for kind in [TopologyKind::Ring, TopologyKind::Clique] {
+        for granularity in [0.1, 10.0] {
+            let graph = regular_graph(RegularApp::GaussianElimination, 100, granularity);
+            let sys = system(&graph, kind, 50.0, 42);
+            let label = format!("{}_g{granularity}", kind.label());
+            let bsa_len = Bsa::default().schedule(&graph, &sys).unwrap().schedule_length();
+            let dls_len = Dls::new().schedule(&graph, &sys).unwrap().schedule_length();
+            println!("[fig3/fig5] gauss-100 {label}: BSA = {bsa_len:.0}, DLS = {dls_len:.0}");
+            group.bench_with_input(BenchmarkId::new("bsa", &label), &(&graph, &sys), |b, (g, s)| {
+                b.iter(|| Bsa::default().schedule(g, s).unwrap().schedule_length())
+            });
+            group.bench_with_input(BenchmarkId::new("dls", &label), &(&graph, &sys), |b, (g, s)| {
+                b.iter(|| Dls::new().schedule(g, s).unwrap().schedule_length())
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_regular);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Benchmarks backing Figures 4 and 6: scheduling random layered graphs of growing size on
+//! the 16-processor ring and hypercube with BSA and DLS.  Scheduling time is the measured
+//! quantity; the schedule lengths are printed once per configuration.
+
+use bsa_baselines::Dls;
+use bsa_bench::{random_graph, system};
+use bsa_core::Bsa;
+use bsa_network::builders::TopologyKind;
+use bsa_schedule::Scheduler;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn bench_random(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4_fig6_random");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+
+    for &size in &[50usize, 100] {
+        for kind in [TopologyKind::Ring, TopologyKind::Hypercube] {
+            let graph = random_graph(size, 1.0, size as u64);
+            let sys = system(&graph, kind, 50.0, size as u64);
+            let label = format!("{}_{size}", kind.label());
+            let bsa_len = Bsa::default().schedule(&graph, &sys).unwrap().schedule_length();
+            let dls_len = Dls::new().schedule(&graph, &sys).unwrap().schedule_length();
+            println!("[fig4/fig6] random-{size} {}: BSA = {bsa_len:.0}, DLS = {dls_len:.0}", kind.label());
+            group.bench_with_input(BenchmarkId::new("bsa", &label), &(&graph, &sys), |b, (g, s)| {
+                b.iter(|| Bsa::default().schedule(g, s).unwrap().schedule_length())
+            });
+            group.bench_with_input(BenchmarkId::new("dls", &label), &(&graph, &sys), |b, (g, s)| {
+                b.iter(|| Dls::new().schedule(g, s).unwrap().schedule_length())
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_random);
+criterion_main!(benches);

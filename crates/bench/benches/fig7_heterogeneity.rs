@@ -1,0 +1,37 @@
+//! Benchmark backing Figure 7: BSA and DLS on a random graph over the 16-processor
+//! hypercube as the heterogeneity range grows ([1,10] vs [1,200]).
+
+use bsa_baselines::Dls;
+use bsa_bench::{random_graph, system};
+use bsa_core::Bsa;
+use bsa_network::builders::TopologyKind;
+use bsa_schedule::Scheduler;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn bench_heterogeneity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7_heterogeneity");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+
+    let graph = random_graph(100, 1.0, 7);
+    for &range in &[10.0f64, 200.0] {
+        let sys = system(&graph, TopologyKind::Hypercube, range, 7);
+        let label = format!("range_{range}");
+        let bsa_len = Bsa::default().schedule(&graph, &sys).unwrap().schedule_length();
+        let dls_len = Dls::new().schedule(&graph, &sys).unwrap().schedule_length();
+        println!("[fig7] heterogeneity [1,{range}]: BSA = {bsa_len:.0}, DLS = {dls_len:.0}");
+        group.bench_with_input(BenchmarkId::new("bsa", &label), &(&graph, &sys), |b, (g, s)| {
+            b.iter(|| Bsa::default().schedule(g, s).unwrap().schedule_length())
+        });
+        group.bench_with_input(BenchmarkId::new("dls", &label), &(&graph, &sys), |b, (g, s)| {
+            b.iter(|| Dls::new().schedule(g, s).unwrap().schedule_length())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_heterogeneity);
+criterion_main!(benches);

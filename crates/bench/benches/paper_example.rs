@@ -1,0 +1,35 @@
+//! Benchmark of the worked example (Figure 1 / Table 1): BSA and DLS scheduling the
+//! 9-task graph on the 4-processor heterogeneous ring.
+
+use bsa_baselines::Dls;
+use bsa_core::Bsa;
+use bsa_network::builders::ring;
+use bsa_network::{CommCostModel, ExecutionCostMatrix, HeterogeneousSystem};
+use bsa_schedule::Scheduler;
+use bsa_workloads::paper_example;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn bench_paper_example(c: &mut Criterion) {
+    let graph = paper_example::figure1_graph();
+    let exec = ExecutionCostMatrix::from_rows(&paper_example::table1_rows());
+    let topology = ring(4).unwrap();
+    let comm = CommCostModel::homogeneous(&topology);
+    let system = HeterogeneousSystem::new(topology, exec, comm);
+
+    let mut group = c.benchmark_group("paper_example");
+    group
+        .sample_size(30)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    group.bench_function("bsa", |b| {
+        b.iter(|| Bsa::default().schedule(&graph, &system).unwrap().schedule_length())
+    });
+    group.bench_function("dls", |b| {
+        b.iter(|| Dls::new().schedule(&graph, &system).unwrap().schedule_length())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_paper_example);
+criterion_main!(benches);

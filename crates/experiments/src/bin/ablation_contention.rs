@@ -1,0 +1,40 @@
+//! Ablation A3: the cost of ignoring link contention.
+//!
+//! The paper's motivation is that schedulers must treat communication links as first-class
+//! resources.  This binary quantifies that claim by comparing the contention-aware
+//! schedulers (BSA, DLS, HEFT-CA) against classic contention-oblivious HEFT whose mapping
+//! is re-simulated under the contention model (HEFT-CO).  The gap between HEFT-CA and
+//! HEFT-CO isolates the effect of contention awareness from the effect of the mapping
+//! heuristic itself; the effect is largest at low granularity and low connectivity.
+//!
+//! Run with `cargo run --release -p bsa-experiments --bin ablation_contention [--quick|--full]`.
+
+use bsa_experiments::algorithms::Algo;
+use bsa_experiments::figures::run_grid;
+use bsa_experiments::instances::Suite;
+use bsa_experiments::{scale_from_args, write_results_file};
+use bsa_network::builders::TopologyKind;
+
+fn main() {
+    let scale = scale_from_args();
+    println!("# Ablation A3 — contention awareness ({} scale)\n", scale.name);
+    let algos = [Algo::Bsa, Algo::Dls, Algo::HeftCa, Algo::HeftCo];
+    let mut csv = String::new();
+    for kind in [TopologyKind::Ring, TopologyKind::Clique] {
+        let grid = run_grid(Suite::Random, kind, &scale, &algos);
+        let table = grid.by_granularity();
+        println!("{}", table.to_markdown());
+        if let Some(ratio) = table.average_ratio("HEFT-CA", "HEFT-CO") {
+            println!(
+                "HEFT-CA / HEFT-CO ratio on {}: {:.3} (< 1 quantifies the benefit of contention awareness)\n",
+                kind.label(),
+                ratio
+            );
+        }
+        csv.push_str(&format!("# topology: {}\n", kind.label()));
+        csv.push_str(&table.to_csv());
+    }
+    if let Some(path) = write_results_file("ablation_contention.csv", &csv) {
+        println!("wrote {}", path.display());
+    }
+}

@@ -1,0 +1,41 @@
+//! Ablation A2: first-pivot selection.
+//!
+//! The paper selects the processor with the *shortest* critical path as the first pivot.
+//! This binary compares that rule against a fixed pivot (P1) and the deliberately bad
+//! longest-CP pivot on the random-graph suite (ring topology, where the pivot matters
+//! most).
+//!
+//! Run with `cargo run --release -p bsa-experiments --bin ablation_pivot [--quick|--full]`.
+
+use bsa_experiments::algorithms::Algo;
+use bsa_experiments::figures::run_grid;
+use bsa_experiments::instances::Suite;
+use bsa_experiments::{scale_from_args, write_results_file};
+use bsa_network::builders::TopologyKind;
+
+fn main() {
+    let scale = scale_from_args();
+    println!("# Ablation A2 — first-pivot selection ({} scale)\n", scale.name);
+    let algos = [Algo::Bsa, Algo::BsaFixedPivot, Algo::BsaWorstPivot];
+    let mut csv = String::new();
+    for kind in [TopologyKind::Ring, TopologyKind::Hypercube] {
+        let grid = run_grid(Suite::Random, kind, &scale, &algos);
+        let table = grid.by_size();
+        println!("{}", table.to_markdown());
+        for other in ["BSA-fixedPivot", "BSA-worstPivot"] {
+            if let Some(ratio) = table.average_ratio("BSA", other) {
+                println!(
+                    "BSA / {other} ratio on {}: {:.3} (< 1 means shortest-CP pivot selection helps)",
+                    kind.label(),
+                    ratio
+                );
+            }
+        }
+        println!();
+        csv.push_str(&format!("# topology: {}\n", kind.label()));
+        csv.push_str(&table.to_csv());
+    }
+    if let Some(path) = write_results_file("ablation_pivot.csv", &csv) {
+        println!("wrote {}", path.display());
+    }
+}

@@ -1,0 +1,38 @@
+//! Ablation A1: the VIP co-location rule.
+//!
+//! BSA migrates a task whose finish time would stay *equal* if the destination hosts its
+//! VIP (the predecessor delivering its latest message), betting that co-location helps the
+//! task's successors later.  This binary compares BSA with and without that rule on the
+//! random-graph suite over all four topologies.
+//!
+//! Run with `cargo run --release -p bsa-experiments --bin ablation_vip [--quick|--full]`.
+
+use bsa_experiments::algorithms::Algo;
+use bsa_experiments::figures::run_grid;
+use bsa_experiments::instances::Suite;
+use bsa_experiments::{scale_from_args, write_results_file};
+use bsa_network::builders::TopologyKind;
+
+fn main() {
+    let scale = scale_from_args();
+    println!("# Ablation A1 — the VIP co-location rule ({} scale)\n", scale.name);
+    let algos = [Algo::Bsa, Algo::BsaNoVip];
+    let mut csv = String::new();
+    for kind in TopologyKind::ALL {
+        let grid = run_grid(Suite::Random, kind, &scale, &algos);
+        let table = grid.by_size();
+        println!("{}", table.to_markdown());
+        if let Some(ratio) = table.average_ratio("BSA", "BSA-noVIP") {
+            println!(
+                "BSA / BSA-noVIP ratio on {}: {:.3} (< 1 means the VIP rule helps)\n",
+                kind.label(),
+                ratio
+            );
+        }
+        csv.push_str(&format!("# topology: {}\n", kind.label()));
+        csv.push_str(&table.to_csv());
+    }
+    if let Some(path) = write_results_file("ablation_vip.csv", &csv) {
+        println!("wrote {}", path.display());
+    }
+}

@@ -1,0 +1,35 @@
+//! Reproduces **Figure 3**: average schedule lengths for the regular graphs (Gaussian
+//! elimination, LU decomposition, Laplace solver) with different graph sizes on the four
+//! 16-processor topologies (ring, hypercube, clique, random), DLS vs BSA.
+//!
+//! Run with `cargo run --release -p bsa-experiments --bin fig3_regular_size [--quick|--full]`.
+
+use bsa_experiments::algorithms::Algo;
+use bsa_experiments::figures::run_grid;
+use bsa_experiments::instances::Suite;
+use bsa_experiments::{scale_from_args, write_results_file};
+use bsa_network::builders::TopologyKind;
+
+fn main() {
+    let scale = scale_from_args();
+    println!("# Figure 3 — regular graphs, schedule length vs graph size ({} scale)\n", scale.name);
+    let mut all_csv = String::new();
+    for kind in TopologyKind::ALL {
+        let grid = run_grid(Suite::Regular, kind, &scale, &Algo::PAPER_PAIR);
+        let table = grid.by_size();
+        println!("{}", table.to_markdown());
+        if let Some(ratio) = table.average_ratio("BSA", "DLS") {
+            println!(
+                "BSA / DLS average schedule-length ratio on the {} topology: {:.3} ({:.1}% improvement)\n",
+                kind.label(),
+                ratio,
+                (1.0 - ratio) * 100.0
+            );
+        }
+        all_csv.push_str(&format!("# topology: {}\n", kind.label()));
+        all_csv.push_str(&table.to_csv());
+    }
+    if let Some(path) = write_results_file("fig3_regular_size.csv", &all_csv) {
+        println!("wrote {}", path.display());
+    }
+}

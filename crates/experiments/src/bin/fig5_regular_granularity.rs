@@ -1,0 +1,36 @@
+//! Reproduces **Figure 5**: average schedule lengths for the regular graphs with different
+//! granularities (0.1, 1.0, 10.0) on the four 16-processor topologies, DLS vs BSA.
+//!
+//! Run with `cargo run --release -p bsa-experiments --bin fig5_regular_granularity [--quick|--full]`.
+
+use bsa_experiments::algorithms::Algo;
+use bsa_experiments::figures::run_grid;
+use bsa_experiments::instances::Suite;
+use bsa_experiments::{scale_from_args, write_results_file};
+use bsa_network::builders::TopologyKind;
+
+fn main() {
+    let scale = scale_from_args();
+    println!(
+        "# Figure 5 — regular graphs, schedule length vs granularity ({} scale)\n",
+        scale.name
+    );
+    let mut all_csv = String::new();
+    for kind in TopologyKind::ALL {
+        let grid = run_grid(Suite::Regular, kind, &scale, &Algo::PAPER_PAIR);
+        let table = grid.by_granularity();
+        println!("{}", table.to_markdown());
+        if let Some(ratio) = table.average_ratio("BSA", "DLS") {
+            println!(
+                "BSA / DLS average schedule-length ratio on the {} topology: {:.3}\n",
+                kind.label(),
+                ratio
+            );
+        }
+        all_csv.push_str(&format!("# topology: {}\n", kind.label()));
+        all_csv.push_str(&table.to_csv());
+    }
+    if let Some(path) = write_results_file("fig5_regular_granularity.csv", &all_csv) {
+        println!("wrote {}", path.display());
+    }
+}

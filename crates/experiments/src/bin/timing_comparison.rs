@@ -1,0 +1,22 @@
+//! Reproduces the running-time remark of Section 3 ("we also measured the running times of
+//! both algorithms, which were about the same"): wall-clock scheduling time of DLS and BSA
+//! (plus the HEFT baselines) on random graphs of growing size.
+//!
+//! Run with `cargo run --release -p bsa-experiments --bin timing_comparison [--quick|--full]`.
+
+use bsa_experiments::algorithms::Algo;
+use bsa_experiments::figures::timing_comparison;
+use bsa_experiments::{scale_from_args, write_results_file};
+
+fn main() {
+    let scale = scale_from_args();
+    println!("# Scheduler running times ({} scale)\n", scale.name);
+    let table = timing_comparison(&scale, &[Algo::Dls, Algo::Bsa, Algo::HeftCa, Algo::HeftCo]);
+    println!("{}", table.to_markdown());
+    if let Some(ratio) = table.average_ratio("BSA", "DLS") {
+        println!("BSA / DLS average running-time ratio: {ratio:.2}\n");
+    }
+    if let Some(path) = write_results_file("timing_comparison.csv", &table.to_csv()) {
+        println!("wrote {}", path.display());
+    }
+}

@@ -1,0 +1,324 @@
+//! Sweep drivers for every figure of the paper.
+//!
+//! * Figures 3/4 — average schedule length vs. graph size (regular / random suites);
+//! * Figures 5/6 — average schedule length vs. granularity (regular / random suites);
+//! * Figure 7 — average schedule length vs. heterogeneity range on a 16-processor
+//!   hypercube;
+//! * the running-time comparison mentioned in the text of Section 3.
+//!
+//! Figures 3 and 5 (resp. 4 and 6) are two projections of the same (size × granularity)
+//! grid, so [`run_grid`] evaluates the grid once and [`SweepGrid::by_size`] /
+//! [`SweepGrid::by_granularity`] produce both tables from it — exactly how the paper
+//! averages "across the three granularities" and "across the graph sizes".
+
+use crate::algorithms::Algo;
+use crate::instances::{system_for, system_with_homogeneous_links, Suite};
+use crate::report::{mean, Table};
+use crate::runner::run_parallel;
+use crate::scale::Scale;
+use bsa_network::builders::TopologyKind;
+
+/// Average schedule lengths over a (size × granularity) grid for one suite and topology.
+#[derive(Debug, Clone)]
+pub struct SweepGrid {
+    /// The benchmark suite the grid was computed for.
+    pub suite: Suite,
+    /// The topology the grid was computed for.
+    pub kind: TopologyKind,
+    /// The algorithms evaluated (column order).
+    pub algos: Vec<Algo>,
+    /// Graph sizes (row axis 1).
+    pub sizes: Vec<usize>,
+    /// Granularities (row axis 2).
+    pub granularities: Vec<f64>,
+    /// `cells[size_idx][gran_idx][algo_idx]` = average schedule length.
+    pub cells: Vec<Vec<Vec<f64>>>,
+}
+
+/// Runs the full (size × granularity) grid for one suite and topology kind.
+pub fn run_grid(suite: Suite, kind: TopologyKind, scale: &Scale, algos: &[Algo]) -> SweepGrid {
+    // One job per (size, granularity) point; each job schedules every graph of the suite
+    // with every algorithm and returns the per-algorithm average.
+    let mut jobs = Vec::new();
+    for (si, &size) in scale.sizes.iter().enumerate() {
+        for (gi, &gran) in scale.granularities.iter().enumerate() {
+            jobs.push((si, gi, size, gran));
+        }
+    }
+    let algos_vec = algos.to_vec();
+    let results = run_parallel(jobs, scale.effective_threads(), |&(si, gi, size, gran)| {
+        let graphs = suite.graphs(scale, size, gran, kind as usize);
+        let mut per_algo = vec![Vec::new(); algos_vec.len()];
+        for (graph_idx, graph) in graphs.iter().enumerate() {
+            let system = system_for(graph, kind, scale, 50.0, graph_idx * 31 + si * 7 + gi);
+            for (ai, algo) in algos_vec.iter().enumerate() {
+                let schedule = algo
+                    .scheduler()
+                    .schedule(graph, &system)
+                    .expect("schedulers handle all generated instances");
+                per_algo[ai].push(schedule.schedule_length());
+            }
+        }
+        (si, gi, per_algo.iter().map(|v| mean(v)).collect::<Vec<f64>>())
+    });
+
+    let mut cells =
+        vec![vec![vec![0.0f64; algos.len()]; scale.granularities.len()]; scale.sizes.len()];
+    for (si, gi, avgs) in results {
+        cells[si][gi] = avgs;
+    }
+    SweepGrid {
+        suite,
+        kind,
+        algos: algos_vec,
+        sizes: scale.sizes.clone(),
+        granularities: scale.granularities.clone(),
+        cells,
+    }
+}
+
+impl SweepGrid {
+    /// Figure 3/4 projection: average over granularities, one row per graph size.
+    pub fn by_size(&self) -> Table {
+        let mut t = Table::new(
+            format!(
+                "Average schedule length vs graph size — {} graphs, {} topology",
+                self.suite.label(),
+                self.kind.label()
+            ),
+            "graph size",
+            self.algos.iter().map(|a| a.label().to_string()).collect(),
+        );
+        for (si, &size) in self.sizes.iter().enumerate() {
+            let values = (0..self.algos.len())
+                .map(|ai| {
+                    let per_gran: Vec<f64> =
+                        (0..self.granularities.len()).map(|gi| self.cells[si][gi][ai]).collect();
+                    Some(mean(&per_gran))
+                })
+                .collect();
+            t.push_row(size.to_string(), values);
+        }
+        t
+    }
+
+    /// Figure 5/6 projection: average over sizes, one row per granularity.
+    pub fn by_granularity(&self) -> Table {
+        let mut t = Table::new(
+            format!(
+                "Average schedule length vs granularity — {} graphs, {} topology",
+                self.suite.label(),
+                self.kind.label()
+            ),
+            "granularity",
+            self.algos.iter().map(|a| a.label().to_string()).collect(),
+        );
+        for (gi, &gran) in self.granularities.iter().enumerate() {
+            let values = (0..self.algos.len())
+                .map(|ai| {
+                    let per_size: Vec<f64> =
+                        (0..self.sizes.len()).map(|si| self.cells[si][gi][ai]).collect();
+                    Some(mean(&per_size))
+                })
+                .collect();
+            t.push_row(format!("{gran}"), values);
+        }
+        t
+    }
+}
+
+/// Figure 7: average schedule length of 500-task random graphs (granularity 1.0) on a
+/// 16-processor hypercube as the heterogeneity range `[1, R]` grows.
+pub fn heterogeneity_sweep(scale: &Scale, algos: &[Algo]) -> Table {
+    let mut jobs = Vec::new();
+    for (ri, &range) in scale.heterogeneity_ranges.iter().enumerate() {
+        for g in 0..scale.heterogeneity_graphs {
+            jobs.push((ri, range, g));
+        }
+    }
+    let algos_vec = algos.to_vec();
+    let results = run_parallel(jobs, scale.effective_threads(), |&(ri, range, g)| {
+        let graphs = Suite::Random.graphs(scale, scale.heterogeneity_graph_size, 1.0, 9000 + g);
+        let graph = &graphs[0];
+        let system = system_for(graph, TopologyKind::Hypercube, scale, range, 900 + g + ri * 131);
+        let lengths: Vec<f64> = algos_vec
+            .iter()
+            .map(|a| {
+                a.scheduler()
+                    .schedule(graph, &system)
+                    .expect("schedulers handle all generated instances")
+                    .schedule_length()
+            })
+            .collect();
+        (ri, lengths)
+    });
+
+    let mut per_range: Vec<Vec<Vec<f64>>> =
+        vec![vec![Vec::new(); algos.len()]; scale.heterogeneity_ranges.len()];
+    for (ri, lengths) in results {
+        for (ai, l) in lengths.into_iter().enumerate() {
+            per_range[ri][ai].push(l);
+        }
+    }
+    let mut t = Table::new(
+        "Average schedule length vs heterogeneity range — random graphs, hypercube topology",
+        "heterogeneity range",
+        algos.iter().map(|a| a.label().to_string()).collect(),
+    );
+    for (ri, &range) in scale.heterogeneity_ranges.iter().enumerate() {
+        let values = (0..algos.len()).map(|ai| Some(mean(&per_range[ri][ai]))).collect();
+        t.push_row(format!("[1, {range}]"), values);
+    }
+    t
+}
+
+/// Extension of Figure 7: the same sweep with **homogeneous links**, isolating the effect
+/// of processor heterogeneity from link heterogeneity (in the paper both grow together).
+pub fn heterogeneity_sweep_homogeneous_links(scale: &Scale, algos: &[Algo]) -> Table {
+    let algos_vec = algos.to_vec();
+    let mut jobs = Vec::new();
+    for (ri, &range) in scale.heterogeneity_ranges.iter().enumerate() {
+        for g in 0..scale.heterogeneity_graphs {
+            jobs.push((ri, range, g));
+        }
+    }
+    let results = run_parallel(jobs, scale.effective_threads(), |&(ri, range, g)| {
+        let graphs = Suite::Random.graphs(scale, scale.heterogeneity_graph_size, 1.0, 9500 + g);
+        let graph = &graphs[0];
+        let system = system_with_homogeneous_links(
+            graph,
+            TopologyKind::Hypercube,
+            scale,
+            range,
+            950 + g + ri * 17,
+        );
+        let lengths: Vec<f64> = algos_vec
+            .iter()
+            .map(|a| {
+                a.scheduler()
+                    .schedule(graph, &system)
+                    .expect("schedulers handle all generated instances")
+                    .schedule_length()
+            })
+            .collect();
+        (ri, lengths)
+    });
+    let mut per_range: Vec<Vec<Vec<f64>>> =
+        vec![vec![Vec::new(); algos.len()]; scale.heterogeneity_ranges.len()];
+    for (ri, lengths) in results {
+        for (ai, l) in lengths.into_iter().enumerate() {
+            per_range[ri][ai].push(l);
+        }
+    }
+    let mut t = Table::new(
+        "Average schedule length vs heterogeneity range (homogeneous links variant)",
+        "heterogeneity range",
+        algos.iter().map(|a| a.label().to_string()).collect(),
+    );
+    for (ri, &range) in scale.heterogeneity_ranges.iter().enumerate() {
+        let values = (0..algos.len()).map(|ai| Some(mean(&per_range[ri][ai]))).collect();
+        t.push_row(format!("[1, {range}]"), values);
+    }
+    t
+}
+
+/// Section 3's running-time remark: wall-clock scheduling time (milliseconds) of each
+/// algorithm on random graphs of growing size (ring topology, granularity 1.0).
+pub fn timing_comparison(scale: &Scale, algos: &[Algo]) -> Table {
+    let mut t = Table::new(
+        "Scheduler running time (milliseconds) — random graphs, ring topology",
+        "graph size",
+        algos.iter().map(|a| a.label().to_string()).collect(),
+    );
+    for (si, &size) in scale.sizes.iter().enumerate() {
+        let graphs = Suite::Random.graphs(scale, size, 1.0, 4242 + si);
+        let graph = &graphs[0];
+        let system = system_for(graph, TopologyKind::Ring, scale, 50.0, 4242 + si);
+        let values = algos
+            .iter()
+            .map(|a| {
+                let scheduler = a.scheduler();
+                let start = std::time::Instant::now();
+                let s = scheduler
+                    .schedule(graph, &system)
+                    .expect("schedulers handle all generated instances");
+                let elapsed = start.elapsed().as_secs_f64() * 1000.0;
+                assert!(s.schedule_length() > 0.0);
+                Some(elapsed)
+            })
+            .collect();
+        t.push_row(size.to_string(), values);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_scale() -> Scale {
+        Scale {
+            name: "test".into(),
+            sizes: vec![30, 60],
+            granularities: vec![0.5, 5.0],
+            num_processors: 4,
+            random_graphs_per_point: 1,
+            heterogeneity_graphs: 1,
+            heterogeneity_graph_size: 40,
+            heterogeneity_ranges: vec![10.0, 100.0],
+            seed: 1,
+            threads: 2,
+        }
+    }
+
+    #[test]
+    fn grid_produces_both_projections_with_positive_lengths() {
+        let scale = tiny_scale();
+        let grid = run_grid(Suite::Random, TopologyKind::Ring, &scale, &Algo::PAPER_PAIR);
+        let by_size = grid.by_size();
+        let by_gran = grid.by_granularity();
+        assert_eq!(by_size.rows.len(), 2);
+        assert_eq!(by_gran.rows.len(), 2);
+        for (_, values) in by_size.rows.iter().chain(by_gran.rows.iter()) {
+            for v in values {
+                assert!(v.unwrap() > 0.0);
+            }
+        }
+        // Both granularity rows must be present and addressable by label.  (The relational
+        // "communication-heavy is slower" check lives in the cross-crate integration tests,
+        // which average over enough instances to make it statistically meaningful.)
+        assert!(by_gran.get("0.5", "BSA").unwrap() > 0.0);
+        assert!(by_gran.get("5", "DLS").unwrap() > 0.0);
+    }
+
+    #[test]
+    fn regular_grid_runs_all_three_applications() {
+        let scale = tiny_scale();
+        let grid = run_grid(Suite::Regular, TopologyKind::Clique, &scale, &[Algo::Bsa]);
+        assert_eq!(grid.cells.len(), 2);
+        assert!(grid.cells[0][0][0] > 0.0);
+    }
+
+    #[test]
+    fn heterogeneity_sweep_grows_with_the_range() {
+        let scale = tiny_scale();
+        let t = heterogeneity_sweep(&scale, &Algo::PAPER_PAIR);
+        assert_eq!(t.rows.len(), 2);
+        let small = t.get("[1, 10]", "BSA").unwrap();
+        let large = t.get("[1, 100]", "BSA").unwrap();
+        assert!(small > 0.0 && large > 0.0);
+        // A wider factor range means slower processors on average; schedules get longer.
+        assert!(large > small * 0.8, "expected growth, got {small} -> {large}");
+    }
+
+    #[test]
+    fn timing_comparison_reports_positive_milliseconds() {
+        let scale = tiny_scale();
+        let t = timing_comparison(&scale, &Algo::PAPER_PAIR);
+        for (_, values) in &t.rows {
+            for v in values {
+                assert!(v.unwrap() >= 0.0);
+            }
+        }
+    }
+}

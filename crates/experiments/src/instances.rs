@@ -1,0 +1,147 @@
+//! Instantiation of (task graph, heterogeneous system) experiment instances.
+
+use crate::scale::Scale;
+use bsa_network::builders::TopologyKind;
+use bsa_network::{HeterogeneityRange, HeterogeneousSystem};
+use bsa_taskgraph::TaskGraph;
+use bsa_workloads::prelude::*;
+use bsa_workloads::random_dag;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Which benchmark suite a sweep draws its graphs from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Suite {
+    /// The regular applications (Gaussian elimination, LU, Laplace), averaged.
+    Regular,
+    /// Random layered DAGs.
+    Random,
+}
+
+impl Suite {
+    /// Label used in table titles and CSV names.
+    pub fn label(self) -> &'static str {
+        match self {
+            Suite::Regular => "regular",
+            Suite::Random => "random",
+        }
+    }
+
+    /// Generates the graphs of this suite for one (size, granularity) grid point.
+    ///
+    /// For the regular suite this is one graph per paper application (their schedule
+    /// lengths are averaged, exactly as the paper does); for the random suite it is
+    /// `scale.random_graphs_per_point` independently drawn graphs.
+    pub fn graphs(self, scale: &Scale, size: usize, granularity: f64, seed_tag: usize) -> Vec<TaskGraph> {
+        match self {
+            Suite::Regular => RegularApp::PAPER_SET
+                .iter()
+                .map(|app| {
+                    app.build_for_size(size, &CostParams::paper(granularity))
+                        .expect("regular generators accept all paper sizes")
+                })
+                .collect(),
+            Suite::Random => (0..scale.random_graphs_per_point)
+                .map(|i| {
+                    let seed = scale.instance_seed(&[seed_tag, size, (granularity * 10.0) as usize, i]);
+                    let mut rng = StdRng::seed_from_u64(seed);
+                    random_dag::paper_random_graph(size, granularity, &mut rng)
+                        .expect("random generator accepts all paper sizes")
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Builds the heterogeneous system for one experiment instance: the given topology kind
+/// with `scale.num_processors` processors and *both* execution and link heterogeneity
+/// factors drawn from `[1, range]`, as the paper specifies for Figures 3–7 ("unless
+/// otherwise stated, the heterogeneity factors (i.e. h_ix and h'_ijxy) were selected
+/// randomly from a uniform distribution with range [1, 50]").
+pub fn system_for(
+    graph: &TaskGraph,
+    kind: TopologyKind,
+    scale: &Scale,
+    range: f64,
+    seed_tag: usize,
+) -> HeterogeneousSystem {
+    let seed = scale.instance_seed(&[seed_tag, kind as usize, graph.num_tasks()]);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let topo = kind
+        .build(scale.num_processors, &mut rng)
+        .expect("paper topologies are valid");
+    HeterogeneousSystem::generate(
+        graph,
+        topo,
+        HeterogeneityRange::new(1.0, range),
+        HeterogeneityRange::new(1.0, range),
+        &mut rng,
+    )
+}
+
+/// Like [`system_for`] but with **homogeneous links** (factor 1 everywhere) — the setting
+/// of the paper's worked example, used by the extended heterogeneity study to isolate the
+/// effect of processor heterogeneity from link heterogeneity.
+pub fn system_with_homogeneous_links(
+    graph: &TaskGraph,
+    kind: TopologyKind,
+    scale: &Scale,
+    exec_range: f64,
+    seed_tag: usize,
+) -> HeterogeneousSystem {
+    let seed = scale.instance_seed(&[seed_tag, kind as usize, graph.num_tasks(), 7777]);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let topo = kind
+        .build(scale.num_processors, &mut rng)
+        .expect("paper topologies are valid");
+    HeterogeneousSystem::generate(
+        graph,
+        topo,
+        HeterogeneityRange::new(1.0, exec_range),
+        HeterogeneityRange::homogeneous(),
+        &mut rng,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regular_suite_produces_three_graphs_near_the_target_size() {
+        let scale = Scale::quick();
+        let graphs = Suite::Regular.graphs(&scale, 100, 1.0, 0);
+        assert_eq!(graphs.len(), 3);
+        for g in &graphs {
+            assert!(g.num_tasks().abs_diff(100) <= 25);
+        }
+    }
+
+    #[test]
+    fn random_suite_respects_graphs_per_point_and_size() {
+        let mut scale = Scale::quick();
+        scale.random_graphs_per_point = 3;
+        let graphs = Suite::Random.graphs(&scale, 80, 0.1, 1);
+        assert_eq!(graphs.len(), 3);
+        for g in &graphs {
+            assert_eq!(g.num_tasks(), 80);
+        }
+        // Deterministic regeneration.
+        let again = Suite::Random.graphs(&scale, 80, 0.1, 1);
+        assert_eq!(graphs, again);
+    }
+
+    #[test]
+    fn systems_match_the_requested_topology_kind() {
+        let scale = Scale::quick();
+        let g = Suite::Random.graphs(&scale, 50, 1.0, 0).remove(0);
+        for kind in TopologyKind::ALL {
+            let sys = system_for(&g, kind, &scale, 50.0, 0);
+            assert_eq!(sys.num_processors(), scale.num_processors);
+            assert!(sys.comm_costs.average_factor() > 1.0, "links are heterogeneous");
+            sys.validate_for(&g).unwrap();
+        }
+        let sys = system_with_homogeneous_links(&g, TopologyKind::Ring, &scale, 50.0, 0);
+        assert_eq!(sys.comm_costs.average_factor(), 1.0);
+    }
+}

@@ -1,0 +1,59 @@
+//! # bsa-experiments
+//!
+//! The experiment harness that regenerates every table and figure of the paper's
+//! evaluation (Section 3), plus the ablations listed in DESIGN.md.
+//!
+//! Each figure has a dedicated binary (`fig3_regular_size`, …, `fig7_heterogeneity`,
+//! `table1_example`) that prints a Markdown table of the same series the paper plots and
+//! writes a CSV next to it under `results/`.  The binaries accept a scale argument:
+//!
+//! * `--quick` — a few minutes of laptop time, reduced sizes (used by CI-style checks);
+//! * `--medium` (default) — the paper's parameter ranges with fewer repetitions;
+//! * `--full` — the paper's full sweep.
+//!
+//! The library half of the crate contains the reusable pieces: scale presets
+//! ([`scale::Scale`]), the scheduler roster ([`algorithms`]), workload/system instantiation
+//! ([`instances`]), a small thread-pool sweep runner ([`runner`]), per-figure sweep drivers
+//! ([`figures`]) and table/CSV reporting ([`report`]).
+
+pub mod algorithms;
+pub mod figures;
+pub mod instances;
+pub mod report;
+pub mod runner;
+pub mod scale;
+
+pub use report::Table;
+pub use scale::Scale;
+
+/// Parses the standard scale argument (`--quick`, `--medium`, `--full`) from a binary's
+/// command line, defaulting to `--medium`.
+pub fn scale_from_args() -> Scale {
+    let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--full") {
+        Scale::full()
+    } else if args.iter().any(|a| a == "--quick") {
+        Scale::quick()
+    } else {
+        Scale::medium()
+    }
+}
+
+/// Writes `contents` to `results/<name>` (creating the directory if needed) and returns the
+/// path.  Failures are reported but not fatal: the binaries always print their tables to
+/// stdout as well.
+pub fn write_results_file(name: &str, contents: &str) -> Option<std::path::PathBuf> {
+    let dir = std::path::Path::new("results");
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("warning: cannot create results directory: {e}");
+        return None;
+    }
+    let path = dir.join(name);
+    match std::fs::write(&path, contents) {
+        Ok(()) => Some(path),
+        Err(e) => {
+            eprintln!("warning: cannot write {}: {e}", path.display());
+            None
+        }
+    }
+}

@@ -1,0 +1,211 @@
+//! Markdown-table and CSV reporting of sweep results.
+
+/// A simple numeric results table: one label per row, one named series per column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table {
+    /// Table title (printed above the Markdown rendering).
+    pub title: String,
+    /// Name of the row-label column (e.g. "graph size", "granularity").
+    pub row_label: String,
+    /// Column (series) names, e.g. `["DLS", "BSA"]`.
+    pub columns: Vec<String>,
+    /// Rows: a label and one value per column (`None` renders as `-`).
+    pub rows: Vec<(String, Vec<Option<f64>>)>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(
+        title: impl Into<String>,
+        row_label: impl Into<String>,
+        columns: Vec<String>,
+    ) -> Self {
+        Table {
+            title: title.into(),
+            row_label: row_label.into(),
+            columns,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    /// Panics if the number of values differs from the number of columns.
+    pub fn push_row(&mut self, label: impl Into<String>, values: Vec<Option<f64>>) {
+        assert_eq!(
+            values.len(),
+            self.columns.len(),
+            "row must have one value per column"
+        );
+        self.rows.push((label.into(), values));
+    }
+
+    /// Renders the table as GitHub-flavoured Markdown.
+    pub fn to_markdown(&self) -> String {
+        let mut s = String::new();
+        s.push_str(&format!("### {}\n\n", self.title));
+        s.push_str(&format!("| {} |", self.row_label));
+        for c in &self.columns {
+            s.push_str(&format!(" {c} |"));
+        }
+        s.push('\n');
+        s.push_str("|---|");
+        for _ in &self.columns {
+            s.push_str("---:|");
+        }
+        s.push('\n');
+        for (label, values) in &self.rows {
+            s.push_str(&format!("| {label} |"));
+            for v in values {
+                match v {
+                    Some(x) => s.push_str(&format!(" {} |", format_value(*x))),
+                    None => s.push_str(" - |"),
+                }
+            }
+            s.push('\n');
+        }
+        s
+    }
+
+    /// Renders the table as CSV (header row first).
+    pub fn to_csv(&self) -> String {
+        let mut s = String::new();
+        s.push_str(&escape_csv(&self.row_label));
+        for c in &self.columns {
+            s.push(',');
+            s.push_str(&escape_csv(c));
+        }
+        s.push('\n');
+        for (label, values) in &self.rows {
+            s.push_str(&escape_csv(label));
+            for v in values {
+                s.push(',');
+                if let Some(x) = v {
+                    s.push_str(&format!("{x}"));
+                }
+            }
+            s.push('\n');
+        }
+        s
+    }
+
+    /// Looks up a cell by row label and column name.
+    pub fn get(&self, row: &str, column: &str) -> Option<f64> {
+        let col = self.columns.iter().position(|c| c == column)?;
+        self.rows
+            .iter()
+            .find(|(label, _)| label == row)
+            .and_then(|(_, values)| values[col])
+    }
+
+    /// The ratio `column_a / column_b` averaged over rows where both are present.
+    /// Useful for "BSA improves on DLS by X %" style summaries.
+    pub fn average_ratio(&self, numerator: &str, denominator: &str) -> Option<f64> {
+        let a = self.columns.iter().position(|c| c == numerator)?;
+        let b = self.columns.iter().position(|c| c == denominator)?;
+        let mut sum = 0.0;
+        let mut count = 0usize;
+        for (_, values) in &self.rows {
+            if let (Some(x), Some(y)) = (values[a], values[b]) {
+                if y != 0.0 {
+                    sum += x / y;
+                    count += 1;
+                }
+            }
+        }
+        if count == 0 {
+            None
+        } else {
+            Some(sum / count as f64)
+        }
+    }
+}
+
+fn format_value(x: f64) -> String {
+    if x.abs() >= 1000.0 {
+        format!("{x:.0}")
+    } else if x.abs() >= 10.0 {
+        format!("{x:.1}")
+    } else {
+        format!("{x:.3}")
+    }
+}
+
+fn escape_csv(s: &str) -> String {
+    if s.contains(',') || s.contains('"') || s.contains('\n') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+/// Arithmetic mean of a slice (0 for an empty slice).
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new("demo", "size", vec!["DLS".into(), "BSA".into()]);
+        t.push_row("50", vec![Some(1000.0), Some(800.0)]);
+        t.push_row("100", vec![Some(2000.0), Some(1500.0)]);
+        t.push_row("150", vec![None, Some(3.5)]);
+        t
+    }
+
+    #[test]
+    fn markdown_rendering_contains_all_cells() {
+        let md = sample().to_markdown();
+        assert!(md.contains("### demo"));
+        assert!(md.contains("| size | DLS | BSA |"));
+        assert!(md.contains("| 50 | 1000 | 800.0 |"));
+        assert!(md.contains("| 150 | - | 3.500 |"));
+    }
+
+    #[test]
+    fn csv_rendering_is_parseable() {
+        let csv = sample().to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "size,DLS,BSA");
+        assert_eq!(lines[1], "50,1000,800");
+        assert_eq!(lines[3], "150,,3.5");
+    }
+
+    #[test]
+    fn get_and_average_ratio() {
+        let t = sample();
+        assert_eq!(t.get("100", "BSA"), Some(1500.0));
+        assert_eq!(t.get("150", "DLS"), None);
+        assert_eq!(t.get("999", "BSA"), None);
+        let r = t.average_ratio("BSA", "DLS").unwrap();
+        assert!((r - (0.8 + 0.75) / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn csv_escaping_handles_commas_and_quotes() {
+        assert_eq!(escape_csv("a,b"), "\"a,b\"");
+        assert_eq!(escape_csv("say \"hi\""), "\"say \"\"hi\"\"\"");
+        assert_eq!(escape_csv("plain"), "plain");
+    }
+
+    #[test]
+    fn mean_of_values() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "one value per column")]
+    fn mismatched_row_width_panics() {
+        let mut t = Table::new("x", "r", vec!["a".into()]);
+        t.push_row("1", vec![Some(1.0), Some(2.0)]);
+    }
+}

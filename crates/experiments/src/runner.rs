@@ -1,0 +1,73 @@
+//! A tiny order-preserving parallel sweep runner built on scoped threads.
+//!
+//! The experiment sweeps are embarrassingly parallel (hundreds of independent scheduling
+//! runs); [`run_parallel`] distributes them over a bounded number of worker threads with a
+//! shared atomic work index and collects the results in input order.  `rayon` would do the
+//! same thing, but the offline dependency set for this reproduction does not include it and
+//! the ~40 lines below are all we need.
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Applies `worker` to every job, using up to `threads` OS threads, and returns the results
+/// in the same order as `jobs`.
+pub fn run_parallel<T, R, F>(jobs: Vec<T>, threads: usize, worker: F) -> Vec<R>
+where
+    T: Send + Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let n = jobs.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = threads.max(1).min(n);
+    if threads == 1 {
+        return jobs.iter().map(|j| worker(j)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let results: Mutex<Vec<Option<R>>> = Mutex::new((0..n).map(|_| None).collect());
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let r = worker(&jobs[i]);
+                results.lock()[i] = Some(r);
+            });
+        }
+    });
+    results
+        .into_inner()
+        .into_iter()
+        .map(|r| r.expect("every job ran"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order_and_runs_every_job() {
+        let jobs: Vec<u64> = (0..250).collect();
+        let out = run_parallel(jobs.clone(), 8, |&x| x * x);
+        assert_eq!(out.len(), 250);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, (i as u64) * (i as u64));
+        }
+    }
+
+    #[test]
+    fn works_with_a_single_thread_and_empty_input() {
+        assert_eq!(run_parallel(Vec::<u8>::new(), 4, |_| 1u8), Vec::<u8>::new());
+        assert_eq!(run_parallel(vec![1, 2, 3], 1, |&x| x + 1), vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn thread_count_larger_than_jobs_is_fine() {
+        assert_eq!(run_parallel(vec![5], 64, |&x| x * 2), vec![10]);
+    }
+}

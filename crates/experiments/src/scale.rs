@@ -1,0 +1,135 @@
+//! Experiment scale presets.
+
+use serde::{Deserialize, Serialize};
+
+/// Controls how big the parameter sweeps are.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Scale {
+    /// Name of the preset ("quick", "medium", "full").
+    pub name: String,
+    /// Graph sizes (number of tasks) for Figures 3–6.
+    pub sizes: Vec<usize>,
+    /// Granularities (mean exec / mean comm) for Figures 3–6.
+    pub granularities: Vec<f64>,
+    /// Number of processors in every topology.
+    pub num_processors: usize,
+    /// Random graphs generated per (size, granularity) point in the random-graph suites.
+    pub random_graphs_per_point: usize,
+    /// Number of 500-task graphs in the heterogeneity experiment (Figure 7).
+    pub heterogeneity_graphs: usize,
+    /// Graph size used in the heterogeneity experiment.
+    pub heterogeneity_graph_size: usize,
+    /// Heterogeneity ranges `[1, R]` evaluated in Figure 7.
+    pub heterogeneity_ranges: Vec<f64>,
+    /// Base RNG seed; every generated instance derives a distinct deterministic seed.
+    pub seed: u64,
+    /// Number of worker threads for the sweeps (0 = available parallelism).
+    pub threads: usize,
+}
+
+impl Scale {
+    /// The paper's full setup: sizes 50–500, granularities {0.1, 1, 10}, 16 processors,
+    /// 10 graphs for the heterogeneity sweep.
+    pub fn full() -> Self {
+        Scale {
+            name: "full".into(),
+            sizes: (1..=10).map(|i| i * 50).collect(),
+            granularities: vec![0.1, 1.0, 10.0],
+            num_processors: 16,
+            random_graphs_per_point: 1,
+            heterogeneity_graphs: 10,
+            heterogeneity_graph_size: 500,
+            heterogeneity_ranges: vec![10.0, 50.0, 100.0, 200.0],
+            seed: 0xB5A_1999,
+            threads: 0,
+        }
+    }
+
+    /// The paper's parameter ranges but with fewer sizes (every 100 tasks) — the default.
+    pub fn medium() -> Self {
+        Scale {
+            name: "medium".into(),
+            sizes: vec![50, 100, 200, 300, 400, 500],
+            granularities: vec![0.1, 1.0, 10.0],
+            num_processors: 16,
+            random_graphs_per_point: 1,
+            heterogeneity_graphs: 5,
+            heterogeneity_graph_size: 300,
+            heterogeneity_ranges: vec![10.0, 50.0, 100.0, 200.0],
+            seed: 0xB5A_1999,
+            threads: 0,
+        }
+    }
+
+    /// A minutes-scale smoke configuration used by tests and quick checks.
+    pub fn quick() -> Self {
+        Scale {
+            name: "quick".into(),
+            sizes: vec![50, 100, 150],
+            granularities: vec![0.1, 1.0, 10.0],
+            num_processors: 8,
+            random_graphs_per_point: 1,
+            heterogeneity_graphs: 3,
+            heterogeneity_graph_size: 100,
+            heterogeneity_ranges: vec![10.0, 50.0, 100.0, 200.0],
+            seed: 0xB5A_1999,
+            threads: 0,
+        }
+    }
+
+    /// The number of worker threads to actually use.
+    pub fn effective_threads(&self) -> usize {
+        if self.threads > 0 {
+            self.threads
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+        }
+    }
+
+    /// A deterministic per-instance seed derived from the base seed and arbitrary tags.
+    pub fn instance_seed(&self, tags: &[usize]) -> u64 {
+        let mut h = self.seed ^ 0x9E37_79B9_7F4A_7C15;
+        for &t in tags {
+            h ^= t as u64;
+            h = h.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            h ^= h >> 31;
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_have_expected_shapes() {
+        let full = Scale::full();
+        assert_eq!(full.sizes, vec![50, 100, 150, 200, 250, 300, 350, 400, 450, 500]);
+        assert_eq!(full.num_processors, 16);
+        assert_eq!(full.heterogeneity_graphs, 10);
+        assert_eq!(full.heterogeneity_graph_size, 500);
+        let quick = Scale::quick();
+        assert!(quick.sizes.len() < full.sizes.len());
+        assert!(quick.num_processors <= full.num_processors);
+        assert!(Scale::medium().sizes.len() <= full.sizes.len());
+    }
+
+    #[test]
+    fn instance_seeds_are_deterministic_and_distinct() {
+        let s = Scale::quick();
+        assert_eq!(s.instance_seed(&[1, 2, 3]), s.instance_seed(&[1, 2, 3]));
+        assert_ne!(s.instance_seed(&[1, 2, 3]), s.instance_seed(&[1, 2, 4]));
+        assert_ne!(s.instance_seed(&[0]), s.instance_seed(&[1]));
+    }
+
+    #[test]
+    fn effective_threads_is_positive() {
+        assert!(Scale::quick().effective_threads() >= 1);
+        let mut s = Scale::quick();
+        s.threads = 3;
+        assert_eq!(s.effective_threads(), 3);
+    }
+}

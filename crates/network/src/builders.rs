@@ -1,0 +1,339 @@
+//! Constructors for the standard topologies used in the paper's experiments (ring,
+//! hypercube, fully-connected, random) plus a few extra shapes useful for tests and
+//! examples (chain, star, 2-D mesh, binary tree).
+
+use crate::ids::ProcId;
+use crate::topology::{Topology, TopologyError};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// The topology families used by the experiment harness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TopologyKind {
+    /// Cycle of `m` processors; degree 2 everywhere.  Lowest connectivity in the paper.
+    Ring,
+    /// Binary hypercube; `m` must be a power of two; degree log2(m).
+    Hypercube,
+    /// Fully-connected network (clique); highest connectivity in the paper.
+    Clique,
+    /// Random connected topology with degrees between 2 and 8 (the paper's fourth case).
+    Random,
+}
+
+impl TopologyKind {
+    /// All four kinds in the order the paper's figures present them.
+    pub const ALL: [TopologyKind; 4] = [
+        TopologyKind::Ring,
+        TopologyKind::Hypercube,
+        TopologyKind::Clique,
+        TopologyKind::Random,
+    ];
+
+    /// Short lowercase label used in reports and file names.
+    pub fn label(self) -> &'static str {
+        match self {
+            TopologyKind::Ring => "ring",
+            TopologyKind::Hypercube => "hypercube",
+            TopologyKind::Clique => "clique",
+            TopologyKind::Random => "random",
+        }
+    }
+
+    /// Builds a topology of this kind with `m` processors.
+    ///
+    /// The `rng` is only consulted for [`TopologyKind::Random`]; the other kinds are
+    /// deterministic.
+    pub fn build<R: Rng + ?Sized>(self, m: usize, rng: &mut R) -> Result<Topology, TopologyError> {
+        match self {
+            TopologyKind::Ring => ring(m),
+            TopologyKind::Hypercube => hypercube_for(m),
+            TopologyKind::Clique => clique(m),
+            TopologyKind::Random => random_connected(m, 2, 8, rng),
+        }
+    }
+}
+
+impl std::fmt::Display for TopologyKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A chain (path) of `m` processors: P0 - P1 - … - P(m-1).
+pub fn chain(m: usize) -> Result<Topology, TopologyError> {
+    let links: Vec<(usize, usize)> = (1..m).map(|i| (i - 1, i)).collect();
+    Topology::new(format!("chain-{m}"), m, &links)
+}
+
+/// A ring of `m` processors.
+pub fn ring(m: usize) -> Result<Topology, TopologyError> {
+    if m == 0 {
+        return Err(TopologyError::Empty);
+    }
+    if m == 1 {
+        return Topology::new("ring-1", 1, &[]);
+    }
+    if m == 2 {
+        // A 2-ring would need a duplicate link; degrade to a single link.
+        return Topology::new("ring-2", 2, &[(0, 1)]);
+    }
+    let mut links: Vec<(usize, usize)> = (1..m).map(|i| (i - 1, i)).collect();
+    links.push((m - 1, 0));
+    Topology::new(format!("ring-{m}"), m, &links)
+}
+
+/// A fully-connected network (clique) of `m` processors.
+pub fn clique(m: usize) -> Result<Topology, TopologyError> {
+    let mut links = Vec::with_capacity(m * (m.saturating_sub(1)) / 2);
+    for i in 0..m {
+        for j in (i + 1)..m {
+            links.push((i, j));
+        }
+    }
+    Topology::new(format!("clique-{m}"), m, &links)
+}
+
+/// A `dim`-dimensional binary hypercube (`2^dim` processors).
+pub fn hypercube(dim: u32) -> Result<Topology, TopologyError> {
+    let m = 1usize << dim;
+    let mut links = Vec::with_capacity(m * dim as usize / 2);
+    for i in 0..m {
+        for d in 0..dim {
+            let j = i ^ (1usize << d);
+            if j > i {
+                links.push((i, j));
+            }
+        }
+    }
+    Topology::new(format!("hypercube-{m}"), m, &links)
+}
+
+/// A hypercube sized for `m` processors; `m` must be a power of two.
+pub fn hypercube_for(m: usize) -> Result<Topology, TopologyError> {
+    if m == 0 {
+        return Err(TopologyError::Empty);
+    }
+    assert!(m.is_power_of_two(), "hypercube requires a power-of-two size, got {m}");
+    hypercube(m.trailing_zeros())
+}
+
+/// A star: processor 0 is the hub, all others are leaves.
+pub fn star(m: usize) -> Result<Topology, TopologyError> {
+    let links: Vec<(usize, usize)> = (1..m).map(|i| (0, i)).collect();
+    Topology::new(format!("star-{m}"), m, &links)
+}
+
+/// A `rows x cols` 2-D mesh (no wraparound).
+pub fn mesh2d(rows: usize, cols: usize) -> Result<Topology, TopologyError> {
+    let m = rows * cols;
+    let mut links = Vec::new();
+    for r in 0..rows {
+        for c in 0..cols {
+            let i = r * cols + c;
+            if c + 1 < cols {
+                links.push((i, i + 1));
+            }
+            if r + 1 < rows {
+                links.push((i, i + cols));
+            }
+        }
+    }
+    Topology::new(format!("mesh-{rows}x{cols}"), m, &links)
+}
+
+/// A complete binary tree with `m` processors (node `i` is connected to `2i+1`, `2i+2`).
+pub fn binary_tree(m: usize) -> Result<Topology, TopologyError> {
+    let mut links = Vec::new();
+    for i in 0..m {
+        for child in [2 * i + 1, 2 * i + 2] {
+            if child < m {
+                links.push((i, child));
+            }
+        }
+    }
+    Topology::new(format!("btree-{m}"), m, &links)
+}
+
+/// A random connected topology where every processor degree lies in
+/// `[min_degree, max_degree]` (the paper: "the degree of each processor ranged from two to
+/// eight").
+///
+/// Construction: start from a random Hamiltonian cycle (guaranteeing connectivity and
+/// degree ≥ 2), then add random extra links between pairs that are both below
+/// `max_degree`, stopping when no more can be added or a target density is reached.
+pub fn random_connected<R: Rng + ?Sized>(
+    m: usize,
+    min_degree: usize,
+    max_degree: usize,
+    rng: &mut R,
+) -> Result<Topology, TopologyError> {
+    assert!(min_degree >= 1, "min_degree must be at least 1");
+    assert!(
+        max_degree >= min_degree,
+        "max_degree must be >= min_degree"
+    );
+    if m == 0 {
+        return Err(TopologyError::Empty);
+    }
+    if m == 1 {
+        return Topology::new("random-1", 1, &[]);
+    }
+    if m == 2 {
+        return Topology::new("random-2", 2, &[(0, 1)]);
+    }
+    // Random cycle.
+    let mut perm: Vec<usize> = (0..m).collect();
+    perm.shuffle(rng);
+    let mut degree = vec![0usize; m];
+    let mut have = std::collections::HashSet::new();
+    let mut links = Vec::new();
+    for i in 0..m {
+        let a = perm[i];
+        let b = perm[(i + 1) % m];
+        let key = (a.min(b), a.max(b));
+        if have.insert(key) {
+            links.push(key);
+            degree[a] += 1;
+            degree[b] += 1;
+        }
+    }
+    // Target a random average degree between min(4, max) and max, then add random links.
+    let target_avg = rng.gen_range(min_degree.max(2) as f64..=(max_degree as f64).min(m as f64 - 1.0));
+    let target_links = ((target_avg * m as f64) / 2.0).round() as usize;
+    let mut attempts = 0usize;
+    let max_attempts = 50 * m * max_degree;
+    while links.len() < target_links && attempts < max_attempts {
+        attempts += 1;
+        let a = rng.gen_range(0..m);
+        let b = rng.gen_range(0..m);
+        if a == b || degree[a] >= max_degree || degree[b] >= max_degree {
+            continue;
+        }
+        let key = (a.min(b), a.max(b));
+        if have.insert(key) {
+            links.push(key);
+            degree[a] += 1;
+            degree[b] += 1;
+        }
+    }
+    Topology::new(format!("random-{m}"), m, &links)
+}
+
+/// The gray-code neighbor order used by E-cube routing: returns the dimension bits in which
+/// `from` and `to` differ, lowest dimension first.
+pub fn ecube_dimensions(from: ProcId, to: ProcId) -> Vec<u32> {
+    let diff = from.0 ^ to.0;
+    (0..32).filter(|d| diff & (1 << d) != 0).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ring_16_matches_paper_configuration() {
+        let t = ring(16).unwrap();
+        assert_eq!(t.num_processors(), 16);
+        assert_eq!(t.num_links(), 16);
+        assert!(t.is_connected());
+        for p in t.proc_ids() {
+            assert_eq!(t.degree(p), 2);
+        }
+        assert_eq!(t.diameter(), 8);
+    }
+
+    #[test]
+    fn hypercube_16_matches_paper_configuration() {
+        let t = hypercube_for(16).unwrap();
+        assert_eq!(t.num_processors(), 16);
+        assert_eq!(t.num_links(), 32); // m * log2(m) / 2
+        for p in t.proc_ids() {
+            assert_eq!(t.degree(p), 4);
+        }
+        assert_eq!(t.diameter(), 4);
+    }
+
+    #[test]
+    fn clique_16_matches_paper_configuration() {
+        let t = clique(16).unwrap();
+        assert_eq!(t.num_links(), 120);
+        for p in t.proc_ids() {
+            assert_eq!(t.degree(p), 15);
+        }
+        assert_eq!(t.diameter(), 1);
+    }
+
+    #[test]
+    fn random_16_has_degrees_between_2_and_8_and_is_connected() {
+        for seed in 0..10u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let t = random_connected(16, 2, 8, &mut rng).unwrap();
+            assert!(t.is_connected(), "seed {seed}");
+            for p in t.proc_ids() {
+                let d = t.degree(p);
+                assert!((2..=8).contains(&d), "seed {seed}: degree {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn random_topology_is_reproducible_for_a_fixed_seed() {
+        let a = random_connected(16, 2, 8, &mut StdRng::seed_from_u64(7)).unwrap();
+        let b = random_connected(16, 2, 8, &mut StdRng::seed_from_u64(7)).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn chain_star_mesh_tree_shapes() {
+        let c = chain(5).unwrap();
+        assert_eq!(c.num_links(), 4);
+        assert_eq!(c.diameter(), 4);
+
+        let s = star(6).unwrap();
+        assert_eq!(s.num_links(), 5);
+        assert_eq!(s.degree(ProcId(0)), 5);
+        assert_eq!(s.diameter(), 2);
+
+        let m = mesh2d(3, 4).unwrap();
+        assert_eq!(m.num_processors(), 12);
+        assert_eq!(m.num_links(), 3 * 3 + 2 * 4); // horizontal + vertical
+        assert_eq!(m.diameter(), 5);
+
+        let t = binary_tree(7).unwrap();
+        assert_eq!(t.num_links(), 6);
+        assert!(t.is_connected());
+    }
+
+    #[test]
+    fn small_rings_degenerate_gracefully() {
+        assert_eq!(ring(1).unwrap().num_links(), 0);
+        assert_eq!(ring(2).unwrap().num_links(), 1);
+        assert_eq!(ring(3).unwrap().num_links(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn hypercube_rejects_non_power_of_two() {
+        let _ = hypercube_for(12);
+    }
+
+    #[test]
+    fn topology_kind_builds_all_paper_topologies() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for kind in TopologyKind::ALL {
+            let t = kind.build(16, &mut rng).unwrap();
+            assert_eq!(t.num_processors(), 16);
+            assert!(t.is_connected());
+            assert_eq!(kind.to_string(), kind.label());
+        }
+    }
+
+    #[test]
+    fn ecube_dimensions_are_lowest_first() {
+        assert_eq!(ecube_dimensions(ProcId(0b0101), ProcId(0b0011)), vec![1, 2]);
+        assert_eq!(ecube_dimensions(ProcId(3), ProcId(3)), Vec::<u32>::new());
+    }
+}

@@ -1,0 +1,99 @@
+//! Dense integer identifiers for processors and links.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a processor. Dense: a network with `m` processors uses ids `0..m`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ProcId(pub u32);
+
+/// Identifier of an undirected communication link. Dense: `0..num_links`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct LinkId(pub u32);
+
+impl ProcId {
+    /// Returns the id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a `ProcId` from a `usize` index.
+    #[inline]
+    pub fn from_index(idx: usize) -> Self {
+        ProcId(u32::try_from(idx).expect("processor index overflows u32"))
+    }
+}
+
+impl LinkId {
+    /// Returns the id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a `LinkId` from a `usize` index.
+    #[inline]
+    pub fn from_index(idx: usize) -> Self {
+        LinkId(u32::try_from(idx).expect("link index overflows u32"))
+    }
+}
+
+impl fmt::Debug for ProcId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+impl fmt::Display for ProcId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+impl fmt::Debug for LinkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{}", self.0)
+    }
+}
+
+impl fmt::Display for LinkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{}", self.0)
+    }
+}
+
+impl From<u32> for ProcId {
+    fn from(v: u32) -> Self {
+        ProcId(v)
+    }
+}
+
+impl From<u32> for LinkId {
+    fn from(v: u32) -> Self {
+        LinkId(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_round_trip() {
+        assert_eq!(ProcId::from_index(5).index(), 5);
+        assert_eq!(LinkId::from_index(9).index(), 9);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(ProcId(2).to_string(), "P2");
+        assert_eq!(LinkId(4).to_string(), "L4");
+    }
+
+    #[test]
+    fn ordering_is_numeric() {
+        assert!(ProcId(1) < ProcId(3));
+        assert!(LinkId(0) < LinkId(1));
+    }
+}

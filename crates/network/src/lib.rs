@@ -1,0 +1,54 @@
+//! # bsa-network
+//!
+//! Model of the *target architecture* used by the BSA reproduction: a network of
+//! heterogeneous processors connected by point-to-point communication links of arbitrary
+//! topology.
+//!
+//! The paper's model (Section 2.1) is:
+//!
+//! * `m` processors `P1 … Pm`; a task `Ti` scheduled on `Px` runs for `h_{ix} · τ_i`, where
+//!   `τ_i` is the nominal execution cost and `h_{ix}` a per-(task, processor)
+//!   *heterogeneity factor*;
+//! * processors are joined by links `L_{xy}`; a message `M_{ij}` scheduled on `L_{xy}`
+//!   occupies the link for `h'_{ijxy} · c_{ij}` time units;
+//! * links are contended resources: at most one message at a time (we model half-duplex
+//!   exclusive links by default, with an optional full-duplex mode);
+//! * the topology is arbitrary: the experiments use 16-processor ring, hypercube, clique
+//!   and random topologies.
+//!
+//! This crate provides:
+//!
+//! * [`Topology`] / [`builders`] — processors, undirected links, adjacency and standard
+//!   topology constructors (ring, chain, mesh, hypercube, clique, star, binary tree,
+//!   random connected);
+//! * [`routing::RoutingTable`] — BFS all-pairs shortest-hop routes (the routing table DLS
+//!   requires) plus E-cube routing for hypercubes;
+//! * [`heterogeneity`] — the execution-cost matrix (`ExecutionCostMatrix`), link
+//!   communication factors (`CommCostModel`) and the random generators used by the paper's
+//!   experiments (factors uniform in `[1, R]`);
+//! * [`system::HeterogeneousSystem`] — a bundle of topology + cost models that the
+//!   schedulers consume.
+
+pub mod builders;
+pub mod heterogeneity;
+pub mod ids;
+pub mod routing;
+pub mod system;
+pub mod topology;
+
+pub use builders::TopologyKind;
+pub use heterogeneity::{CommCostModel, ExecutionCostMatrix, HeterogeneityRange};
+pub use ids::{LinkId, ProcId};
+pub use routing::RoutingTable;
+pub use system::HeterogeneousSystem;
+pub use topology::{Link, LinkMode, Processor, Topology, TopologyError};
+
+/// Convenient glob-import for downstream crates.
+pub mod prelude {
+    pub use crate::builders::TopologyKind;
+    pub use crate::heterogeneity::{CommCostModel, ExecutionCostMatrix, HeterogeneityRange};
+    pub use crate::ids::{LinkId, ProcId};
+    pub use crate::routing::RoutingTable;
+    pub use crate::system::HeterogeneousSystem;
+    pub use crate::topology::{Link, LinkMode, Processor, Topology, TopologyError};
+}

@@ -1,0 +1,272 @@
+//! Shortest-path routing tables.
+//!
+//! BSA itself needs no routing table (routes emerge from the migration process), but the
+//! DLS baseline — like most traditional list schedulers for arbitrary networks — requires a
+//! pre-computed table of routes to estimate the data-available time of a task on every
+//! candidate processor.  The table stores, for every ordered pair of processors, the hop
+//! sequence (links) of one shortest path; ties are broken by preferring the neighbor with
+//! the smallest processor id, which makes the table deterministic.
+//!
+//! For hypercubes an E-cube (dimension-ordered) table can be built instead, mirroring the
+//! static routing the paper mentions for such networks.
+
+use crate::ids::{LinkId, ProcId};
+use crate::topology::Topology;
+use std::collections::VecDeque;
+
+/// All-pairs shortest-hop routes over a topology.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoutingTable {
+    m: usize,
+    /// `next_hop[src][dst]` = the neighbor of `src` on the chosen route to `dst`
+    /// (`src == dst` stores `src`).
+    next_hop: Vec<Vec<ProcId>>,
+    /// `distance[src][dst]` in hops; `usize::MAX` if unreachable.
+    distance: Vec<Vec<usize>>,
+}
+
+impl RoutingTable {
+    /// Builds a shortest-hop routing table by running one BFS per source processor.
+    pub fn shortest_paths(topology: &Topology) -> Self {
+        let m = topology.num_processors();
+        let mut next_hop = vec![vec![ProcId(0); m]; m];
+        let mut distance = vec![vec![usize::MAX; m]; m];
+        for src in topology.proc_ids() {
+            // BFS from src, recording each node's parent; because neighbors are iterated in
+            // increasing id order, the parent (and therefore the route) is deterministic.
+            let mut parent: Vec<Option<ProcId>> = vec![None; m];
+            let mut dist = vec![usize::MAX; m];
+            dist[src.index()] = 0;
+            let mut q = VecDeque::new();
+            q.push_back(src);
+            while let Some(u) = q.pop_front() {
+                for &(v, _) in topology.neighbors(u) {
+                    if dist[v.index()] == usize::MAX {
+                        dist[v.index()] = dist[u.index()] + 1;
+                        parent[v.index()] = Some(u);
+                        q.push_back(v);
+                    }
+                }
+            }
+            for dst in topology.proc_ids() {
+                distance[src.index()][dst.index()] = dist[dst.index()];
+                if dst == src {
+                    next_hop[src.index()][dst.index()] = src;
+                    continue;
+                }
+                if dist[dst.index()] == usize::MAX {
+                    // Unreachable: leave a self-pointer; route() returns None.
+                    next_hop[src.index()][dst.index()] = src;
+                    continue;
+                }
+                // Walk back from dst to the node whose parent is src.
+                let mut cur = dst;
+                while let Some(p) = parent[cur.index()] {
+                    if p == src {
+                        break;
+                    }
+                    cur = p;
+                }
+                next_hop[src.index()][dst.index()] = cur;
+            }
+        }
+        RoutingTable {
+            m,
+            next_hop,
+            distance,
+        }
+    }
+
+    /// Builds an E-cube (dimension-ordered) routing table for a hypercube topology.
+    ///
+    /// # Panics
+    /// Panics if the topology is not a hypercube (i.e. some required dimension link is
+    /// missing).
+    pub fn ecube(topology: &Topology) -> Self {
+        let m = topology.num_processors();
+        assert!(
+            m.is_power_of_two(),
+            "E-cube routing requires a power-of-two hypercube"
+        );
+        let mut next_hop = vec![vec![ProcId(0); m]; m];
+        let mut distance = vec![vec![usize::MAX; m]; m];
+        for src in 0..m {
+            for dst in 0..m {
+                let diff = src ^ dst;
+                distance[src][dst] = diff.count_ones() as usize;
+                if src == dst {
+                    next_hop[src][dst] = ProcId::from_index(src);
+                } else {
+                    let lowest = diff.trailing_zeros();
+                    let nh = src ^ (1usize << lowest);
+                    assert!(
+                        topology
+                            .link_between(ProcId::from_index(src), ProcId::from_index(nh))
+                            .is_some(),
+                        "topology is not a hypercube: missing link {src}-{nh}"
+                    );
+                    next_hop[src][dst] = ProcId::from_index(nh);
+                }
+            }
+        }
+        RoutingTable {
+            m,
+            next_hop,
+            distance,
+        }
+    }
+
+    /// Hop distance from `src` to `dst` (`0` when equal, `usize::MAX` when unreachable).
+    pub fn distance(&self, src: ProcId, dst: ProcId) -> usize {
+        self.distance[src.index()][dst.index()]
+    }
+
+    /// The neighbor of `src` on the route towards `dst`.
+    pub fn next_hop(&self, src: ProcId, dst: ProcId) -> ProcId {
+        self.next_hop[src.index()][dst.index()]
+    }
+
+    /// The full route from `src` to `dst` as a list of links, or `None` if unreachable.
+    /// An empty route means `src == dst`.
+    pub fn route(&self, topology: &Topology, src: ProcId, dst: ProcId) -> Option<Vec<LinkId>> {
+        if src == dst {
+            return Some(Vec::new());
+        }
+        if self.distance(src, dst) == usize::MAX {
+            return None;
+        }
+        let mut links = Vec::with_capacity(self.distance(src, dst));
+        let mut cur = src;
+        while cur != dst {
+            let nh = self.next_hop(cur, dst);
+            let link = topology
+                .link_between(cur, nh)
+                .expect("next_hop must be an adjacent processor");
+            links.push(link);
+            cur = nh;
+        }
+        Some(links)
+    }
+
+    /// The full route as the sequence of processors visited (including both endpoints).
+    pub fn route_procs(&self, src: ProcId, dst: ProcId) -> Option<Vec<ProcId>> {
+        if self.distance(src, dst) == usize::MAX {
+            return None;
+        }
+        let mut procs = vec![src];
+        let mut cur = src;
+        while cur != dst {
+            cur = self.next_hop(cur, dst);
+            procs.push(cur);
+        }
+        Some(procs)
+    }
+
+    /// Number of processors covered by the table.
+    pub fn num_processors(&self) -> usize {
+        self.m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders::{clique, hypercube_for, ring};
+    use crate::topology::Topology;
+
+    #[test]
+    fn ring_routes_have_expected_lengths() {
+        let t = ring(8).unwrap();
+        let rt = RoutingTable::shortest_paths(&t);
+        assert_eq!(rt.distance(ProcId(0), ProcId(1)), 1);
+        assert_eq!(rt.distance(ProcId(0), ProcId(4)), 4);
+        assert_eq!(rt.distance(ProcId(0), ProcId(7)), 1);
+        assert_eq!(rt.distance(ProcId(3), ProcId(3)), 0);
+        let route = rt.route(&t, ProcId(0), ProcId(4)).unwrap();
+        assert_eq!(route.len(), 4);
+        assert!(rt.route(&t, ProcId(2), ProcId(2)).unwrap().is_empty());
+    }
+
+    #[test]
+    fn routes_traverse_adjacent_links_and_end_at_destination() {
+        let t = ring(8).unwrap();
+        let rt = RoutingTable::shortest_paths(&t);
+        for src in t.proc_ids() {
+            for dst in t.proc_ids() {
+                let procs = rt.route_procs(src, dst).unwrap();
+                assert_eq!(*procs.first().unwrap(), src);
+                assert_eq!(*procs.last().unwrap(), dst);
+                for w in procs.windows(2) {
+                    assert!(t.link_between(w[0], w[1]).is_some());
+                }
+                assert_eq!(procs.len() - 1, rt.distance(src, dst));
+            }
+        }
+    }
+
+    #[test]
+    fn clique_routes_are_single_hop() {
+        let t = clique(6).unwrap();
+        let rt = RoutingTable::shortest_paths(&t);
+        for src in t.proc_ids() {
+            for dst in t.proc_ids() {
+                if src != dst {
+                    assert_eq!(rt.distance(src, dst), 1);
+                    assert_eq!(rt.route(&t, src, dst).unwrap().len(), 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unreachable_pairs_return_none() {
+        let t = Topology::new("pair", 3, &[(0, 1)]).unwrap();
+        let rt = RoutingTable::shortest_paths(&t);
+        assert_eq!(rt.distance(ProcId(0), ProcId(2)), usize::MAX);
+        assert!(rt.route(&t, ProcId(0), ProcId(2)).is_none());
+        assert!(rt.route_procs(ProcId(0), ProcId(2)).is_none());
+    }
+
+    #[test]
+    fn ecube_matches_hamming_distance_on_hypercube() {
+        let t = hypercube_for(16).unwrap();
+        let rt = RoutingTable::ecube(&t);
+        let sp = RoutingTable::shortest_paths(&t);
+        for src in t.proc_ids() {
+            for dst in t.proc_ids() {
+                assert_eq!(
+                    rt.distance(src, dst),
+                    (src.0 ^ dst.0).count_ones() as usize
+                );
+                // E-cube routes are shortest.
+                assert_eq!(rt.distance(src, dst), sp.distance(src, dst));
+                let route = rt.route(&t, src, dst).unwrap();
+                assert_eq!(route.len(), rt.distance(src, dst));
+            }
+        }
+        // Dimension-ordered: route from 0 to 0b1011 flips bit 0 first, then 1, then 3.
+        let procs = rt.route_procs(ProcId(0), ProcId(0b1011)).unwrap();
+        assert_eq!(
+            procs,
+            vec![ProcId(0), ProcId(0b0001), ProcId(0b0011), ProcId(0b1011)]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn ecube_rejects_non_hypercube_sizes() {
+        let t = ring(6).unwrap();
+        let _ = RoutingTable::ecube(&t);
+    }
+
+    #[test]
+    fn shortest_path_tie_break_is_deterministic() {
+        // Square: two equal-length routes 0->1->2 and 0->3->2; must pick via P1 (smaller id).
+        let t = Topology::new("square", 4, &[(0, 1), (1, 2), (2, 3), (3, 0)]).unwrap();
+        let rt = RoutingTable::shortest_paths(&t);
+        assert_eq!(
+            rt.route_procs(ProcId(0), ProcId(2)).unwrap(),
+            vec![ProcId(0), ProcId(1), ProcId(2)]
+        );
+    }
+}

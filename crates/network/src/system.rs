@@ -1,0 +1,203 @@
+//! [`HeterogeneousSystem`]: the bundle of topology, execution-cost matrix and link factors
+//! that every scheduler consumes.
+
+use crate::heterogeneity::{CommCostModel, ExecutionCostMatrix, HeterogeneityRange};
+use crate::ids::{LinkId, ProcId};
+use crate::topology::Topology;
+use bsa_taskgraph::{TaskGraph, TaskId};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A fully specified heterogeneous target: the network topology, the actual execution cost
+/// of every task on every processor, and the communication factor of every link.
+///
+/// The system is defined *relative to one task graph* (the cost matrix has one row per
+/// task); [`HeterogeneousSystem::validate_for`] checks the dimensions.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HeterogeneousSystem {
+    /// The processor network.
+    pub topology: Topology,
+    /// Actual execution costs (`n × m`).
+    pub exec_costs: ExecutionCostMatrix,
+    /// Per-link communication multipliers.
+    pub comm_costs: CommCostModel,
+}
+
+impl HeterogeneousSystem {
+    /// Bundles the three components, validating their dimensions against each other.
+    pub fn new(
+        topology: Topology,
+        exec_costs: ExecutionCostMatrix,
+        comm_costs: CommCostModel,
+    ) -> Self {
+        assert_eq!(
+            exec_costs.num_processors(),
+            topology.num_processors(),
+            "execution-cost matrix has {} processor columns but the topology has {}",
+            exec_costs.num_processors(),
+            topology.num_processors()
+        );
+        assert_eq!(
+            comm_costs.num_links(),
+            topology.num_links(),
+            "communication model covers {} links but the topology has {}",
+            comm_costs.num_links(),
+            topology.num_links()
+        );
+        HeterogeneousSystem {
+            topology,
+            exec_costs,
+            comm_costs,
+        }
+    }
+
+    /// A homogeneous system: every processor runs at nominal speed and every link has
+    /// factor 1.  Useful for tests and as a baseline reference point.
+    pub fn homogeneous(graph: &TaskGraph, topology: Topology) -> Self {
+        let exec = ExecutionCostMatrix::homogeneous(graph, topology.num_processors());
+        let comm = CommCostModel::homogeneous(&topology);
+        HeterogeneousSystem::new(topology, exec, comm)
+    }
+
+    /// The paper's experimental setup: execution factors per (task, processor) and link
+    /// factors per link, both uniform in `exec_range` / `comm_range`.
+    pub fn generate<R: Rng + ?Sized>(
+        graph: &TaskGraph,
+        topology: Topology,
+        exec_range: HeterogeneityRange,
+        comm_range: HeterogeneityRange,
+        rng: &mut R,
+    ) -> Self {
+        let exec =
+            ExecutionCostMatrix::generate(graph, topology.num_processors(), exec_range, rng);
+        let comm = CommCostModel::generate(&topology, comm_range, rng);
+        HeterogeneousSystem::new(topology, exec, comm)
+    }
+
+    /// Number of processors.
+    #[inline]
+    pub fn num_processors(&self) -> usize {
+        self.topology.num_processors()
+    }
+
+    /// Number of links.
+    #[inline]
+    pub fn num_links(&self) -> usize {
+        self.topology.num_links()
+    }
+
+    /// Actual execution cost of `task` on `proc`.
+    #[inline]
+    pub fn exec_cost(&self, task: TaskId, proc: ProcId) -> f64 {
+        self.exec_costs.cost(task, proc)
+    }
+
+    /// Actual transfer time of a message of nominal cost `nominal` over `link`.
+    #[inline]
+    pub fn transfer_time(&self, link: LinkId, nominal: f64) -> f64 {
+        self.comm_costs.transfer_time(link, nominal)
+    }
+
+    /// Checks that the system's cost matrix matches the graph's task count.
+    pub fn validate_for(&self, graph: &TaskGraph) -> Result<(), String> {
+        if self.exec_costs.num_tasks() != graph.num_tasks() {
+            return Err(format!(
+                "cost matrix has {} task rows but the graph has {} tasks",
+                self.exec_costs.num_tasks(),
+                graph.num_tasks()
+            ));
+        }
+        Ok(())
+    }
+
+    /// The serial schedule length on the best single processor: the minimum over processors
+    /// of the sum of that processor's actual execution costs.  This is a simple upper bound
+    /// any reasonable schedule should beat (or match) and a useful normalization constant.
+    pub fn best_serial_length(&self, graph: &TaskGraph) -> f64 {
+        self.topology
+            .proc_ids()
+            .map(|p| {
+                graph
+                    .task_ids()
+                    .map(|t| self.exec_cost(t, p))
+                    .sum::<f64>()
+            })
+            .fold(f64::INFINITY, f64::min)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders::ring;
+    use bsa_taskgraph::TaskGraphBuilder;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tiny_graph() -> TaskGraph {
+        let mut b = TaskGraphBuilder::new();
+        let a = b.add_task("a", 10.0);
+        let c = b.add_task("c", 20.0);
+        b.add_edge(a, c, 5.0).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn homogeneous_system_round_trip() {
+        let g = tiny_graph();
+        let sys = HeterogeneousSystem::homogeneous(&g, ring(4).unwrap());
+        assert_eq!(sys.num_processors(), 4);
+        assert_eq!(sys.num_links(), 4);
+        assert_eq!(sys.exec_cost(TaskId(1), ProcId(3)), 20.0);
+        assert_eq!(sys.transfer_time(LinkId(0), 5.0), 5.0);
+        sys.validate_for(&g).unwrap();
+        assert_eq!(sys.best_serial_length(&g), 30.0);
+    }
+
+    #[test]
+    fn generated_system_is_seed_deterministic() {
+        let g = tiny_graph();
+        let mk = |seed| {
+            HeterogeneousSystem::generate(
+                &g,
+                ring(4).unwrap(),
+                HeterogeneityRange::DEFAULT,
+                HeterogeneityRange::homogeneous(),
+                &mut StdRng::seed_from_u64(seed),
+            )
+        };
+        assert_eq!(mk(5), mk(5));
+        assert_ne!(mk(5), mk(6));
+    }
+
+    #[test]
+    fn validate_for_detects_mismatched_graph() {
+        let g = tiny_graph();
+        let sys = HeterogeneousSystem::homogeneous(&g, ring(4).unwrap());
+        let mut b = TaskGraphBuilder::new();
+        b.add_task("solo", 1.0);
+        let other = b.build().unwrap();
+        assert!(sys.validate_for(&other).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "processor columns")]
+    fn new_rejects_mismatched_dimensions() {
+        let g = tiny_graph();
+        let exec = ExecutionCostMatrix::homogeneous(&g, 3);
+        let topo = ring(4).unwrap();
+        let comm = CommCostModel::homogeneous(&topo);
+        let _ = HeterogeneousSystem::new(topo, exec, comm);
+    }
+
+    #[test]
+    fn best_serial_length_picks_the_fastest_processor() {
+        let g = tiny_graph();
+        let exec = ExecutionCostMatrix::from_rows(&[vec![10.0, 2.0], vec![20.0, 30.0]]);
+        let topo = ring(2).unwrap();
+        let comm = CommCostModel::homogeneous(&topo);
+        let sys = HeterogeneousSystem::new(topo, exec, comm);
+        // P0: 30, P1: 32 -> best is 30.
+        assert_eq!(sys.best_serial_length(&g), 30.0);
+    }
+}

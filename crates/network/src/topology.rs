@@ -1,0 +1,443 @@
+//! Processors, links and the network topology graph.
+
+use crate::ids::{LinkId, ProcId};
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+use std::fmt;
+
+/// A processing element of the heterogeneous system.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Processor {
+    /// Dense identifier.
+    pub id: ProcId,
+    /// Human-readable name (e.g. `"P1"`).
+    pub name: String,
+}
+
+/// How a link arbitrates simultaneous transfers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LinkMode {
+    /// One message at a time regardless of direction (the paper's model; default).
+    HalfDuplex,
+    /// One message per direction at a time.
+    FullDuplex,
+}
+
+impl Default for LinkMode {
+    fn default() -> Self {
+        LinkMode::HalfDuplex
+    }
+}
+
+/// An undirected point-to-point communication link between two processors.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Link {
+    /// Dense identifier.
+    pub id: LinkId,
+    /// One endpoint (always the smaller processor id).
+    pub a: ProcId,
+    /// The other endpoint (always the larger processor id).
+    pub b: ProcId,
+}
+
+impl Link {
+    /// Given one endpoint, returns the other; `None` if `p` is not an endpoint.
+    pub fn other_end(&self, p: ProcId) -> Option<ProcId> {
+        if p == self.a {
+            Some(self.b)
+        } else if p == self.b {
+            Some(self.a)
+        } else {
+            None
+        }
+    }
+
+    /// Returns `true` if `p` is one of the two endpoints.
+    pub fn touches(&self, p: ProcId) -> bool {
+        self.a == p || self.b == p
+    }
+}
+
+/// Errors reported while building a topology.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TopologyError {
+    /// A link endpoint refers to a processor that has not been added.
+    UnknownProcessor(ProcId),
+    /// The same pair of processors was linked twice.
+    DuplicateLink(ProcId, ProcId),
+    /// A link connects a processor to itself.
+    SelfLink(ProcId),
+    /// The topology has no processors.
+    Empty,
+    /// The topology is not connected (some processor pairs cannot communicate).
+    Disconnected,
+}
+
+impl fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopologyError::UnknownProcessor(p) => write!(f, "unknown processor {p}"),
+            TopologyError::DuplicateLink(a, b) => write!(f, "duplicate link {a} -- {b}"),
+            TopologyError::SelfLink(p) => write!(f, "self link on {p}"),
+            TopologyError::Empty => write!(f, "topology has no processors"),
+            TopologyError::Disconnected => write!(f, "topology is not connected"),
+        }
+    }
+}
+
+impl std::error::Error for TopologyError {}
+
+/// An undirected network of processors and links.
+///
+/// The topology may be arbitrary; the only validated invariants are: no self-links, no
+/// duplicate links, and (optionally, see [`Topology::ensure_connected`]) connectivity.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Topology {
+    name: String,
+    processors: Vec<Processor>,
+    links: Vec<Link>,
+    /// `adjacency[p]` = list of (neighbor processor, connecting link).
+    adjacency: Vec<Vec<(ProcId, LinkId)>>,
+    link_mode: LinkMode,
+}
+
+impl Topology {
+    /// Builds a topology from a processor count and a list of undirected links given as
+    /// processor-index pairs.
+    pub fn new(
+        name: impl Into<String>,
+        num_processors: usize,
+        link_pairs: &[(usize, usize)],
+    ) -> Result<Self, TopologyError> {
+        if num_processors == 0 {
+            return Err(TopologyError::Empty);
+        }
+        let processors: Vec<Processor> = (0..num_processors)
+            .map(|i| Processor {
+                id: ProcId::from_index(i),
+                name: format!("P{}", i + 1),
+            })
+            .collect();
+        let mut links = Vec::with_capacity(link_pairs.len());
+        let mut seen: HashSet<(usize, usize)> = HashSet::with_capacity(link_pairs.len());
+        let mut adjacency: Vec<Vec<(ProcId, LinkId)>> = vec![Vec::new(); num_processors];
+        for &(x, y) in link_pairs {
+            if x >= num_processors {
+                return Err(TopologyError::UnknownProcessor(ProcId::from_index(x)));
+            }
+            if y >= num_processors {
+                return Err(TopologyError::UnknownProcessor(ProcId::from_index(y)));
+            }
+            if x == y {
+                return Err(TopologyError::SelfLink(ProcId::from_index(x)));
+            }
+            let key = (x.min(y), x.max(y));
+            if !seen.insert(key) {
+                return Err(TopologyError::DuplicateLink(
+                    ProcId::from_index(key.0),
+                    ProcId::from_index(key.1),
+                ));
+            }
+            let id = LinkId::from_index(links.len());
+            let a = ProcId::from_index(key.0);
+            let b = ProcId::from_index(key.1);
+            links.push(Link { id, a, b });
+            adjacency[a.index()].push((b, id));
+            adjacency[b.index()].push((a, id));
+        }
+        // Deterministic neighbor iteration order.
+        for adj in &mut adjacency {
+            adj.sort_by_key(|(p, _)| *p);
+        }
+        Ok(Topology {
+            name: name.into(),
+            processors,
+            links,
+            adjacency,
+            link_mode: LinkMode::HalfDuplex,
+        })
+    }
+
+    /// Human-readable topology name (e.g. `"ring-16"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Sets the link arbitration mode (builder style).
+    pub fn with_link_mode(mut self, mode: LinkMode) -> Self {
+        self.link_mode = mode;
+        self
+    }
+
+    /// The link arbitration mode.
+    pub fn link_mode(&self) -> LinkMode {
+        self.link_mode
+    }
+
+    /// Number of processors.
+    #[inline]
+    pub fn num_processors(&self) -> usize {
+        self.processors.len()
+    }
+
+    /// Number of undirected links.
+    #[inline]
+    pub fn num_links(&self) -> usize {
+        self.links.len()
+    }
+
+    /// The processor with the given id.
+    #[inline]
+    pub fn processor(&self, p: ProcId) -> &Processor {
+        &self.processors[p.index()]
+    }
+
+    /// The link with the given id.
+    #[inline]
+    pub fn link(&self, l: LinkId) -> &Link {
+        &self.links[l.index()]
+    }
+
+    /// Iterates all processors in id order.
+    pub fn processors(&self) -> impl Iterator<Item = &Processor> {
+        self.processors.iter()
+    }
+
+    /// Iterates all processor ids in id order.
+    pub fn proc_ids(&self) -> impl Iterator<Item = ProcId> + '_ {
+        (0..self.processors.len()).map(ProcId::from_index)
+    }
+
+    /// Iterates all links in id order.
+    pub fn links(&self) -> impl Iterator<Item = &Link> {
+        self.links.iter()
+    }
+
+    /// Iterates all link ids in id order.
+    pub fn link_ids(&self) -> impl Iterator<Item = LinkId> + '_ {
+        (0..self.links.len()).map(LinkId::from_index)
+    }
+
+    /// Neighbors of `p` together with the connecting link, in increasing neighbor-id order.
+    #[inline]
+    pub fn neighbors(&self, p: ProcId) -> &[(ProcId, LinkId)] {
+        &self.adjacency[p.index()]
+    }
+
+    /// Degree (number of incident links) of `p`.
+    #[inline]
+    pub fn degree(&self, p: ProcId) -> usize {
+        self.adjacency[p.index()].len()
+    }
+
+    /// Returns the link joining `x` and `y` directly, if any.
+    pub fn link_between(&self, x: ProcId, y: ProcId) -> Option<LinkId> {
+        self.adjacency[x.index()]
+            .iter()
+            .find(|(n, _)| *n == y)
+            .map(|(_, l)| *l)
+    }
+
+    /// Returns `true` if every processor can reach every other processor.
+    pub fn is_connected(&self) -> bool {
+        if self.processors.is_empty() {
+            return true;
+        }
+        let mut seen = vec![false; self.num_processors()];
+        let mut stack = vec![0usize];
+        seen[0] = true;
+        let mut count = 1;
+        while let Some(u) = stack.pop() {
+            for &(v, _) in self.neighbors(ProcId::from_index(u)) {
+                if !seen[v.index()] {
+                    seen[v.index()] = true;
+                    count += 1;
+                    stack.push(v.index());
+                }
+            }
+        }
+        count == self.num_processors()
+    }
+
+    /// Errors with [`TopologyError::Disconnected`] unless the topology is connected.
+    pub fn ensure_connected(self) -> Result<Self, TopologyError> {
+        if self.is_connected() {
+            Ok(self)
+        } else {
+            Err(TopologyError::Disconnected)
+        }
+    }
+
+    /// Breadth-first order of the processors starting from `start` (the paper's
+    /// `BuildProcessorList` procedure).  Neighbors are visited in increasing id order so
+    /// the result is deterministic.
+    pub fn bfs_order(&self, start: ProcId) -> Vec<ProcId> {
+        let mut order = Vec::with_capacity(self.num_processors());
+        let mut seen = vec![false; self.num_processors()];
+        let mut queue = std::collections::VecDeque::new();
+        queue.push_back(start);
+        seen[start.index()] = true;
+        while let Some(u) = queue.pop_front() {
+            order.push(u);
+            for &(v, _) in self.neighbors(u) {
+                if !seen[v.index()] {
+                    seen[v.index()] = true;
+                    queue.push_back(v);
+                }
+            }
+        }
+        // Disconnected processors (if connectivity was not enforced) are appended in id
+        // order so every processor still becomes a pivot exactly once.
+        for p in self.proc_ids() {
+            if !seen[p.index()] {
+                order.push(p);
+            }
+        }
+        order
+    }
+
+    /// Average processor degree.
+    pub fn average_degree(&self) -> f64 {
+        if self.processors.is_empty() {
+            0.0
+        } else {
+            2.0 * self.num_links() as f64 / self.num_processors() as f64
+        }
+    }
+
+    /// Network diameter in hops (longest shortest path); `usize::MAX` if disconnected.
+    pub fn diameter(&self) -> usize {
+        let n = self.num_processors();
+        let mut diameter = 0usize;
+        for s in 0..n {
+            // BFS from s.
+            let mut dist = vec![usize::MAX; n];
+            dist[s] = 0;
+            let mut q = std::collections::VecDeque::new();
+            q.push_back(s);
+            while let Some(u) = q.pop_front() {
+                for &(v, _) in self.neighbors(ProcId::from_index(u)) {
+                    if dist[v.index()] == usize::MAX {
+                        dist[v.index()] = dist[u] + 1;
+                        q.push_back(v.index());
+                    }
+                }
+            }
+            for &d in &dist {
+                if d == usize::MAX {
+                    return usize::MAX;
+                }
+                diameter = diameter.max(d);
+            }
+        }
+        diameter
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn square() -> Topology {
+        // 0 - 1
+        // |   |
+        // 3 - 2
+        Topology::new("square", 4, &[(0, 1), (1, 2), (2, 3), (3, 0)]).unwrap()
+    }
+
+    #[test]
+    fn builds_a_square_ring() {
+        let t = square();
+        assert_eq!(t.num_processors(), 4);
+        assert_eq!(t.num_links(), 4);
+        assert!(t.is_connected());
+        assert_eq!(t.degree(ProcId(0)), 2);
+        assert_eq!(t.average_degree(), 2.0);
+        assert_eq!(t.diameter(), 2);
+        assert_eq!(t.link_mode(), LinkMode::HalfDuplex);
+    }
+
+    #[test]
+    fn link_between_and_other_end() {
+        let t = square();
+        let l = t.link_between(ProcId(0), ProcId(1)).unwrap();
+        assert_eq!(t.link(l).other_end(ProcId(0)), Some(ProcId(1)));
+        assert_eq!(t.link(l).other_end(ProcId(1)), Some(ProcId(0)));
+        assert_eq!(t.link(l).other_end(ProcId(2)), None);
+        assert!(t.link(l).touches(ProcId(0)));
+        assert!(!t.link(l).touches(ProcId(3)));
+        assert!(t.link_between(ProcId(0), ProcId(2)).is_none());
+        // symmetric lookup
+        assert_eq!(
+            t.link_between(ProcId(1), ProcId(0)),
+            t.link_between(ProcId(0), ProcId(1))
+        );
+    }
+
+    #[test]
+    fn rejects_bad_links() {
+        assert_eq!(
+            Topology::new("x", 2, &[(0, 0)]).unwrap_err(),
+            TopologyError::SelfLink(ProcId(0))
+        );
+        assert_eq!(
+            Topology::new("x", 2, &[(0, 1), (1, 0)]).unwrap_err(),
+            TopologyError::DuplicateLink(ProcId(0), ProcId(1))
+        );
+        assert_eq!(
+            Topology::new("x", 2, &[(0, 5)]).unwrap_err(),
+            TopologyError::UnknownProcessor(ProcId(5))
+        );
+        assert_eq!(Topology::new("x", 0, &[]).unwrap_err(), TopologyError::Empty);
+    }
+
+    #[test]
+    fn connectivity_check() {
+        let t = Topology::new("pair", 3, &[(0, 1)]).unwrap();
+        assert!(!t.is_connected());
+        assert_eq!(
+            t.ensure_connected().unwrap_err(),
+            TopologyError::Disconnected
+        );
+        assert!(square().ensure_connected().is_ok());
+    }
+
+    #[test]
+    fn bfs_order_visits_every_processor_once_breadth_first() {
+        let t = square();
+        let order = t.bfs_order(ProcId(2));
+        assert_eq!(order.len(), 4);
+        assert_eq!(order[0], ProcId(2));
+        // neighbors of 2 are {1, 3}; visited in id order.
+        assert_eq!(order[1], ProcId(1));
+        assert_eq!(order[2], ProcId(3));
+        assert_eq!(order[3], ProcId(0));
+    }
+
+    #[test]
+    fn bfs_order_appends_disconnected_processors() {
+        let t = Topology::new("pair", 3, &[(0, 1)]).unwrap();
+        let order = t.bfs_order(ProcId(0));
+        assert_eq!(order, vec![ProcId(0), ProcId(1), ProcId(2)]);
+    }
+
+    #[test]
+    fn diameter_of_disconnected_topology_is_max() {
+        let t = Topology::new("pair", 3, &[(0, 1)]).unwrap();
+        assert_eq!(t.diameter(), usize::MAX);
+    }
+
+    #[test]
+    fn full_duplex_mode_can_be_selected() {
+        let t = square().with_link_mode(LinkMode::FullDuplex);
+        assert_eq!(t.link_mode(), LinkMode::FullDuplex);
+    }
+
+    #[test]
+    fn single_processor_topology_is_valid() {
+        let t = Topology::new("solo", 1, &[]).unwrap();
+        assert!(t.is_connected());
+        assert_eq!(t.diameter(), 0);
+        assert_eq!(t.bfs_order(ProcId(0)), vec![ProcId(0)]);
+    }
+}

@@ -1,0 +1,453 @@
+//! Mutable working representation used by the scheduling algorithms.
+//!
+//! A [`ScheduleBuilder`] tracks, for one task graph and one heterogeneous system:
+//!
+//! * the processor assignment and execution window of every placed task;
+//! * the per-processor busy timelines (for gap search / insertion scheduling);
+//! * the link route (sequence of [`MessageHop`]s) of every inter-processor message;
+//! * the per-link busy timelines.
+//!
+//! Algorithms query the timelines with [`ScheduleBuilder::earliest_proc_slot`] /
+//! [`ScheduleBuilder::earliest_link_slot`], commit decisions with
+//! [`ScheduleBuilder::place_task`] / [`ScheduleBuilder::set_route`], undo them with
+//! [`ScheduleBuilder::unplace_task`] / [`ScheduleBuilder::clear_route`], and can ask for a
+//! global re-timing that preserves every ordering decision with
+//! [`ScheduleBuilder::recompute_times`] (the "bubble up" compaction BSA relies on).
+
+use crate::recompute::{recompute, RecomputeError};
+use crate::schedule::{MessageHop, MessageRoute, Schedule, TaskPlacement};
+use crate::timeline::Timeline;
+use crate::ScheduleError;
+use bsa_network::{HeterogeneousSystem, LinkId, ProcId};
+use bsa_taskgraph::{EdgeId, TaskGraph, TaskId};
+
+/// Mutable schedule under construction.
+#[derive(Debug, Clone)]
+pub struct ScheduleBuilder<'a> {
+    pub(crate) graph: &'a TaskGraph,
+    pub(crate) system: &'a HeterogeneousSystem,
+    pub(crate) assignment: Vec<Option<ProcId>>,
+    pub(crate) task_start: Vec<f64>,
+    pub(crate) task_finish: Vec<f64>,
+    pub(crate) proc_timelines: Vec<Timeline<TaskId>>,
+    /// Route of every edge; empty = local (or not yet routed).
+    pub(crate) routes: Vec<Vec<MessageHop>>,
+    /// Busy intervals of every link; payload = (edge, hop index within the edge's route).
+    pub(crate) link_timelines: Vec<Timeline<(EdgeId, u32)>>,
+}
+
+impl<'a> ScheduleBuilder<'a> {
+    /// Creates an empty builder for `graph` on `system`.
+    pub fn new(
+        graph: &'a TaskGraph,
+        system: &'a HeterogeneousSystem,
+    ) -> Result<Self, ScheduleError> {
+        system
+            .validate_for(graph)
+            .map_err(ScheduleError::Mismatch)?;
+        Ok(ScheduleBuilder {
+            graph,
+            system,
+            assignment: vec![None; graph.num_tasks()],
+            task_start: vec![0.0; graph.num_tasks()],
+            task_finish: vec![0.0; graph.num_tasks()],
+            proc_timelines: vec![Timeline::new(); system.num_processors()],
+            routes: vec![Vec::new(); graph.num_edges()],
+            link_timelines: vec![Timeline::new(); system.num_links()],
+        })
+    }
+
+    /// The task graph being scheduled.
+    pub fn graph(&self) -> &'a TaskGraph {
+        self.graph
+    }
+
+    /// The target system.
+    pub fn system(&self) -> &'a HeterogeneousSystem {
+        self.system
+    }
+
+    // ------------------------------------------------------------------ queries
+
+    /// Whether task `t` has been placed.
+    pub fn is_placed(&self, t: TaskId) -> bool {
+        self.assignment[t.index()].is_some()
+    }
+
+    /// Whether every task has been placed.
+    pub fn all_placed(&self) -> bool {
+        self.assignment.iter().all(Option::is_some)
+    }
+
+    /// The processor of task `t` (`None` if unplaced).
+    pub fn proc_of(&self, t: TaskId) -> Option<ProcId> {
+        self.assignment[t.index()]
+    }
+
+    /// Start time of task `t` (meaningful only when placed).
+    pub fn start_of(&self, t: TaskId) -> f64 {
+        self.task_start[t.index()]
+    }
+
+    /// Finish time of task `t` (meaningful only when placed).
+    pub fn finish_of(&self, t: TaskId) -> f64 {
+        self.task_finish[t.index()]
+    }
+
+    /// Actual execution cost of `t` on `p`.
+    pub fn exec_cost(&self, t: TaskId, p: ProcId) -> f64 {
+        self.system.exec_cost(t, p)
+    }
+
+    /// Actual transfer time of edge `e` over link `l`.
+    pub fn transfer_time(&self, l: LinkId, e: EdgeId) -> f64 {
+        self.system
+            .transfer_time(l, self.graph.edge(e).nominal_cost)
+    }
+
+    /// The busy timeline of processor `p`.
+    pub fn proc_timeline(&self, p: ProcId) -> &Timeline<TaskId> {
+        &self.proc_timelines[p.index()]
+    }
+
+    /// The busy timeline of link `l`.
+    pub fn link_timeline(&self, l: LinkId) -> &Timeline<(EdgeId, u32)> {
+        &self.link_timelines[l.index()]
+    }
+
+    /// Tasks currently placed on `p`, in start-time order.
+    pub fn tasks_on(&self, p: ProcId) -> Vec<TaskId> {
+        self.proc_timelines[p.index()].payloads().collect()
+    }
+
+    /// The current route of edge `e` (empty = local / unrouted).
+    pub fn route(&self, e: EdgeId) -> &[MessageHop] {
+        &self.routes[e.index()]
+    }
+
+    /// Earliest start ≥ `ready` at which a task of length `duration` fits on `p`
+    /// (insertion scheduling).
+    pub fn earliest_proc_slot(&self, p: ProcId, ready: f64, duration: f64) -> f64 {
+        self.proc_timelines[p.index()].earliest_gap(ready, duration)
+    }
+
+    /// Earliest start ≥ `ready` at which the last task of `p` would allow appending
+    /// (non-insertion scheduling).
+    pub fn earliest_proc_append(&self, p: ProcId, ready: f64) -> f64 {
+        self.proc_timelines[p.index()].earliest_append(ready)
+    }
+
+    /// Earliest start ≥ `ready` at which a transmission of length `duration` fits on `l`.
+    pub fn earliest_link_slot(&self, l: LinkId, ready: f64, duration: f64) -> f64 {
+        self.link_timelines[l.index()].earliest_gap(ready, duration)
+    }
+
+    /// Current makespan (max finish over placed tasks).
+    pub fn schedule_length(&self) -> f64 {
+        self.graph
+            .task_ids()
+            .filter(|&t| self.is_placed(t))
+            .map(|t| self.finish_of(t))
+            .fold(0.0f64, f64::max)
+    }
+
+    /// Data-ready time of a *placed* task under the current routes: the latest arrival of
+    /// its incoming messages, together with the predecessor responsible for it (the
+    /// paper's VIP — very important predecessor).
+    ///
+    /// Local messages arrive when their producer finishes; remote messages arrive when the
+    /// last hop of their route completes.  Returns `(0.0, None)` for entry tasks.
+    pub fn current_drt(&self, t: TaskId) -> (f64, Option<TaskId>) {
+        let mut best = f64::NEG_INFINITY;
+        let mut vip = None;
+        let mut drt = 0.0f64;
+        for &eid in self.graph.in_edges(t) {
+            let e = self.graph.edge(eid);
+            let arrival = match self.routes[eid.index()].last() {
+                Some(hop) => hop.finish,
+                None => self.task_finish[e.src.index()],
+            };
+            drt = drt.max(arrival);
+            if arrival > best {
+                best = arrival;
+                vip = Some(e.src);
+            }
+        }
+        (drt, vip)
+    }
+
+    // ---------------------------------------------------------------- mutations
+
+    /// Places task `t` on processor `p` starting at `start`; the finish time is derived
+    /// from the actual execution cost.
+    ///
+    /// # Panics
+    /// Panics if the task is already placed, or (in debug builds) if the execution window
+    /// overlaps an existing task on `p`.
+    pub fn place_task(&mut self, t: TaskId, p: ProcId, start: f64) {
+        assert!(
+            self.assignment[t.index()].is_none(),
+            "task {t} is already placed; unplace it first"
+        );
+        let duration = self.exec_cost(t, p);
+        self.assignment[t.index()] = Some(p);
+        self.task_start[t.index()] = start;
+        self.task_finish[t.index()] = start + duration;
+        self.proc_timelines[p.index()].insert(start, duration, t);
+    }
+
+    /// Removes task `t` from its processor timeline and marks it unplaced.
+    ///
+    /// The task's message routes are *not* touched; callers usually clear or reroute the
+    /// affected edges right after.
+    pub fn unplace_task(&mut self, t: TaskId) {
+        if let Some(p) = self.assignment[t.index()].take() {
+            self.proc_timelines[p.index()].remove_where(|iv| iv.payload == t);
+        }
+    }
+
+    /// Replaces the route of edge `e` with `hops`, updating the link timelines.
+    ///
+    /// Passing an empty vector makes the message local.
+    pub fn set_route(&mut self, e: EdgeId, hops: Vec<MessageHop>) {
+        self.clear_route(e);
+        for (k, hop) in hops.iter().enumerate() {
+            self.link_timelines[hop.link.index()].insert(
+                hop.start,
+                hop.finish - hop.start,
+                (e, k as u32),
+            );
+        }
+        self.routes[e.index()] = hops;
+    }
+
+    /// Removes the route of edge `e` from the link timelines and makes the message local.
+    pub fn clear_route(&mut self, e: EdgeId) {
+        if self.routes[e.index()].is_empty() {
+            return;
+        }
+        for l in 0..self.link_timelines.len() {
+            self.link_timelines[l].remove_all_where(|iv| iv.payload.0 == e);
+        }
+        self.routes[e.index()].clear();
+    }
+
+    /// Recomputes every task and hop time from the current *decisions* (assignments,
+    /// per-processor order, routes, per-link order), compacting any idle gaps while
+    /// preserving all orderings.  See [`crate::recompute`].
+    pub fn recompute_times(&mut self) -> Result<(), RecomputeError> {
+        recompute(self)
+    }
+
+    /// Finalizes the builder into an immutable [`Schedule`].
+    ///
+    /// Fails if some task is unplaced or some inter-processor edge lacks a route.
+    pub fn build(self, algorithm: impl Into<String>) -> Result<Schedule, ScheduleError> {
+        let mut placements = Vec::with_capacity(self.graph.num_tasks());
+        for t in self.graph.task_ids() {
+            let proc = self.assignment[t.index()].ok_or_else(|| {
+                ScheduleError::Internal(format!("task {t} was never placed"))
+            })?;
+            placements.push(TaskPlacement {
+                task: t,
+                proc,
+                start: self.task_start[t.index()],
+                finish: self.task_finish[t.index()],
+            });
+        }
+        let mut routes = Vec::with_capacity(self.graph.num_edges());
+        for e in self.graph.edge_ids() {
+            let edge = self.graph.edge(e);
+            let src_p = placements[edge.src.index()].proc;
+            let dst_p = placements[edge.dst.index()].proc;
+            let hops = &self.routes[e.index()];
+            if src_p != dst_p && hops.is_empty() {
+                return Err(ScheduleError::Internal(format!(
+                    "edge {e} crosses processors {src_p} -> {dst_p} but has no route"
+                )));
+            }
+            routes.push(MessageRoute {
+                edge: e,
+                hops: hops.clone(),
+            });
+        }
+        Ok(Schedule::new(
+            algorithm,
+            placements,
+            routes,
+            self.system.num_processors(),
+            self.system.num_links(),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bsa_network::builders::ring;
+    use bsa_network::HeterogeneousSystem;
+    use bsa_taskgraph::TaskGraphBuilder;
+
+    fn chain_graph() -> TaskGraph {
+        let mut b = TaskGraphBuilder::new();
+        let t0 = b.add_task("T0", 10.0);
+        let t1 = b.add_task("T1", 20.0);
+        let t2 = b.add_task("T2", 30.0);
+        b.add_edge(t0, t1, 5.0).unwrap();
+        b.add_edge(t1, t2, 5.0).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn place_and_query_tasks() {
+        let g = chain_graph();
+        let sys = HeterogeneousSystem::homogeneous(&g, ring(3).unwrap());
+        let mut b = ScheduleBuilder::new(&g, &sys).unwrap();
+        assert!(!b.is_placed(TaskId(0)));
+        b.place_task(TaskId(0), ProcId(0), 0.0);
+        b.place_task(TaskId(1), ProcId(0), 10.0);
+        assert!(b.is_placed(TaskId(0)));
+        assert_eq!(b.proc_of(TaskId(1)), Some(ProcId(0)));
+        assert_eq!(b.finish_of(TaskId(1)), 30.0);
+        assert_eq!(b.tasks_on(ProcId(0)), vec![TaskId(0), TaskId(1)]);
+        assert_eq!(b.schedule_length(), 30.0);
+        assert!(!b.all_placed());
+        b.place_task(TaskId(2), ProcId(1), 35.0);
+        assert!(b.all_placed());
+    }
+
+    #[test]
+    fn unplace_frees_the_slot() {
+        let g = chain_graph();
+        let sys = HeterogeneousSystem::homogeneous(&g, ring(3).unwrap());
+        let mut b = ScheduleBuilder::new(&g, &sys).unwrap();
+        b.place_task(TaskId(0), ProcId(0), 0.0);
+        assert_eq!(b.earliest_proc_slot(ProcId(0), 0.0, 10.0), 10.0);
+        b.unplace_task(TaskId(0));
+        assert!(!b.is_placed(TaskId(0)));
+        assert_eq!(b.earliest_proc_slot(ProcId(0), 0.0, 10.0), 0.0);
+    }
+
+    #[test]
+    fn routes_update_link_timelines() {
+        let g = chain_graph();
+        let sys = HeterogeneousSystem::homogeneous(&g, ring(3).unwrap());
+        let mut b = ScheduleBuilder::new(&g, &sys).unwrap();
+        let hop = MessageHop {
+            link: LinkId(0),
+            from: ProcId(0),
+            to: ProcId(1),
+            start: 10.0,
+            finish: 15.0,
+        };
+        b.set_route(EdgeId(0), vec![hop]);
+        assert_eq!(b.route(EdgeId(0)).len(), 1);
+        assert_eq!(b.link_timeline(LinkId(0)).len(), 1);
+        assert_eq!(b.earliest_link_slot(LinkId(0), 10.0, 5.0), 15.0);
+        b.clear_route(EdgeId(0));
+        assert!(b.route(EdgeId(0)).is_empty());
+        assert!(b.link_timeline(LinkId(0)).is_empty());
+    }
+
+    #[test]
+    fn replacing_a_route_removes_the_old_hops() {
+        let g = chain_graph();
+        let sys = HeterogeneousSystem::homogeneous(&g, ring(3).unwrap());
+        let mut b = ScheduleBuilder::new(&g, &sys).unwrap();
+        let hop_a = MessageHop {
+            link: LinkId(0),
+            from: ProcId(0),
+            to: ProcId(1),
+            start: 0.0,
+            finish: 5.0,
+        };
+        let hop_b = MessageHop {
+            link: LinkId(1),
+            from: ProcId(1),
+            to: ProcId(2),
+            start: 7.0,
+            finish: 12.0,
+        };
+        b.set_route(EdgeId(0), vec![hop_a]);
+        b.set_route(EdgeId(0), vec![hop_b]);
+        assert!(b.link_timeline(LinkId(0)).is_empty());
+        assert_eq!(b.link_timeline(LinkId(1)).len(), 1);
+    }
+
+    #[test]
+    fn current_drt_identifies_the_vip() {
+        let g = {
+            // Two predecessors feeding T2.
+            let mut b = TaskGraphBuilder::new();
+            let a = b.add_task("A", 10.0);
+            let c = b.add_task("B", 10.0);
+            let d = b.add_task("C", 10.0);
+            b.add_edge(a, d, 1.0).unwrap();
+            b.add_edge(c, d, 1.0).unwrap();
+            b.build().unwrap()
+        };
+        let sys = HeterogeneousSystem::homogeneous(&g, ring(3).unwrap());
+        let mut b = ScheduleBuilder::new(&g, &sys).unwrap();
+        b.place_task(TaskId(0), ProcId(0), 0.0); // finishes at 10
+        b.place_task(TaskId(1), ProcId(0), 10.0); // finishes at 20
+        b.place_task(TaskId(2), ProcId(0), 20.0);
+        let (drt, vip) = b.current_drt(TaskId(2));
+        assert_eq!(drt, 20.0);
+        assert_eq!(vip, Some(TaskId(1)));
+        // Entry task has no VIP.
+        assert_eq!(b.current_drt(TaskId(0)), (0.0, None));
+        // A routed message overrides the local arrival.
+        b.set_route(
+            EdgeId(0),
+            vec![MessageHop {
+                link: LinkId(0),
+                from: ProcId(0),
+                to: ProcId(1),
+                start: 10.0,
+                finish: 45.0,
+            }],
+        );
+        let (drt, vip) = b.current_drt(TaskId(2));
+        assert_eq!(drt, 45.0);
+        assert_eq!(vip, Some(TaskId(0)));
+    }
+
+    #[test]
+    fn build_requires_all_tasks_placed_and_routes_for_remote_edges() {
+        let g = chain_graph();
+        let sys = HeterogeneousSystem::homogeneous(&g, ring(3).unwrap());
+        let b = ScheduleBuilder::new(&g, &sys).unwrap();
+        assert!(matches!(
+            b.clone().build("x"),
+            Err(ScheduleError::Internal(_))
+        ));
+        let mut b2 = ScheduleBuilder::new(&g, &sys).unwrap();
+        b2.place_task(TaskId(0), ProcId(0), 0.0);
+        b2.place_task(TaskId(1), ProcId(1), 20.0);
+        b2.place_task(TaskId(2), ProcId(1), 40.0);
+        // Edge 0 crosses P0 -> P1 without a route: must fail.
+        assert!(matches!(b2.clone().build("x"), Err(ScheduleError::Internal(_))));
+        b2.set_route(
+            EdgeId(0),
+            vec![MessageHop {
+                link: LinkId(0),
+                from: ProcId(0),
+                to: ProcId(1),
+                start: 10.0,
+                finish: 15.0,
+            }],
+        );
+        let s = b2.build("x").unwrap();
+        assert_eq!(s.schedule_length(), 70.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "already placed")]
+    fn double_placement_panics() {
+        let g = chain_graph();
+        let sys = HeterogeneousSystem::homogeneous(&g, ring(3).unwrap());
+        let mut b = ScheduleBuilder::new(&g, &sys).unwrap();
+        b.place_task(TaskId(0), ProcId(0), 0.0);
+        b.place_task(TaskId(0), ProcId(1), 0.0);
+    }
+}

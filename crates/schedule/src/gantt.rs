@@ -1,0 +1,181 @@
+//! ASCII Gantt-chart rendering of schedules (processors and links), in the spirit of the
+//! paper's Figure 2.
+
+use crate::schedule::Schedule;
+use bsa_network::Topology;
+use bsa_taskgraph::TaskGraph;
+
+/// Options controlling the rendering.
+#[derive(Debug, Clone)]
+pub struct GanttOptions {
+    /// Total character width of the time axis.
+    pub width: usize,
+    /// Whether to render one row per link in addition to the processor rows.
+    pub show_links: bool,
+}
+
+impl Default for GanttOptions {
+    fn default() -> Self {
+        GanttOptions {
+            width: 72,
+            show_links: true,
+        }
+    }
+}
+
+/// Renders a textual Gantt chart of `schedule`.
+pub fn render(
+    schedule: &Schedule,
+    graph: &TaskGraph,
+    topology: &Topology,
+    opts: &GanttOptions,
+) -> String {
+    let sl = schedule.schedule_length().max(1e-9);
+    let width = opts.width.max(10);
+    let scale = |t: f64| -> usize { ((t / sl) * (width as f64 - 1.0)).round() as usize };
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "schedule `{}` — length {:.2}, communication {:.2}\n",
+        schedule.algorithm,
+        schedule.schedule_length(),
+        schedule.total_communication_cost()
+    ));
+    out.push_str(&format!("{:<8}|{}|\n", "", "-".repeat(width)));
+
+    for p in topology.proc_ids() {
+        let mut row = vec![' '; width];
+        for pl in schedule.tasks_on(p) {
+            let a = scale(pl.start).min(width - 1);
+            let b = scale(pl.finish).min(width).max(a + 1);
+            let label: Vec<char> = graph.task(pl.task).name.chars().collect();
+            for (i, cell) in row[a..b].iter_mut().enumerate() {
+                *cell = if i < label.len() { label[i] } else { '#' };
+            }
+        }
+        out.push_str(&format!(
+            "{:<8}|{}|\n",
+            topology.processor(p).name,
+            row.iter().collect::<String>()
+        ));
+    }
+
+    if opts.show_links {
+        for l in topology.link_ids() {
+            let hops = schedule.hops_on(l);
+            if hops.is_empty() {
+                continue;
+            }
+            let mut row = vec![' '; width];
+            for (edge, hop) in &hops {
+                let a = scale(hop.start).min(width - 1);
+                let b = scale(hop.finish).min(width).max(a + 1);
+                let e = graph.edge(*edge);
+                let label: Vec<char> =
+                    format!("{}>{}", e.src.0 + 1, e.dst.0 + 1).chars().collect();
+                for (i, cell) in row[a..b].iter_mut().enumerate() {
+                    *cell = if i < label.len() { label[i] } else { '=' };
+                }
+            }
+            let link = topology.link(l);
+            out.push_str(&format!(
+                "{:<8}|{}|\n",
+                format!("L{}-{}", link.a.0 + 1, link.b.0 + 1),
+                row.iter().collect::<String>()
+            ));
+        }
+    }
+    out.push_str(&format!(
+        "{:<8}0{}{:.1}\n",
+        "",
+        " ".repeat(width.saturating_sub(8)),
+        sl
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::{MessageHop, MessageRoute, TaskPlacement};
+    use bsa_network::builders::ring;
+    use bsa_network::{LinkId, ProcId};
+    use bsa_taskgraph::{EdgeId, TaskGraphBuilder, TaskId};
+
+    #[test]
+    fn renders_processors_links_and_header() {
+        let mut b = TaskGraphBuilder::new();
+        let a = b.add_task("A", 10.0);
+        let c = b.add_task("B", 10.0);
+        b.add_edge(a, c, 4.0).unwrap();
+        let g = b.build().unwrap();
+        let topo = ring(3).unwrap();
+        let s = Schedule::new(
+            "demo",
+            vec![
+                TaskPlacement {
+                    task: TaskId(0),
+                    proc: ProcId(0),
+                    start: 0.0,
+                    finish: 10.0,
+                },
+                TaskPlacement {
+                    task: TaskId(1),
+                    proc: ProcId(1),
+                    start: 14.0,
+                    finish: 24.0,
+                },
+            ],
+            vec![MessageRoute {
+                edge: EdgeId(0),
+                hops: vec![MessageHop {
+                    link: LinkId(0),
+                    from: ProcId(0),
+                    to: ProcId(1),
+                    start: 10.0,
+                    finish: 14.0,
+                }],
+            }],
+            3,
+            3,
+        );
+        let text = render(&s, &g, &topo, &GanttOptions::default());
+        assert!(text.contains("schedule `demo`"));
+        assert!(text.contains("P1"));
+        assert!(text.contains("P2"));
+        assert!(text.contains("L1-2"));
+        assert!(text.contains('A'));
+        // Idle links are not rendered.
+        assert!(!text.contains("L2-3"));
+    }
+
+    #[test]
+    fn render_handles_degenerate_width() {
+        let mut b = TaskGraphBuilder::new();
+        b.add_task("A", 10.0);
+        let g = b.build().unwrap();
+        let topo = ring(1).unwrap();
+        let s = Schedule::new(
+            "x",
+            vec![TaskPlacement {
+                task: TaskId(0),
+                proc: ProcId(0),
+                start: 0.0,
+                finish: 10.0,
+            }],
+            vec![],
+            1,
+            0,
+        );
+        let text = render(
+            &s,
+            &g,
+            &topo,
+            &GanttOptions {
+                width: 1,
+                show_links: false,
+            },
+        );
+        assert!(text.contains("P1"));
+    }
+}

@@ -1,0 +1,80 @@
+//! # bsa-schedule
+//!
+//! Schedule representation and bookkeeping shared by every scheduling algorithm in the
+//! BSA reproduction (BSA itself, DLS, HEFT variants, …).
+//!
+//! The central idea (see DESIGN.md §6) is the separation of **decisions** from **times**:
+//!
+//! * decisions — which processor runs each task, in which order the tasks of a processor
+//!   execute, which link route every inter-processor message takes, and in which order the
+//!   messages of a link are transmitted;
+//! * times — the start/finish instants of every task and of every message hop.
+//!
+//! Algorithms manipulate a [`ScheduleBuilder`], which stores both, offers gap-search
+//! ("insertion scheduling") helpers on processor and link timelines, and can **recompute**
+//! all times from the decisions alone ([`ScheduleBuilder::recompute_times`]) — the
+//! operation BSA uses to let tasks "bubble up" after a migration frees a slot.  The
+//! finished, immutable [`Schedule`] can then be *validated* against the full contention
+//! model ([`validate::validate`]) and summarised ([`metrics::ScheduleMetrics`]).
+//!
+//! The crate also defines the [`Scheduler`] trait implemented by every algorithm crate.
+
+pub mod builder;
+pub mod gantt;
+pub mod metrics;
+pub mod recompute;
+pub mod schedule;
+pub mod timeline;
+pub mod validate;
+
+pub use builder::ScheduleBuilder;
+pub use metrics::ScheduleMetrics;
+pub use recompute::RecomputeError;
+pub use schedule::{MessageHop, MessageRoute, Schedule, TaskPlacement};
+pub use timeline::Timeline;
+pub use validate::{validate, ValidationError};
+
+use bsa_network::HeterogeneousSystem;
+use bsa_taskgraph::TaskGraph;
+
+/// Errors a scheduler may report.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScheduleError {
+    /// The system's cost matrix does not match the task graph.
+    Mismatch(String),
+    /// The algorithm produced internally inconsistent ordering decisions.
+    Internal(String),
+}
+
+impl std::fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScheduleError::Mismatch(m) => write!(f, "graph/system mismatch: {m}"),
+            ScheduleError::Internal(m) => write!(f, "internal scheduling error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ScheduleError {}
+
+/// A static scheduling algorithm mapping a task graph onto a heterogeneous system.
+pub trait Scheduler {
+    /// Short human-readable name ("BSA", "DLS", …) used in reports.
+    fn name(&self) -> &str;
+
+    /// Produces a complete schedule of `graph` on `system`.
+    fn schedule(
+        &self,
+        graph: &TaskGraph,
+        system: &HeterogeneousSystem,
+    ) -> Result<Schedule, ScheduleError>;
+}
+
+/// Convenient glob-import for downstream crates.
+pub mod prelude {
+    pub use crate::builder::ScheduleBuilder;
+    pub use crate::metrics::ScheduleMetrics;
+    pub use crate::schedule::{MessageHop, MessageRoute, Schedule, TaskPlacement};
+    pub use crate::validate::{validate, ValidationError};
+    pub use crate::{ScheduleError, Scheduler};
+}

@@ -1,0 +1,174 @@
+//! Summary metrics of a schedule (schedule length, speedup, utilization, …).
+
+use crate::schedule::Schedule;
+use bsa_network::HeterogeneousSystem;
+use bsa_taskgraph::{GraphLevels, TaskGraph};
+use serde::{Deserialize, Serialize};
+
+/// Aggregate quality metrics of one schedule.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScheduleMetrics {
+    /// Name of the algorithm that produced the schedule.
+    pub algorithm: String,
+    /// Schedule length (makespan) — the paper's primary metric.
+    pub schedule_length: f64,
+    /// Total time links spend transmitting (the paper's "total communication costs").
+    pub total_communication_cost: f64,
+    /// Number of messages that cross at least one link.
+    pub remote_messages: usize,
+    /// Average number of hops over the remote messages (0 if none).
+    pub average_hops: f64,
+    /// Best single-processor serial time divided by the schedule length.
+    pub speedup: f64,
+    /// Speedup divided by the number of processors.
+    pub efficiency: f64,
+    /// Average fraction of the makespan each processor spends computing.
+    pub processor_utilization: f64,
+    /// Average fraction of the makespan each link spends transmitting.
+    pub link_utilization: f64,
+    /// Number of processors that run at least one task.
+    pub processors_used: usize,
+    /// Schedule length divided by the nominal critical-path length (≥ is not guaranteed
+    /// under heterogeneity, but the ratio is a useful normalized quality indicator).
+    pub normalized_length: f64,
+}
+
+impl ScheduleMetrics {
+    /// Computes the metrics of `schedule` for `graph` on `system`.
+    pub fn compute(
+        schedule: &Schedule,
+        graph: &TaskGraph,
+        system: &HeterogeneousSystem,
+    ) -> Self {
+        let sl = schedule.schedule_length();
+        let serial = system.best_serial_length(graph);
+        let m = system.num_processors() as f64;
+        let busy: f64 = schedule
+            .placements()
+            .iter()
+            .map(|p| p.finish - p.start)
+            .sum();
+        let link_busy: f64 = schedule.total_communication_cost();
+        let remote = schedule.num_remote_messages();
+        let total_hops: usize = schedule.routes().iter().map(|r| r.num_hops()).sum();
+        let cp = GraphLevels::nominal(graph).critical_path_length();
+        ScheduleMetrics {
+            algorithm: schedule.algorithm.clone(),
+            schedule_length: sl,
+            total_communication_cost: link_busy,
+            remote_messages: remote,
+            average_hops: if remote > 0 {
+                total_hops as f64 / remote as f64
+            } else {
+                0.0
+            },
+            speedup: if sl > 0.0 { serial / sl } else { 0.0 },
+            efficiency: if sl > 0.0 { serial / sl / m } else { 0.0 },
+            processor_utilization: if sl > 0.0 { busy / (sl * m) } else { 0.0 },
+            link_utilization: if sl > 0.0 && system.num_links() > 0 {
+                link_busy / (sl * system.num_links() as f64)
+            } else {
+                0.0
+            },
+            processors_used: schedule.processors_used(),
+            normalized_length: if cp > 0.0 { sl / cp } else { 0.0 },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::{MessageHop, MessageRoute, TaskPlacement};
+    use bsa_network::builders::ring;
+    use bsa_network::{LinkId, ProcId};
+    use bsa_taskgraph::{EdgeId, TaskGraphBuilder, TaskId};
+
+    #[test]
+    fn metrics_of_a_two_processor_schedule() {
+        let mut b = TaskGraphBuilder::new();
+        let a = b.add_task("A", 10.0);
+        let c = b.add_task("B", 10.0);
+        b.add_edge(a, c, 4.0).unwrap();
+        let g = b.build().unwrap();
+        let sys = bsa_network::HeterogeneousSystem::homogeneous(&g, ring(4).unwrap());
+        let s = Schedule::new(
+            "demo",
+            vec![
+                TaskPlacement {
+                    task: TaskId(0),
+                    proc: ProcId(0),
+                    start: 0.0,
+                    finish: 10.0,
+                },
+                TaskPlacement {
+                    task: TaskId(1),
+                    proc: ProcId(1),
+                    start: 14.0,
+                    finish: 24.0,
+                },
+            ],
+            vec![MessageRoute {
+                edge: EdgeId(0),
+                hops: vec![MessageHop {
+                    link: LinkId(0),
+                    from: ProcId(0),
+                    to: ProcId(1),
+                    start: 10.0,
+                    finish: 14.0,
+                }],
+            }],
+            4,
+            4,
+        );
+        let m = ScheduleMetrics::compute(&s, &g, &sys);
+        assert_eq!(m.schedule_length, 24.0);
+        assert_eq!(m.total_communication_cost, 4.0);
+        assert_eq!(m.remote_messages, 1);
+        assert_eq!(m.average_hops, 1.0);
+        assert!((m.speedup - 20.0 / 24.0).abs() < 1e-12);
+        assert!((m.efficiency - 20.0 / 24.0 / 4.0).abs() < 1e-12);
+        assert!((m.processor_utilization - 20.0 / (24.0 * 4.0)).abs() < 1e-12);
+        assert!((m.link_utilization - 4.0 / (24.0 * 4.0)).abs() < 1e-12);
+        assert_eq!(m.processors_used, 2);
+        assert!((m.normalized_length - 24.0 / 24.0).abs() < 1e-12);
+        assert_eq!(m.algorithm, "demo");
+    }
+
+    #[test]
+    fn metrics_of_an_all_local_schedule_have_no_communication() {
+        let mut b = TaskGraphBuilder::new();
+        let a = b.add_task("A", 10.0);
+        let c = b.add_task("B", 10.0);
+        b.add_edge(a, c, 4.0).unwrap();
+        let g = b.build().unwrap();
+        let sys = bsa_network::HeterogeneousSystem::homogeneous(&g, ring(4).unwrap());
+        let s = Schedule::new(
+            "serial",
+            vec![
+                TaskPlacement {
+                    task: TaskId(0),
+                    proc: ProcId(2),
+                    start: 0.0,
+                    finish: 10.0,
+                },
+                TaskPlacement {
+                    task: TaskId(1),
+                    proc: ProcId(2),
+                    start: 10.0,
+                    finish: 20.0,
+                },
+            ],
+            vec![MessageRoute::local(EdgeId(0))],
+            4,
+            4,
+        );
+        let m = ScheduleMetrics::compute(&s, &g, &sys);
+        assert_eq!(m.total_communication_cost, 0.0);
+        assert_eq!(m.remote_messages, 0);
+        assert_eq!(m.average_hops, 0.0);
+        assert_eq!(m.link_utilization, 0.0);
+        assert_eq!(m.processors_used, 1);
+        assert_eq!(m.speedup, 1.0);
+    }
+}

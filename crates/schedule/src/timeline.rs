@@ -1,0 +1,255 @@
+//! A generic busy-interval timeline with earliest-gap ("insertion") search.
+//!
+//! Both processor timelines (busy with task executions) and link timelines (busy with
+//! message transmissions) are instances of this structure.  Intervals are kept sorted by
+//! start time and are non-overlapping; the search primitives are the ones every
+//! insertion-based list scheduler needs:
+//!
+//! * [`Timeline::earliest_gap`] — the earliest start ≥ `ready` at which an item of length
+//!   `duration` fits without moving anything else;
+//! * [`Timeline::earliest_append`] — the earliest start ≥ max(`ready`, end of last busy
+//!   interval), i.e. non-insertion scheduling.
+
+use serde::{Deserialize, Serialize};
+
+/// Numerical slack used when comparing schedule instants.
+pub const TIME_EPS: f64 = 1e-9;
+
+/// One busy interval tagged with a caller-chosen payload.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Interval<P> {
+    /// Start of the busy interval.
+    pub start: f64,
+    /// End of the busy interval.
+    pub finish: f64,
+    /// Caller payload (task id, message hop, …).
+    pub payload: P,
+}
+
+/// A sorted sequence of non-overlapping busy intervals.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Timeline<P> {
+    intervals: Vec<Interval<P>>,
+}
+
+impl<P> Default for Timeline<P> {
+    fn default() -> Self {
+        Timeline {
+            intervals: Vec::new(),
+        }
+    }
+}
+
+impl<P: Copy> Timeline<P> {
+    /// Creates an empty timeline.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The busy intervals, sorted by start time.
+    pub fn intervals(&self) -> &[Interval<P>] {
+        &self.intervals
+    }
+
+    /// Number of busy intervals.
+    pub fn len(&self) -> usize {
+        self.intervals.len()
+    }
+
+    /// Whether the timeline has no busy intervals.
+    pub fn is_empty(&self) -> bool {
+        self.intervals.is_empty()
+    }
+
+    /// Finish time of the last busy interval (0 if empty).
+    pub fn last_finish(&self) -> f64 {
+        self.intervals.last().map_or(0.0, |i| i.finish)
+    }
+
+    /// Earliest start time `s >= ready` such that `[s, s + duration)` does not overlap any
+    /// busy interval.  The gap between consecutive busy intervals is used if large enough
+    /// ("insertion scheduling"); otherwise the item goes after the last interval.
+    pub fn earliest_gap(&self, ready: f64, duration: f64) -> f64 {
+        let mut candidate = ready;
+        for iv in &self.intervals {
+            if candidate + duration <= iv.start + TIME_EPS {
+                // Fits entirely before this busy interval.
+                return candidate;
+            }
+            if iv.finish > candidate {
+                candidate = iv.finish;
+            }
+        }
+        candidate
+    }
+
+    /// Earliest start time when only appending after every existing interval is allowed.
+    pub fn earliest_append(&self, ready: f64) -> f64 {
+        ready.max(self.last_finish())
+    }
+
+    /// Inserts a busy interval `[start, start + duration)`.
+    ///
+    /// # Panics
+    /// Panics (in debug builds) if the new interval overlaps an existing one by more than
+    /// [`TIME_EPS`]; callers must have obtained `start` from [`Timeline::earliest_gap`] or
+    /// an equivalent conflict-free computation.
+    pub fn insert(&mut self, start: f64, duration: f64, payload: P) {
+        let finish = start + duration;
+        let pos = self
+            .intervals
+            .partition_point(|iv| iv.start < start - TIME_EPS);
+        debug_assert!(
+            pos == 0 || self.intervals[pos - 1].finish <= start + TIME_EPS,
+            "new interval overlaps predecessor"
+        );
+        debug_assert!(
+            pos == self.intervals.len() || finish <= self.intervals[pos].start + TIME_EPS,
+            "new interval overlaps successor"
+        );
+        self.intervals.insert(
+            pos,
+            Interval {
+                start,
+                finish,
+                payload,
+            },
+        );
+    }
+
+    /// Removes the first interval matching `pred`; returns the removed interval.
+    pub fn remove_where<F: FnMut(&Interval<P>) -> bool>(&mut self, mut pred: F) -> Option<Interval<P>> {
+        let pos = self.intervals.iter().position(|iv| pred(iv))?;
+        Some(self.intervals.remove(pos))
+    }
+
+    /// Removes every interval matching `pred`; returns how many were removed.
+    pub fn remove_all_where<F: FnMut(&Interval<P>) -> bool>(&mut self, mut pred: F) -> usize {
+        let before = self.intervals.len();
+        self.intervals.retain(|iv| !pred(iv));
+        before - self.intervals.len()
+    }
+
+    /// Clears all intervals.
+    pub fn clear(&mut self) {
+        self.intervals.clear();
+    }
+
+    /// Total busy time.
+    pub fn busy_time(&self) -> f64 {
+        self.intervals.iter().map(|iv| iv.finish - iv.start).sum()
+    }
+
+    /// Checks the internal invariant: sorted by start and non-overlapping.
+    pub fn is_consistent(&self) -> bool {
+        self.intervals
+            .windows(2)
+            .all(|w| w[0].finish <= w[1].start + TIME_EPS && w[0].start <= w[1].start)
+    }
+
+    /// Iterates payloads in start-time order.
+    pub fn payloads(&self) -> impl Iterator<Item = P> + '_ {
+        self.intervals.iter().map(|iv| iv.payload)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_timeline_basics() {
+        let t: Timeline<u32> = Timeline::new();
+        assert!(t.is_empty());
+        assert_eq!(t.last_finish(), 0.0);
+        assert_eq!(t.earliest_gap(3.0, 5.0), 3.0);
+        assert_eq!(t.earliest_append(3.0), 3.0);
+        assert_eq!(t.busy_time(), 0.0);
+        assert!(t.is_consistent());
+    }
+
+    #[test]
+    fn insert_keeps_sorted_order() {
+        let mut t = Timeline::new();
+        t.insert(10.0, 5.0, 1u32);
+        t.insert(0.0, 5.0, 2);
+        t.insert(5.0, 5.0, 3);
+        assert_eq!(t.len(), 3);
+        let starts: Vec<f64> = t.intervals().iter().map(|iv| iv.start).collect();
+        assert_eq!(starts, vec![0.0, 5.0, 10.0]);
+        assert!(t.is_consistent());
+        assert_eq!(t.busy_time(), 15.0);
+        assert_eq!(t.payloads().collect::<Vec<_>>(), vec![2, 3, 1]);
+    }
+
+    #[test]
+    fn earliest_gap_finds_holes_between_intervals() {
+        let mut t = Timeline::new();
+        t.insert(0.0, 10.0, 'a');
+        t.insert(20.0, 10.0, 'b');
+        t.insert(50.0, 10.0, 'c');
+        // Fits in the [10, 20) hole.
+        assert_eq!(t.earliest_gap(0.0, 10.0), 10.0);
+        assert_eq!(t.earliest_gap(0.0, 5.0), 10.0);
+        // Too big for the first hole, fits in [30, 50).
+        assert_eq!(t.earliest_gap(0.0, 15.0), 30.0);
+        // Too big for every hole: goes after the last interval.
+        assert_eq!(t.earliest_gap(0.0, 25.0), 60.0);
+        // Ready time inside a busy interval.
+        assert_eq!(t.earliest_gap(5.0, 5.0), 10.0);
+        // Ready time inside a hole but the remaining hole is too small.
+        assert_eq!(t.earliest_gap(17.0, 5.0), 30.0);
+        // Exact fit is allowed.
+        assert_eq!(t.earliest_gap(30.0, 20.0), 30.0);
+    }
+
+    #[test]
+    fn earliest_append_ignores_holes() {
+        let mut t = Timeline::new();
+        t.insert(0.0, 10.0, 'a');
+        t.insert(20.0, 10.0, 'b');
+        assert_eq!(t.earliest_append(0.0), 30.0);
+        assert_eq!(t.earliest_append(45.0), 45.0);
+    }
+
+    #[test]
+    fn remove_where_and_remove_all() {
+        let mut t = Timeline::new();
+        t.insert(0.0, 1.0, 1u32);
+        t.insert(2.0, 1.0, 2);
+        t.insert(4.0, 1.0, 1);
+        let removed = t.remove_where(|iv| iv.payload == 1).unwrap();
+        assert_eq!(removed.start, 0.0);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.remove_all_where(|iv| iv.payload == 1), 1);
+        assert_eq!(t.len(), 1);
+        assert!(t.remove_where(|iv| iv.payload == 99).is_none());
+        t.clear();
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn gap_search_result_is_always_insertable() {
+        // Mini property check without proptest: random-ish deterministic sequence.
+        let mut t = Timeline::new();
+        let mut x = 1u64;
+        for i in 0..200 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let ready = (x % 1000) as f64 / 10.0;
+            let duration = ((x >> 10) % 50) as f64 / 10.0 + 0.1;
+            let start = t.earliest_gap(ready, duration);
+            assert!(start >= ready - TIME_EPS);
+            t.insert(start, duration, i);
+            assert!(t.is_consistent(), "timeline inconsistent after insert {i}");
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    #[cfg(debug_assertions)]
+    fn overlapping_insert_panics_in_debug() {
+        let mut t = Timeline::new();
+        t.insert(0.0, 10.0, 1u32);
+        t.insert(5.0, 10.0, 2);
+    }
+}

@@ -1,0 +1,215 @@
+//! Structural and cost statistics of a task graph.
+//!
+//! These statistics drive the workload generators (granularity targeting) and are printed
+//! by the experiment harness so every reported data point is accompanied by the structural
+//! properties of the graphs it averaged over.
+
+use crate::graph::TaskGraph;
+use crate::ids::TaskId;
+use crate::levels::GraphLevels;
+use crate::traversal::TopologicalOrder;
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics of one task graph.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GraphStats {
+    /// Number of tasks.
+    pub num_tasks: usize,
+    /// Number of edges (messages).
+    pub num_edges: usize,
+    /// Number of entry tasks (no predecessors).
+    pub num_sources: usize,
+    /// Number of exit tasks (no successors).
+    pub num_sinks: usize,
+    /// Number of tasks on the longest path counted in hops (graph depth).
+    pub depth: usize,
+    /// Maximum number of mutually independent tasks at the same depth (a cheap width proxy:
+    /// the largest level population of the longest-path layering).
+    pub width: usize,
+    /// Average out-degree.
+    pub avg_out_degree: f64,
+    /// Total nominal execution cost.
+    pub total_execution_cost: f64,
+    /// Total nominal communication cost.
+    pub total_communication_cost: f64,
+    /// Mean nominal execution cost.
+    pub mean_execution_cost: f64,
+    /// Mean nominal communication cost.
+    pub mean_communication_cost: f64,
+    /// Granularity as defined by the paper: mean execution cost / mean communication cost.
+    pub granularity: f64,
+    /// Communication-to-computation ratio (CCR): mean communication / mean execution.
+    pub ccr: f64,
+    /// Critical-path length using nominal costs (execution + communication).
+    pub critical_path_length: f64,
+    /// Critical-path length ignoring communication (the ideal infinite-processor bound).
+    pub computation_critical_path: f64,
+    /// Average parallelism = total execution cost / computation-only CP length.
+    pub average_parallelism: f64,
+}
+
+impl GraphStats {
+    /// Computes the statistics of `graph`.
+    pub fn compute(graph: &TaskGraph) -> Self {
+        let levels = GraphLevels::nominal(graph);
+        let exec: Vec<f64> = graph.tasks().map(|t| t.nominal_cost).collect();
+        let static_levels = GraphLevels::with_costs(graph, &exec, 0.0);
+
+        // Depth/width via hop-count layering.
+        let topo = TopologicalOrder::compute(graph);
+        let n = graph.num_tasks();
+        let mut layer = vec![0usize; n];
+        for t in topo.iter() {
+            let l = graph
+                .predecessors(t)
+                .map(|p| layer[p.index()] + 1)
+                .max()
+                .unwrap_or(0);
+            layer[t.index()] = l;
+        }
+        let depth = layer.iter().copied().max().unwrap_or(0) + 1;
+        let mut layer_pop = vec![0usize; depth];
+        for &l in &layer {
+            layer_pop[l] += 1;
+        }
+        let width = layer_pop.iter().copied().max().unwrap_or(1);
+
+        let mean_exec = graph.mean_execution_cost();
+        let mean_comm = graph.mean_communication_cost();
+        let granularity = if mean_comm > 0.0 {
+            mean_exec / mean_comm
+        } else {
+            f64::INFINITY
+        };
+        let ccr = if mean_exec > 0.0 {
+            mean_comm / mean_exec
+        } else {
+            0.0
+        };
+        let comp_cp = static_levels.critical_path_length();
+        GraphStats {
+            num_tasks: n,
+            num_edges: graph.num_edges(),
+            num_sources: graph.sources().len(),
+            num_sinks: graph.sinks().len(),
+            depth,
+            width,
+            avg_out_degree: graph.num_edges() as f64 / n as f64,
+            total_execution_cost: graph.total_execution_cost(),
+            total_communication_cost: graph.total_communication_cost(),
+            mean_execution_cost: mean_exec,
+            mean_communication_cost: mean_comm,
+            granularity,
+            ccr,
+            critical_path_length: levels.critical_path_length(),
+            computation_critical_path: comp_cp,
+            average_parallelism: if comp_cp > 0.0 {
+                graph.total_execution_cost() / comp_cp
+            } else {
+                0.0
+            },
+        }
+    }
+}
+
+/// Returns the hop-count depth layer of each task (sources are layer 0).
+pub fn layering(graph: &TaskGraph) -> Vec<usize> {
+    let topo = TopologicalOrder::compute(graph);
+    let mut layer = vec![0usize; graph.num_tasks()];
+    for t in topo.iter() {
+        layer[t.index()] = graph
+            .predecessors(t)
+            .map(|p| layer[p.index()] + 1)
+            .max()
+            .unwrap_or(0);
+    }
+    layer
+}
+
+/// Returns the tasks of each layer, sources first.
+pub fn layers(graph: &TaskGraph) -> Vec<Vec<TaskId>> {
+    let layer = layering(graph);
+    let depth = layer.iter().copied().max().unwrap_or(0) + 1;
+    let mut out = vec![Vec::new(); depth];
+    for t in graph.task_ids() {
+        out[layer[t.index()]].push(t);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::TaskGraphBuilder;
+
+    fn fork_join() -> TaskGraph {
+        // 0 -> {1,2,3} -> 4, exec 10 each, comm 5 each
+        let mut b = TaskGraphBuilder::new();
+        for i in 0..5 {
+            b.add_task(format!("T{i}"), 10.0);
+        }
+        let t = |i: u32| TaskId(i);
+        for i in 1..=3 {
+            b.add_edge(t(0), t(i), 5.0).unwrap();
+            b.add_edge(t(i), t(4), 5.0).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn stats_of_fork_join() {
+        let s = GraphStats::compute(&fork_join());
+        assert_eq!(s.num_tasks, 5);
+        assert_eq!(s.num_edges, 6);
+        assert_eq!(s.num_sources, 1);
+        assert_eq!(s.num_sinks, 1);
+        assert_eq!(s.depth, 3);
+        assert_eq!(s.width, 3);
+        assert_eq!(s.mean_execution_cost, 10.0);
+        assert_eq!(s.mean_communication_cost, 5.0);
+        assert_eq!(s.granularity, 2.0);
+        assert_eq!(s.ccr, 0.5);
+        assert_eq!(s.critical_path_length, 40.0); // 10+5+10+5+10
+        assert_eq!(s.computation_critical_path, 30.0);
+        assert!((s.average_parallelism - 50.0 / 30.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn layering_matches_depth() {
+        let g = fork_join();
+        let l = layering(&g);
+        assert_eq!(l, vec![0, 1, 1, 1, 2]);
+        let ls = layers(&g);
+        assert_eq!(ls.len(), 3);
+        assert_eq!(ls[0], vec![TaskId(0)]);
+        assert_eq!(ls[1], vec![TaskId(1), TaskId(2), TaskId(3)]);
+        assert_eq!(ls[2], vec![TaskId(4)]);
+    }
+
+    #[test]
+    fn graph_without_edges_has_infinite_granularity() {
+        let mut b = TaskGraphBuilder::new();
+        b.add_task("a", 3.0);
+        b.add_task("b", 5.0);
+        let s = GraphStats::compute(&b.build().unwrap());
+        assert!(s.granularity.is_infinite());
+        assert_eq!(s.ccr, 0.0);
+        assert_eq!(s.depth, 1);
+        assert_eq!(s.width, 2);
+    }
+
+    #[test]
+    fn chain_has_width_one_and_no_parallelism() {
+        let mut b = TaskGraphBuilder::new();
+        let mut prev = b.add_task("T0", 10.0);
+        for i in 1..6 {
+            let t = b.add_task(format!("T{i}"), 10.0);
+            b.add_edge(prev, t, 1.0).unwrap();
+            prev = t;
+        }
+        let s = GraphStats::compute(&b.build().unwrap());
+        assert_eq!(s.width, 1);
+        assert_eq!(s.depth, 6);
+        assert!((s.average_parallelism - 1.0).abs() < 1e-12);
+    }
+}

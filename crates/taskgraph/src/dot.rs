@@ -1,0 +1,117 @@
+//! Graphviz DOT export of task graphs (for documentation and debugging).
+
+use crate::graph::TaskGraph;
+
+/// Options controlling the DOT rendering.
+#[derive(Debug, Clone)]
+pub struct DotOptions {
+    /// Graph name used in the `digraph <name> { ... }` header.
+    pub name: String,
+    /// Whether to print the nominal execution cost in each node label.
+    pub show_task_costs: bool,
+    /// Whether to print the nominal communication cost on each edge label.
+    pub show_edge_costs: bool,
+}
+
+impl Default for DotOptions {
+    fn default() -> Self {
+        DotOptions {
+            name: "taskgraph".to_string(),
+            show_task_costs: true,
+            show_edge_costs: true,
+        }
+    }
+}
+
+/// Renders `graph` as a Graphviz DOT string.
+pub fn to_dot(graph: &TaskGraph, opts: &DotOptions) -> String {
+    let mut out = String::with_capacity(64 * graph.num_tasks());
+    out.push_str(&format!("digraph {} {{\n", sanitize(&opts.name)));
+    out.push_str("  rankdir=TB;\n  node [shape=circle];\n");
+    for t in graph.tasks() {
+        if opts.show_task_costs {
+            out.push_str(&format!(
+                "  n{} [label=\"{}\\n{:.0}\"];\n",
+                t.id.0,
+                escape(&t.name),
+                t.nominal_cost
+            ));
+        } else {
+            out.push_str(&format!("  n{} [label=\"{}\"];\n", t.id.0, escape(&t.name)));
+        }
+    }
+    for e in graph.edges() {
+        if opts.show_edge_costs {
+            out.push_str(&format!(
+                "  n{} -> n{} [label=\"{:.0}\"];\n",
+                e.src.0, e.dst.0, e.nominal_cost
+            ));
+        } else {
+            out.push_str(&format!("  n{} -> n{};\n", e.src.0, e.dst.0));
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn sanitize(name: &str) -> String {
+    let cleaned: String = name
+        .chars()
+        .map(|c| if c.is_alphanumeric() || c == '_' { c } else { '_' })
+        .collect();
+    if cleaned.is_empty() {
+        "taskgraph".to_string()
+    } else {
+        cleaned
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::TaskGraphBuilder;
+
+    #[test]
+    fn dot_output_contains_all_nodes_and_edges() {
+        let mut b = TaskGraphBuilder::new();
+        let a = b.add_task("A", 3.0);
+        let c = b.add_task("B \"quoted\"", 4.0);
+        b.add_edge(a, c, 7.0).unwrap();
+        let g = b.build().unwrap();
+        let dot = to_dot(&g, &DotOptions::default());
+        assert!(dot.starts_with("digraph taskgraph {"));
+        assert!(dot.contains("n0 [label=\"A\\n3\"]"));
+        assert!(dot.contains("n0 -> n1 [label=\"7\"]"));
+        assert!(dot.contains("\\\"quoted\\\""));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn dot_without_costs_omits_labels() {
+        let mut b = TaskGraphBuilder::new();
+        let a = b.add_task("A", 3.0);
+        let c = b.add_task("B", 4.0);
+        b.add_edge(a, c, 7.0).unwrap();
+        let g = b.build().unwrap();
+        let dot = to_dot(
+            &g,
+            &DotOptions {
+                name: "my graph!".into(),
+                show_task_costs: false,
+                show_edge_costs: false,
+            },
+        );
+        assert!(dot.starts_with("digraph my_graph_ {"));
+        assert!(dot.contains("n0 -> n1;"));
+        assert!(!dot.contains("label=\"7\""));
+    }
+
+    #[test]
+    fn empty_name_falls_back_to_default() {
+        assert_eq!(sanitize(""), "taskgraph");
+    }
+}

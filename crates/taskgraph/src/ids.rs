@@ -1,0 +1,129 @@
+//! Dense integer identifiers for tasks and edges.
+//!
+//! Both identifiers are plain `u32` newtypes.  They index directly into the flat vectors
+//! held by [`crate::TaskGraph`], which keeps every per-task / per-edge attribute cache
+//! friendly and avoids hashing in the schedulers' hot loops.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a task (a node of the task graph).
+///
+/// Task ids are dense: a graph with `n` tasks uses ids `0..n`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TaskId(pub u32);
+
+/// Identifier of an edge (a message of the task graph).
+///
+/// Edge ids are dense: a graph with `e` edges uses ids `0..e`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct EdgeId(pub u32);
+
+impl TaskId {
+    /// Returns the id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a `TaskId` from a `usize` index.
+    ///
+    /// # Panics
+    /// Panics if `idx` does not fit in a `u32`.
+    #[inline]
+    pub fn from_index(idx: usize) -> Self {
+        TaskId(u32::try_from(idx).expect("task index overflows u32"))
+    }
+}
+
+impl EdgeId {
+    /// Returns the id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds an `EdgeId` from a `usize` index.
+    ///
+    /// # Panics
+    /// Panics if `idx` does not fit in a `u32`.
+    #[inline]
+    pub fn from_index(idx: usize) -> Self {
+        EdgeId(u32::try_from(idx).expect("edge index overflows u32"))
+    }
+}
+
+impl fmt::Debug for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+impl fmt::Display for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+impl fmt::Debug for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "E{}", self.0)
+    }
+}
+
+impl fmt::Display for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "E{}", self.0)
+    }
+}
+
+impl From<u32> for TaskId {
+    fn from(v: u32) -> Self {
+        TaskId(v)
+    }
+}
+
+impl From<u32> for EdgeId {
+    fn from(v: u32) -> Self {
+        EdgeId(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn task_id_round_trips_through_index() {
+        for i in [0usize, 1, 17, 65_535, 1_000_000] {
+            assert_eq!(TaskId::from_index(i).index(), i);
+        }
+    }
+
+    #[test]
+    fn edge_id_round_trips_through_index() {
+        for i in [0usize, 1, 17, 65_535, 1_000_000] {
+            assert_eq!(EdgeId::from_index(i).index(), i);
+        }
+    }
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!(TaskId(3).to_string(), "T3");
+        assert_eq!(EdgeId(7).to_string(), "E7");
+        assert_eq!(format!("{:?}", TaskId(3)), "T3");
+        assert_eq!(format!("{:?}", EdgeId(7)), "E7");
+    }
+
+    #[test]
+    fn ordering_follows_numeric_value() {
+        assert!(TaskId(1) < TaskId(2));
+        assert!(EdgeId(0) < EdgeId(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "task index overflows u32")]
+    fn from_index_panics_on_overflow() {
+        let _ = TaskId::from_index(usize::MAX);
+    }
+}

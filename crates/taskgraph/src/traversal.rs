@@ -1,0 +1,236 @@
+//! Topological orders, reachability and ancestor/descendant queries.
+
+use crate::graph::TaskGraph;
+use crate::ids::TaskId;
+use std::collections::VecDeque;
+
+/// A topological order of the tasks of a graph.
+///
+/// The order is deterministic: among tasks that become ready simultaneously, the one with
+/// the smallest id is emitted first (the frontier is kept sorted).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TopologicalOrder {
+    order: Vec<TaskId>,
+    /// `position[t] = i` iff `order[i] == t`.
+    position: Vec<usize>,
+}
+
+impl TopologicalOrder {
+    /// Computes a deterministic topological order of `graph`.
+    pub fn compute(graph: &TaskGraph) -> Self {
+        let n = graph.num_tasks();
+        let mut indeg: Vec<usize> = (0..n)
+            .map(|i| graph.in_degree(TaskId::from_index(i)))
+            .collect();
+        // Min-id-first frontier using a sorted VecDeque built from a binary-heap-free
+        // approach: we keep a Vec and pop the smallest, which is O(n log n) overall when
+        // using sort + index, but the frontier is usually small; use a BinaryHeap of
+        // Reverse ids for clarity.
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+        let mut ready: BinaryHeap<Reverse<u32>> = (0..n as u32)
+            .filter(|&i| indeg[i as usize] == 0)
+            .map(Reverse)
+            .collect();
+        let mut order = Vec::with_capacity(n);
+        while let Some(Reverse(u)) = ready.pop() {
+            let ut = TaskId(u);
+            order.push(ut);
+            for v in graph.successors(ut) {
+                indeg[v.index()] -= 1;
+                if indeg[v.index()] == 0 {
+                    ready.push(Reverse(v.0));
+                }
+            }
+        }
+        debug_assert_eq!(order.len(), n, "graph validated as acyclic at build time");
+        let mut position = vec![0usize; n];
+        for (i, &t) in order.iter().enumerate() {
+            position[t.index()] = i;
+        }
+        TopologicalOrder { order, position }
+    }
+
+    /// The tasks in topological order.
+    pub fn order(&self) -> &[TaskId] {
+        &self.order
+    }
+
+    /// Position of task `t` in the order.
+    pub fn position(&self, t: TaskId) -> usize {
+        self.position[t.index()]
+    }
+
+    /// Iterates the order front-to-back (sources first).
+    pub fn iter(&self) -> impl Iterator<Item = TaskId> + '_ {
+        self.order.iter().copied()
+    }
+
+    /// Iterates the order back-to-front (sinks first).
+    pub fn iter_rev(&self) -> impl Iterator<Item = TaskId> + '_ {
+        self.order.iter().rev().copied()
+    }
+
+    /// Verifies that `candidate` is a permutation of all tasks that respects every edge of
+    /// `graph`.  Used by tests and by the BSA serialization validator.
+    pub fn is_valid_linearization(graph: &TaskGraph, candidate: &[TaskId]) -> bool {
+        let n = graph.num_tasks();
+        if candidate.len() != n {
+            return false;
+        }
+        let mut pos = vec![usize::MAX; n];
+        for (i, &t) in candidate.iter().enumerate() {
+            if t.index() >= n || pos[t.index()] != usize::MAX {
+                return false;
+            }
+            pos[t.index()] = i;
+        }
+        graph
+            .edges()
+            .all(|e| pos[e.src.index()] < pos[e.dst.index()])
+    }
+}
+
+/// Returns the set of ancestors of `t` (all tasks with a directed path to `t`), not
+/// including `t` itself, as a boolean membership vector indexed by task id.
+pub fn ancestors(graph: &TaskGraph, t: TaskId) -> Vec<bool> {
+    let mut seen = vec![false; graph.num_tasks()];
+    let mut queue = VecDeque::new();
+    queue.push_back(t);
+    while let Some(u) = queue.pop_front() {
+        for p in graph.predecessors(u) {
+            if !seen[p.index()] {
+                seen[p.index()] = true;
+                queue.push_back(p);
+            }
+        }
+    }
+    seen
+}
+
+/// Returns the set of descendants of `t` (all tasks reachable from `t`), not including `t`
+/// itself, as a boolean membership vector indexed by task id.
+pub fn descendants(graph: &TaskGraph, t: TaskId) -> Vec<bool> {
+    let mut seen = vec![false; graph.num_tasks()];
+    let mut queue = VecDeque::new();
+    queue.push_back(t);
+    while let Some(u) = queue.pop_front() {
+        for s in graph.successors(u) {
+            if !seen[s.index()] {
+                seen[s.index()] = true;
+                queue.push_back(s);
+            }
+        }
+    }
+    seen
+}
+
+/// Returns `true` if there is a directed path from `a` to `b` (`a == b` counts as reachable).
+pub fn reachable(graph: &TaskGraph, a: TaskId, b: TaskId) -> bool {
+    if a == b {
+        return true;
+    }
+    descendants(graph, a)[b.index()]
+}
+
+/// Returns `true` if `a` and `b` are independent: neither reaches the other.
+///
+/// This is the paper's notion of parallelism between tasks ("Ti and Tj are said to be
+/// independent if neither Ti < Tj nor Tj < Ti").
+pub fn independent(graph: &TaskGraph, a: TaskId, b: TaskId) -> bool {
+    a != b && !reachable(graph, a, b) && !reachable(graph, b, a)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::TaskGraphBuilder;
+
+    fn chain_and_branch() -> TaskGraph {
+        // 0 -> 1 -> 3, 0 -> 2 -> 3, 3 -> 4 ; 5 isolated-ish (5 -> 4)
+        let mut b = TaskGraphBuilder::new();
+        for i in 0..6 {
+            b.add_task(format!("T{i}"), 1.0 + i as f64);
+        }
+        let t = |i: u32| TaskId(i);
+        b.add_edge(t(0), t(1), 1.0).unwrap();
+        b.add_edge(t(0), t(2), 1.0).unwrap();
+        b.add_edge(t(1), t(3), 1.0).unwrap();
+        b.add_edge(t(2), t(3), 1.0).unwrap();
+        b.add_edge(t(3), t(4), 1.0).unwrap();
+        b.add_edge(t(5), t(4), 1.0).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn topological_order_respects_all_edges() {
+        let g = chain_and_branch();
+        let topo = TopologicalOrder::compute(&g);
+        assert!(TopologicalOrder::is_valid_linearization(&g, topo.order()));
+        assert_eq!(topo.order().len(), 6);
+    }
+
+    #[test]
+    fn topological_order_is_deterministic_and_min_id_first() {
+        let g = chain_and_branch();
+        let topo = TopologicalOrder::compute(&g);
+        // Sources are {0, 5}; 0 must come before 5 with min-id-first tie-breaking.
+        let pos0 = topo.position(TaskId(0));
+        let pos5 = topo.position(TaskId(5));
+        assert!(pos0 < pos5);
+        // Recompute gives the identical order.
+        assert_eq!(topo, TopologicalOrder::compute(&g));
+    }
+
+    #[test]
+    fn position_is_inverse_of_order() {
+        let g = chain_and_branch();
+        let topo = TopologicalOrder::compute(&g);
+        for (i, &t) in topo.order().iter().enumerate() {
+            assert_eq!(topo.position(t), i);
+        }
+    }
+
+    #[test]
+    fn invalid_linearizations_are_rejected() {
+        let g = chain_and_branch();
+        // Wrong length.
+        assert!(!TopologicalOrder::is_valid_linearization(&g, &[TaskId(0)]));
+        // Duplicate entry.
+        let dup = vec![TaskId(0); 6];
+        assert!(!TopologicalOrder::is_valid_linearization(&g, &dup));
+        // Edge violated (1 before 0).
+        let bad = [1u32, 0, 2, 3, 4, 5].map(TaskId).to_vec();
+        assert!(!TopologicalOrder::is_valid_linearization(&g, &bad));
+    }
+
+    #[test]
+    fn ancestors_and_descendants_are_duals() {
+        let g = chain_and_branch();
+        let anc4 = ancestors(&g, TaskId(4));
+        assert!(anc4[0] && anc4[1] && anc4[2] && anc4[3] && anc4[5]);
+        assert!(!anc4[4]);
+        let desc0 = descendants(&g, TaskId(0));
+        assert!(desc0[1] && desc0[2] && desc0[3] && desc0[4]);
+        assert!(!desc0[5] && !desc0[0]);
+        // duality: a in ancestors(b) iff b in descendants(a)
+        for a in g.task_ids() {
+            let d = descendants(&g, a);
+            for b in g.task_ids() {
+                assert_eq!(d[b.index()], ancestors(&g, b)[a.index()]);
+            }
+        }
+    }
+
+    #[test]
+    fn reachability_and_independence() {
+        let g = chain_and_branch();
+        assert!(reachable(&g, TaskId(0), TaskId(4)));
+        assert!(!reachable(&g, TaskId(4), TaskId(0)));
+        assert!(reachable(&g, TaskId(2), TaskId(2)));
+        assert!(independent(&g, TaskId(1), TaskId(2)));
+        assert!(independent(&g, TaskId(5), TaskId(0)));
+        assert!(!independent(&g, TaskId(0), TaskId(3)));
+        assert!(!independent(&g, TaskId(3), TaskId(3)));
+    }
+}

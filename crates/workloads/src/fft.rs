@@ -1,0 +1,76 @@
+//! Fast-Fourier-transform butterfly task graph.
+//!
+//! A radix-2 FFT over `n = 2^d` points has `d` butterfly stages preceded by an input stage:
+//! `(d + 1) · n` tasks.  Task `(s+1, i)` depends on `(s, i)` and `(s, i XOR 2^s)`.
+//! This is a classic high-communication workload used here for examples and extra
+//! benchmarks beyond the paper's own suites.
+
+use crate::params::CostParams;
+use bsa_taskgraph::{GraphError, TaskGraph, TaskGraphBuilder, TaskId};
+
+/// Number of tasks of the FFT graph over `n = 2^log2_points` points.
+pub fn num_tasks(log2_points: u32) -> usize {
+    let n = 1usize << log2_points;
+    n * (log2_points as usize + 1)
+}
+
+/// Builds the butterfly task graph of a radix-2 FFT over `2^log2_points` points.
+pub fn fft(log2_points: u32, params: &CostParams) -> Result<TaskGraph, GraphError> {
+    params.validate().map_err(GraphError::InvalidCost)?;
+    let n = 1usize << log2_points;
+    let stages = log2_points as usize;
+    let exec = params.mean_exec();
+    let comm = params.mean_comm();
+
+    let mut b = TaskGraphBuilder::with_capacity(num_tasks(log2_points), 2 * n * stages);
+    let mut ids = vec![vec![TaskId(0); n]; stages + 1];
+    for (s, row) in ids.iter_mut().enumerate() {
+        for (i, slot) in row.iter_mut().enumerate() {
+            *slot = b.add_task(format!("fft({s},{i})"), exec);
+        }
+    }
+    for s in 0..stages {
+        for i in 0..n {
+            let partner = i ^ (1usize << s);
+            b.add_edge(ids[s][i], ids[s + 1][i], comm)?;
+            b.add_edge(ids[s][i], ids[s + 1][partner], comm)?;
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bsa_taskgraph::GraphStats;
+
+    #[test]
+    fn counts_match() {
+        for d in 0..=5u32 {
+            let g = fft(d, &CostParams::paper(1.0)).unwrap();
+            assert_eq!(g.num_tasks(), num_tasks(d));
+            let n = 1usize << d;
+            assert_eq!(g.num_edges(), 2 * n * d as usize);
+        }
+    }
+
+    #[test]
+    fn butterfly_structure_has_n_sources_and_n_sinks() {
+        let g = fft(3, &CostParams::paper(1.0)).unwrap();
+        assert_eq!(g.sources().len(), 8);
+        assert_eq!(g.sinks().len(), 8);
+        assert!(g.is_weakly_connected());
+        let s = GraphStats::compute(&g);
+        assert_eq!(s.depth, 4);
+        assert_eq!(s.width, 8);
+    }
+
+    #[test]
+    fn every_interior_task_has_two_predecessors() {
+        let g = fft(4, &CostParams::paper(1.0)).unwrap();
+        for t in g.task_ids() {
+            let indeg = g.in_degree(t);
+            assert!(indeg == 0 || indeg == 2);
+        }
+    }
+}

@@ -1,0 +1,72 @@
+//! Repeated fork-join task graph (a chain of parallel stages).
+//!
+//! Each of the `stages` stages forks `width` parallel tasks from a coordinator task and
+//! joins them into the next coordinator.  This is the prototypical master/worker structure
+//! and a useful stress test for link contention on low-connectivity topologies: all
+//! fork/join messages funnel through the coordinator's processor.
+
+use crate::params::CostParams;
+use bsa_taskgraph::{GraphError, TaskGraph, TaskGraphBuilder};
+
+/// Number of tasks of a fork-join graph.
+pub fn num_tasks(stages: usize, width: usize) -> usize {
+    stages * (width + 1) + 1
+}
+
+/// Builds a fork-join chain with `stages` stages of `width` parallel tasks each.
+///
+/// # Panics
+/// Panics if `stages == 0` or `width == 0`.
+pub fn fork_join(stages: usize, width: usize, params: &CostParams) -> Result<TaskGraph, GraphError> {
+    assert!(stages >= 1 && width >= 1, "fork_join needs stages >= 1 and width >= 1");
+    params.validate().map_err(GraphError::InvalidCost)?;
+    let exec = params.mean_exec();
+    let comm = params.mean_comm();
+
+    let mut b = TaskGraphBuilder::with_capacity(num_tasks(stages, width), 2 * stages * width);
+    let mut coordinator = b.add_task("fork_join_root".to_string(), exec);
+    for s in 0..stages {
+        let workers: Vec<_> = (0..width)
+            .map(|w| b.add_task(format!("worker({s},{w})"), exec))
+            .collect();
+        let join = b.add_task(format!("join({s})"), exec);
+        for &w in &workers {
+            b.add_edge(coordinator, w, comm)?;
+            b.add_edge(w, join, comm)?;
+        }
+        coordinator = join;
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bsa_taskgraph::GraphStats;
+
+    #[test]
+    fn counts_and_shape() {
+        let g = fork_join(3, 4, &CostParams::paper(1.0)).unwrap();
+        assert_eq!(g.num_tasks(), num_tasks(3, 4));
+        assert_eq!(g.num_edges(), 2 * 3 * 4);
+        assert!(g.is_weakly_connected());
+        let s = GraphStats::compute(&g);
+        assert_eq!(s.depth, 1 + 2 * 3);
+        assert_eq!(s.width, 4);
+        assert_eq!(s.num_sources, 1);
+        assert_eq!(s.num_sinks, 1);
+    }
+
+    #[test]
+    fn single_stage_single_worker_is_a_chain_of_three() {
+        let g = fork_join(1, 1, &CostParams::paper(1.0)).unwrap();
+        assert_eq!(g.num_tasks(), 3);
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "stages >= 1")]
+    fn rejects_zero_stages() {
+        let _ = fork_join(0, 2, &CostParams::paper(1.0));
+    }
+}

@@ -1,0 +1,131 @@
+//! Column-oriented Gaussian-elimination task graph (Cosnard, Marrakchi, Robert & Trystram).
+//!
+//! For a matrix of dimension `N` the elimination proceeds in `N−1` steps.  Step `k`
+//! consists of one *pivot* task `Pk` (preparing column `k`) followed by `N−k` *update*
+//! tasks `U(k,j)`, one per remaining column `j > k`.  The dependencies are:
+//!
+//! * `Pk → U(k,j)` for every `j > k` (the pivot column is needed by every update);
+//! * `U(k,k+1) → P(k+1)` (the next pivot column is the first updated column);
+//! * `U(k,j) → U(k+1,j)` for `j > k+1` (each column is updated step after step).
+//!
+//! The number of tasks is `(N−1)(N+2)/2`, i.e. `O(N²)` as stated in the paper.
+//! Execution costs are proportional to the work on the remaining sub-matrix (`N−k`),
+//! normalized so the mean execution cost equals `mean_exec` (≈150 in the paper); all
+//! communication costs equal the mean communication cost implied by the requested
+//! granularity.
+
+use crate::params::CostParams;
+use bsa_taskgraph::{GraphError, TaskGraph, TaskGraphBuilder, TaskId};
+
+/// Number of tasks of the Gaussian-elimination graph for matrix dimension `n`.
+pub fn num_tasks(n: usize) -> usize {
+    if n < 2 {
+        return 0;
+    }
+    (n - 1) * (n + 2) / 2
+}
+
+/// Builds the Gaussian-elimination task graph for an `n × n` matrix.
+///
+/// # Panics
+/// Panics if `n < 2` (no elimination step exists).
+pub fn gaussian_elimination(n: usize, params: &CostParams) -> Result<TaskGraph, GraphError> {
+    assert!(n >= 2, "Gaussian elimination needs a matrix dimension of at least 2");
+    params.validate().map_err(GraphError::InvalidCost)?;
+
+    // Raw (relative) execution costs: pivot ∝ 2(N-k), update ∝ (N-k).  The mean of the raw
+    // costs is computed analytically so the generated costs can be normalized to the
+    // requested mean execution cost in a single pass.
+    let mut raw_sum = 0.0f64;
+    for k in 1..n {
+        let remaining = (n - k) as f64;
+        raw_sum += 2.0 * remaining + remaining * remaining;
+    }
+    let mean_raw = raw_sum / num_tasks(n) as f64;
+    let scale = params.mean_exec() / mean_raw;
+    let comm = params.mean_comm();
+
+    let mut b2 = TaskGraphBuilder::with_capacity(num_tasks(n), 2 * num_tasks(n));
+    let mut pivot2 = vec![TaskId(0); n];
+    let mut update2 = vec![vec![TaskId(0); n + 1]; n];
+    for k in 1..n {
+        let remaining = (n - k) as f64;
+        pivot2[k] = b2.add_task(format!("gauss_pivot({k})"), 2.0 * remaining * scale);
+        for j in (k + 1)..=n {
+            update2[k][j] = b2.add_task(format!("gauss_update({k},{j})"), remaining * scale);
+        }
+    }
+    for k in 1..n {
+        for j in (k + 1)..=n {
+            b2.add_edge(pivot2[k], update2[k][j], comm)?;
+        }
+        if k + 1 < n {
+            b2.add_edge(update2[k][k + 1], pivot2[k + 1], comm)?;
+            for j in (k + 2)..=n {
+                b2.add_edge(update2[k][j], update2[k + 1][j], comm)?;
+            }
+        }
+    }
+    b2.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bsa_taskgraph::GraphStats;
+
+    #[test]
+    fn task_count_formula_matches_construction() {
+        for n in 2..=12 {
+            let g = gaussian_elimination(n, &CostParams::paper(1.0)).unwrap();
+            assert_eq!(g.num_tasks(), num_tasks(n), "n = {n}");
+        }
+        assert_eq!(num_tasks(1), 0);
+        assert_eq!(num_tasks(10), 54);
+    }
+
+    #[test]
+    fn graph_is_connected_acyclic_with_single_source_and_sink() {
+        let g = gaussian_elimination(8, &CostParams::paper(1.0)).unwrap();
+        assert!(g.is_weakly_connected());
+        // The first pivot task is the unique source; the last update is the unique sink.
+        assert_eq!(g.sources().len(), 1);
+        assert_eq!(g.sinks().len(), 1);
+    }
+
+    #[test]
+    fn mean_execution_cost_matches_params() {
+        let p = CostParams::paper(1.0);
+        let g = gaussian_elimination(10, &p).unwrap();
+        let s = GraphStats::compute(&g);
+        assert!((s.mean_execution_cost - 150.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn granularity_targets_are_hit() {
+        for gran in [0.1, 1.0, 10.0] {
+            let g = gaussian_elimination(9, &CostParams::paper(gran)).unwrap();
+            let s = GraphStats::compute(&g);
+            assert!(
+                (s.granularity - gran).abs() / gran < 1e-9,
+                "granularity {} vs target {gran}",
+                s.granularity
+            );
+        }
+    }
+
+    #[test]
+    fn pivot_tasks_cost_twice_the_updates_of_the_same_step() {
+        let g = gaussian_elimination(6, &CostParams::paper(1.0)).unwrap();
+        // Task 0 is pivot(1), task 1 is update(1,2).
+        let pivot_cost = g.task(TaskId(0)).nominal_cost;
+        let update_cost = g.task(TaskId(1)).nominal_cost;
+        assert!((pivot_cost - 2.0 * update_cost).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn rejects_tiny_matrices() {
+        let _ = gaussian_elimination(1, &CostParams::paper(1.0));
+    }
+}

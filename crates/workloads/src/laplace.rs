@@ -1,0 +1,100 @@
+//! Laplace-equation-solver task graph (wavefront over an `N × N` grid).
+//!
+//! The Laplace solver used in the CASCH benchmark suite sweeps an `N × N` grid of points;
+//! point `(i, j)` can only be relaxed after its north and west neighbours `(i−1, j)` and
+//! `(i, j−1)` have been relaxed, producing the familiar diamond-shaped wavefront DAG with
+//! `N²` tasks and `2N(N−1)` edges.  All tasks perform the same five-point update, so all
+//! execution costs are equal (the paper's mean of ≈150 by default).
+
+use crate::params::CostParams;
+use bsa_taskgraph::{GraphError, TaskGraph, TaskGraphBuilder, TaskId};
+
+/// Number of tasks of the Laplace graph for grid dimension `n`.
+pub fn num_tasks(n: usize) -> usize {
+    n * n
+}
+
+/// Builds the `n × n` wavefront task graph of the Laplace solver.
+///
+/// # Panics
+/// Panics if `n == 0`.
+pub fn laplace_solver(n: usize, params: &CostParams) -> Result<TaskGraph, GraphError> {
+    assert!(n >= 1, "Laplace solver needs a grid dimension of at least 1");
+    params.validate().map_err(GraphError::InvalidCost)?;
+    let exec = params.mean_exec();
+    let comm = params.mean_comm();
+
+    let mut b = TaskGraphBuilder::with_capacity(n * n, 2 * n * (n - 1));
+    let mut ids = vec![vec![TaskId(0); n]; n];
+    for i in 0..n {
+        for j in 0..n {
+            ids[i][j] = b.add_task(format!("laplace({i},{j})"), exec);
+        }
+    }
+    for i in 0..n {
+        for j in 0..n {
+            if i + 1 < n {
+                b.add_edge(ids[i][j], ids[i + 1][j], comm)?;
+            }
+            if j + 1 < n {
+                b.add_edge(ids[i][j], ids[i][j + 1], comm)?;
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bsa_taskgraph::{GraphLevels, GraphStats};
+
+    #[test]
+    fn counts_match() {
+        for n in 1..=15 {
+            let g = laplace_solver(n, &CostParams::paper(1.0)).unwrap();
+            assert_eq!(g.num_tasks(), n * n);
+            assert_eq!(g.num_edges(), 2 * n * (n - 1));
+        }
+    }
+
+    #[test]
+    fn wavefront_has_single_source_and_sink_and_depth_2n_minus_1() {
+        let n = 6;
+        let g = laplace_solver(n, &CostParams::paper(1.0)).unwrap();
+        assert!(g.is_weakly_connected());
+        assert_eq!(g.sources().len(), 1);
+        assert_eq!(g.sinks().len(), 1);
+        let s = GraphStats::compute(&g);
+        assert_eq!(s.depth, 2 * n - 1);
+        assert_eq!(s.width, n);
+    }
+
+    #[test]
+    fn all_execution_costs_are_equal_and_granularity_matches() {
+        let g = laplace_solver(5, &CostParams::paper(10.0)).unwrap();
+        for t in g.tasks() {
+            assert_eq!(t.nominal_cost, 150.0);
+        }
+        let s = GraphStats::compute(&g);
+        assert!((s.granularity - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn critical_path_runs_along_the_diagonal() {
+        let n = 4;
+        let p = CostParams::fixed(100.0, 1.0);
+        let g = laplace_solver(n, &p).unwrap();
+        let lv = GraphLevels::nominal(&g);
+        // 2n-1 tasks on the CP, each 100, plus 2n-2 edges of 100.
+        let expected = (2 * n - 1) as f64 * 100.0 + (2 * n - 2) as f64 * 100.0;
+        assert_eq!(lv.critical_path_length(), expected);
+    }
+
+    #[test]
+    fn single_point_grid_is_one_task() {
+        let g = laplace_solver(1, &CostParams::paper(1.0)).unwrap();
+        assert_eq!(g.num_tasks(), 1);
+        assert_eq!(g.num_edges(), 0);
+    }
+}

@@ -1,0 +1,49 @@
+//! # bsa-workloads
+//!
+//! Task-graph generators reproducing the two benchmark suites of the paper's evaluation
+//! (Section 3) plus a few extra structured workloads used by examples and tests.
+//!
+//! **Regular graphs** — the paper uses graphs of real numerical applications whose size is
+//! controlled by the matrix dimension `N` (all are `O(N²)` tasks):
+//!
+//! * [`gaussian::gaussian_elimination`] — column-oriented Gaussian elimination
+//!   (Cosnard et al.);
+//! * [`lu::lu_decomposition`] — LU decomposition without pivoting;
+//! * [`laplace::laplace_solver`] — a wavefront/diamond dependence structure from a Laplace
+//!   equation solver;
+//! * [`mva::mean_value_analysis`] — the triangular dependence structure of mean-value
+//!   analysis.
+//!
+//! **Random graphs** — [`random_dag::random_layered`] generates layered random DAGs with
+//! execution costs uniform in `[100, 200]` (the paper's setup).
+//!
+//! **Granularity** — the paper defines granularity as *average execution cost / average
+//! communication cost* and evaluates 0.1, 1.0 and 10.0.  Every generator takes a
+//! [`params::CostParams`] describing the execution-cost distribution and the target
+//! granularity; [`params::apply_granularity`] rescales communication costs of an existing
+//! graph to hit a target exactly.
+//!
+//! **Worked example** — [`paper_example`] reconstructs the 9-task graph of Figure 1 and the
+//! Table 1 execution-cost matrix (see DESIGN.md for the fidelity discussion).
+
+pub mod fft;
+pub mod fork_join;
+pub mod gaussian;
+pub mod laplace;
+pub mod lu;
+pub mod mva;
+pub mod paper_example;
+pub mod params;
+pub mod random_dag;
+pub mod sizing;
+pub mod stencil;
+pub mod tree;
+
+pub use params::{apply_granularity, CostParams};
+pub use sizing::{dimension_for_tasks, RegularApp};
+
+/// Convenient glob-import for downstream crates.
+pub mod prelude {
+    pub use crate::params::{apply_granularity, CostParams};
+    pub use crate::sizing::{dimension_for_tasks, RegularApp};
+}

@@ -1,0 +1,119 @@
+//! LU-decomposition task graph (without pivoting).
+//!
+//! The structure mirrors the classic `kji` formulation: at step `k` a *diagonal* task
+//! `D(k)` computes the multipliers of column `k`, then one *column* task `C(k,j)` per
+//! remaining column `j > k` applies the rank-1 update to that column.  Dependencies:
+//!
+//! * `D(k) → C(k,j)` for every `j > k`;
+//! * `C(k,k+1) → D(k+1)`;
+//! * `C(k,j) → C(k+1,j)` for `j > k+1`.
+//!
+//! Structurally this is the same family as Gaussian elimination but with a different cost
+//! profile: the diagonal task is cheap (`∝ (N−k)`) while the column updates dominate
+//! (`∝ 2(N−k)`), reflecting that the triangular solve is the light part of LU.  The paper
+//! treats the two as distinct applications in its regular-graph suite; keeping both lets
+//! the harness average "across different applications" exactly as the paper does.
+
+use crate::params::CostParams;
+use bsa_taskgraph::{GraphError, TaskGraph, TaskGraphBuilder, TaskId};
+
+/// Number of tasks of the LU graph for matrix dimension `n` (same count as Gaussian
+/// elimination: `(n−1)(n+2)/2`).
+pub fn num_tasks(n: usize) -> usize {
+    if n < 2 {
+        return 0;
+    }
+    (n - 1) * (n + 2) / 2
+}
+
+/// Builds the LU-decomposition task graph for an `n × n` matrix.
+///
+/// # Panics
+/// Panics if `n < 2`.
+pub fn lu_decomposition(n: usize, params: &CostParams) -> Result<TaskGraph, GraphError> {
+    assert!(n >= 2, "LU decomposition needs a matrix dimension of at least 2");
+    params.validate().map_err(GraphError::InvalidCost)?;
+
+    let mut raw_sum = 0.0f64;
+    for k in 1..n {
+        let remaining = (n - k) as f64;
+        raw_sum += remaining + 2.0 * remaining * remaining;
+    }
+    let mean_raw = raw_sum / num_tasks(n) as f64;
+    let scale = params.mean_exec() / mean_raw;
+    let comm = params.mean_comm();
+
+    let mut b = TaskGraphBuilder::with_capacity(num_tasks(n), 2 * num_tasks(n));
+    let mut diag = vec![TaskId(0); n];
+    let mut col = vec![vec![TaskId(0); n + 1]; n];
+    for k in 1..n {
+        let remaining = (n - k) as f64;
+        diag[k] = b.add_task(format!("lu_diag({k})"), remaining * scale);
+        for j in (k + 1)..=n {
+            col[k][j] = b.add_task(format!("lu_col({k},{j})"), 2.0 * remaining * scale);
+        }
+    }
+    for k in 1..n {
+        for j in (k + 1)..=n {
+            b.add_edge(diag[k], col[k][j], comm)?;
+        }
+        if k + 1 < n {
+            b.add_edge(col[k][k + 1], diag[k + 1], comm)?;
+            for j in (k + 2)..=n {
+                b.add_edge(col[k][j], col[k + 1][j], comm)?;
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bsa_taskgraph::GraphStats;
+
+    #[test]
+    fn task_count_matches_formula() {
+        for n in 2..=12 {
+            let g = lu_decomposition(n, &CostParams::paper(1.0)).unwrap();
+            assert_eq!(g.num_tasks(), num_tasks(n));
+        }
+    }
+
+    #[test]
+    fn structure_is_connected_single_source_single_sink() {
+        let g = lu_decomposition(9, &CostParams::paper(1.0)).unwrap();
+        assert!(g.is_weakly_connected());
+        assert_eq!(g.sources().len(), 1);
+        assert_eq!(g.sinks().len(), 1);
+    }
+
+    #[test]
+    fn mean_cost_and_granularity_match_params() {
+        for gran in [0.1, 1.0, 10.0] {
+            let g = lu_decomposition(11, &CostParams::paper(gran)).unwrap();
+            let s = GraphStats::compute(&g);
+            assert!((s.mean_execution_cost - 150.0).abs() < 1e-9);
+            assert!((s.granularity - gran).abs() / gran < 1e-9);
+        }
+    }
+
+    #[test]
+    fn diagonal_tasks_are_cheaper_than_column_tasks() {
+        let g = lu_decomposition(6, &CostParams::paper(1.0)).unwrap();
+        let diag_cost = g.task(TaskId(0)).nominal_cost; // lu_diag(1)
+        let col_cost = g.task(TaskId(1)).nominal_cost; // lu_col(1,2)
+        assert!(diag_cost < col_cost);
+        assert!((2.0 * diag_cost - col_cost).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lu_and_gaussian_have_same_shape_but_different_costs() {
+        let lu = lu_decomposition(7, &CostParams::paper(1.0)).unwrap();
+        let ge = crate::gaussian::gaussian_elimination(7, &CostParams::paper(1.0)).unwrap();
+        assert_eq!(lu.num_tasks(), ge.num_tasks());
+        assert_eq!(lu.num_edges(), ge.num_edges());
+        // But the first task's cost differs (pivot-heavy vs diag-light).
+        assert!(lu.task(TaskId(0)).nominal_cost < ge.task(TaskId(0)).nominal_cost);
+    }
+}

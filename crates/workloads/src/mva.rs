@@ -1,0 +1,94 @@
+//! Mean-value-analysis (MVA) task graph.
+//!
+//! MVA for closed queueing networks computes performance measures for populations
+//! `1 … N` over `K` stations; the value for population `p` at station `k` needs the results
+//! for population `p−1` (all stations feed the population-level aggregation).  The
+//! resulting dependence structure is the triangular lattice used in the CASCH benchmark
+//! suite: task `(p, k)` for `1 ≤ k ≤ p ≤ N`, with edges
+//!
+//! * `(p, k) → (p+1, k)`   (same station, next population), and
+//! * `(p, k) → (p+1, k+1)` (aggregation feeding the newly added station),
+//!
+//! giving `N(N+1)/2` tasks — `O(N²)` as the paper requires.
+
+use crate::params::CostParams;
+use bsa_taskgraph::{GraphError, TaskGraph, TaskGraphBuilder, TaskId};
+
+/// Number of tasks of the MVA graph for population/dimension `n`.
+pub fn num_tasks(n: usize) -> usize {
+    n * (n + 1) / 2
+}
+
+/// Builds the triangular MVA task graph of dimension `n`.
+///
+/// # Panics
+/// Panics if `n == 0`.
+pub fn mean_value_analysis(n: usize, params: &CostParams) -> Result<TaskGraph, GraphError> {
+    assert!(n >= 1, "MVA needs a dimension of at least 1");
+    params.validate().map_err(GraphError::InvalidCost)?;
+    let exec = params.mean_exec();
+    let comm = params.mean_comm();
+
+    let mut b = TaskGraphBuilder::with_capacity(num_tasks(n), 2 * num_tasks(n));
+    // ids[p][k] for 1 <= k <= p <= n  (1-based, row p has p entries).
+    let mut ids = vec![Vec::<TaskId>::new(); n + 1];
+    for p in 1..=n {
+        for k in 1..=p {
+            ids[p].push(b.add_task(format!("mva({p},{k})"), exec));
+        }
+    }
+    for p in 1..n {
+        for k in 1..=p {
+            // (p,k) -> (p+1,k)
+            b.add_edge(ids[p][k - 1], ids[p + 1][k - 1], comm)?;
+            // (p,k) -> (p+1,k+1)
+            b.add_edge(ids[p][k - 1], ids[p + 1][k], comm)?;
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bsa_taskgraph::GraphStats;
+
+    #[test]
+    fn counts_match_triangular_numbers() {
+        for n in 1..=15 {
+            let g = mean_value_analysis(n, &CostParams::paper(1.0)).unwrap();
+            assert_eq!(g.num_tasks(), n * (n + 1) / 2);
+            if n > 1 {
+                assert_eq!(g.num_edges(), n * (n - 1)); // 2 edges per non-final-row task
+            }
+        }
+    }
+
+    #[test]
+    fn structure_is_connected_with_one_source_and_n_sinks() {
+        let n = 7;
+        let g = mean_value_analysis(n, &CostParams::paper(1.0)).unwrap();
+        assert!(g.is_weakly_connected());
+        assert_eq!(g.sources().len(), 1);
+        assert_eq!(g.sinks().len(), n); // the whole last row
+        let s = GraphStats::compute(&g);
+        assert_eq!(s.depth, n);
+        assert_eq!(s.width, n);
+    }
+
+    #[test]
+    fn granularity_is_respected() {
+        for gran in [0.1, 1.0, 10.0] {
+            let g = mean_value_analysis(8, &CostParams::paper(gran)).unwrap();
+            let s = GraphStats::compute(&g);
+            assert!((s.granularity - gran).abs() / gran < 1e-9);
+        }
+    }
+
+    #[test]
+    fn single_population_is_one_task() {
+        let g = mean_value_analysis(1, &CostParams::paper(1.0)).unwrap();
+        assert_eq!(g.num_tasks(), 1);
+        assert_eq!(g.num_edges(), 0);
+    }
+}

@@ -1,0 +1,135 @@
+//! The paper's worked example: the 9-task graph of Figure 1, the execution-cost matrix of
+//! Table 1, and the 4-processor ring used in Section 2.4.
+//!
+//! The published figure is not fully legible, so the edge labelling was reconstructed to
+//! satisfy every quantitative statement the text makes (see DESIGN.md §3 "Figure 1
+//! reconstruction"):
+//!
+//! * nominal critical path = {T1, T7, T9};
+//! * nominal serial order {T1, T2, T7, T4, T3, T8, T6, T9, T5};
+//! * critical-path lengths under the Table 1 costs: 240 (P1), **226 (P2)**, 235 (P3),
+//!   260 (P4) — so P2 is chosen as the first pivot;
+//! * CP membership {T1,T7,T9} for P1, {T1,T2,T7,T9} for P3 and {T1,T2,T6,T9} for P4.
+//!
+//! Task and edge indices are zero-based in code (T1 of the paper is `TaskId(0)`).
+
+use bsa_taskgraph::{TaskGraph, TaskGraphBuilder, TaskId};
+
+/// Nominal execution costs of T1..T9 (Figure 1).
+pub const NOMINAL_EXEC: [f64; 9] = [20.0, 30.0, 30.0, 40.0, 50.0, 40.0, 40.0, 40.0, 10.0];
+
+/// Edges of the reconstructed Figure 1 graph as (src, dst, nominal communication cost),
+/// with 1-based task numbers matching the paper's labels.
+pub const EDGES: [(usize, usize, f64); 12] = [
+    (1, 2, 40.0),
+    (1, 3, 10.0),
+    (1, 5, 10.0),
+    (1, 7, 100.0),
+    (2, 6, 10.0),
+    (2, 7, 10.0),
+    (3, 8, 10.0),
+    (4, 8, 10.0),
+    (4, 5, 10.0),
+    (6, 9, 50.0),
+    (7, 9, 60.0),
+    (8, 9, 50.0),
+];
+
+/// Table 1: the actual execution cost of every task (row) on every processor (column).
+pub const TABLE1: [[f64; 4]; 9] = [
+    [39.0, 7.0, 2.0, 6.0],
+    [21.0, 50.0, 57.0, 56.0],
+    [15.0, 28.0, 39.0, 6.0],
+    [54.0, 14.0, 16.0, 55.0],
+    [45.0, 42.0, 97.0, 12.0],
+    [15.0, 20.0, 57.0, 78.0],
+    [33.0, 43.0, 51.0, 60.0],
+    [51.0, 18.0, 47.0, 74.0],
+    [8.0, 16.0, 15.0, 20.0],
+];
+
+/// Builds the reconstructed Figure 1 task graph.
+pub fn figure1_graph() -> TaskGraph {
+    let mut b = TaskGraphBuilder::with_capacity(9, EDGES.len());
+    for (i, &c) in NOMINAL_EXEC.iter().enumerate() {
+        b.add_task(format!("T{}", i + 1), c);
+    }
+    for &(s, d, c) in &EDGES {
+        b.add_edge(TaskId::from_index(s - 1), TaskId::from_index(d - 1), c)
+            .expect("reconstructed edge list is valid");
+    }
+    b.build().expect("reconstructed graph is a valid DAG")
+}
+
+/// The Table 1 cost matrix as row vectors (one row per task, one column per processor).
+pub fn table1_rows() -> Vec<Vec<f64>> {
+    TABLE1.iter().map(|r| r.to_vec()).collect()
+}
+
+/// The serial order derived in Section 2.2 from the *nominal* costs, as zero-based ids.
+pub fn nominal_serial_order() -> Vec<TaskId> {
+    [1, 2, 7, 4, 3, 8, 6, 9, 5]
+        .iter()
+        .map(|&i: &usize| TaskId::from_index(i - 1))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bsa_taskgraph::{GraphLevels, TopologicalOrder};
+
+    #[test]
+    fn graph_shape_matches_the_paper() {
+        let g = figure1_graph();
+        assert_eq!(g.num_tasks(), 9);
+        assert_eq!(g.num_edges(), 12);
+        assert!(g.is_weakly_connected());
+    }
+
+    #[test]
+    fn nominal_critical_path_is_t1_t7_t9() {
+        let g = figure1_graph();
+        let lv = GraphLevels::nominal(&g);
+        let cp = lv.critical_path(&g);
+        let names: Vec<String> = cp.tasks.iter().map(|&t| g.task(t).name.clone()).collect();
+        assert_eq!(names, vec!["T1", "T7", "T9"]);
+    }
+
+    #[test]
+    fn table1_cp_lengths_match_the_paper() {
+        let g = figure1_graph();
+        let expected = [240.0, 226.0, 235.0, 260.0];
+        for (p, &want) in expected.iter().enumerate() {
+            let col: Vec<f64> = TABLE1.iter().map(|row| row[p]).collect();
+            let got = GraphLevels::with_costs(&g, &col, 1.0).critical_path_length();
+            assert_eq!(got, want, "CP length w.r.t. P{}", p + 1);
+        }
+    }
+
+    #[test]
+    fn the_declared_serial_order_is_a_valid_linearization() {
+        let g = figure1_graph();
+        let order = nominal_serial_order();
+        assert!(TopologicalOrder::is_valid_linearization(&g, &order));
+    }
+
+    #[test]
+    fn t5_is_the_only_out_branch_task() {
+        // T5 is neither on the CP nor an ancestor of any CP task.
+        let g = figure1_graph();
+        let lv = GraphLevels::nominal(&g);
+        let cp = lv.critical_path(&g);
+        let mut is_ib_or_cp = vec![false; 9];
+        for &t in &cp.tasks {
+            is_ib_or_cp[t.index()] = true;
+            for (i, anc) in bsa_taskgraph::traversal::ancestors(&g, t).iter().enumerate() {
+                if *anc {
+                    is_ib_or_cp[i] = true;
+                }
+            }
+        }
+        let ob: Vec<usize> = (0..9).filter(|&i| !is_ib_or_cp[i]).collect();
+        assert_eq!(ob, vec![4]); // zero-based index of T5
+    }
+}

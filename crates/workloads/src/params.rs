@@ -1,0 +1,206 @@
+//! Cost parameters shared by every workload generator.
+
+use bsa_taskgraph::TaskGraph;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Describes how execution and communication costs are drawn.
+///
+/// The paper's regular applications have an average execution cost of ≈150; its random
+/// graphs draw execution costs uniformly from `[100, 200]`.  Communication costs are then
+/// chosen so that the *granularity* (average execution cost / average communication cost)
+/// hits a target value (0.1, 1.0 or 10.0 in the experiments).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostParams {
+    /// Lower bound of the uniform execution-cost distribution.
+    pub exec_min: f64,
+    /// Upper bound of the uniform execution-cost distribution.
+    pub exec_max: f64,
+    /// Target granularity = mean execution cost / mean communication cost.
+    pub granularity: f64,
+    /// Relative jitter applied to individual communication costs (0 = all equal to the
+    /// mean, 0.5 = uniform in ±50 % of the mean).  The paper does not specify the
+    /// communication-cost distribution; a mild jitter of 0.5 keeps messages heterogeneous
+    /// without changing the mean.
+    pub comm_jitter: f64,
+}
+
+impl CostParams {
+    /// The paper's configuration: execution costs uniform in `[100, 200]` (mean 150) and
+    /// the given granularity.
+    pub fn paper(granularity: f64) -> Self {
+        CostParams {
+            exec_min: 100.0,
+            exec_max: 200.0,
+            granularity,
+            comm_jitter: 0.5,
+        }
+    }
+
+    /// Uniform execution costs with zero jitter on communication.
+    pub fn fixed(exec: f64, granularity: f64) -> Self {
+        CostParams {
+            exec_min: exec,
+            exec_max: exec,
+            granularity,
+            comm_jitter: 0.0,
+        }
+    }
+
+    /// Mean of the execution-cost distribution.
+    pub fn mean_exec(&self) -> f64 {
+        0.5 * (self.exec_min + self.exec_max)
+    }
+
+    /// Mean communication cost implied by the granularity.
+    pub fn mean_comm(&self) -> f64 {
+        self.mean_exec() / self.granularity
+    }
+
+    /// Draws one execution cost.
+    pub fn sample_exec<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        if self.exec_min >= self.exec_max {
+            self.exec_min
+        } else {
+            rng.gen_range(self.exec_min..=self.exec_max)
+        }
+    }
+
+    /// Draws one communication cost.
+    pub fn sample_comm<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let mean = self.mean_comm();
+        if self.comm_jitter <= 0.0 {
+            mean
+        } else {
+            let lo = mean * (1.0 - self.comm_jitter);
+            let hi = mean * (1.0 + self.comm_jitter);
+            rng.gen_range(lo..=hi)
+        }
+    }
+
+    /// Validates the parameters.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.exec_min > 0.0 && self.exec_max >= self.exec_min) {
+            return Err(format!(
+                "invalid execution-cost range [{}, {}]",
+                self.exec_min, self.exec_max
+            ));
+        }
+        if !(self.granularity > 0.0) {
+            return Err(format!("granularity must be positive, got {}", self.granularity));
+        }
+        if !(0.0..1.0).contains(&self.comm_jitter) {
+            return Err(format!("comm_jitter must be in [0, 1), got {}", self.comm_jitter));
+        }
+        Ok(())
+    }
+}
+
+impl Default for CostParams {
+    fn default() -> Self {
+        CostParams::paper(1.0)
+    }
+}
+
+/// Rescales the communication costs of `graph` so its granularity (mean exec / mean comm)
+/// becomes exactly `granularity`.  Graphs without edges are returned unchanged.
+pub fn apply_granularity(graph: &TaskGraph, granularity: f64) -> TaskGraph {
+    assert!(granularity > 0.0, "granularity must be positive");
+    let mean_exec = graph.mean_execution_cost();
+    let mean_comm = graph.mean_communication_cost();
+    if mean_comm == 0.0 {
+        return graph.clone();
+    }
+    let target_mean_comm = mean_exec / granularity;
+    graph.scale_communication(target_mean_comm / mean_comm)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bsa_taskgraph::{GraphStats, TaskGraphBuilder};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn paper_params_have_mean_150() {
+        let p = CostParams::paper(0.1);
+        assert_eq!(p.mean_exec(), 150.0);
+        assert_eq!(p.mean_comm(), 1500.0);
+        p.validate().unwrap();
+    }
+
+    #[test]
+    fn sampling_respects_bounds() {
+        let p = CostParams::paper(1.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            let e = p.sample_exec(&mut rng);
+            assert!((100.0..=200.0).contains(&e));
+            let c = p.sample_comm(&mut rng);
+            assert!((75.0..=225.0).contains(&c));
+        }
+        let f = CostParams::fixed(10.0, 2.0);
+        assert_eq!(f.sample_exec(&mut rng), 10.0);
+        assert_eq!(f.sample_comm(&mut rng), 5.0);
+    }
+
+    #[test]
+    fn validation_rejects_bad_parameters() {
+        assert!(CostParams {
+            exec_min: -1.0,
+            exec_max: 10.0,
+            granularity: 1.0,
+            comm_jitter: 0.0
+        }
+        .validate()
+        .is_err());
+        assert!(CostParams {
+            exec_min: 1.0,
+            exec_max: 10.0,
+            granularity: 0.0,
+            comm_jitter: 0.0
+        }
+        .validate()
+        .is_err());
+        assert!(CostParams {
+            exec_min: 1.0,
+            exec_max: 10.0,
+            granularity: 1.0,
+            comm_jitter: 1.5
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn apply_granularity_hits_the_target_exactly() {
+        let mut b = TaskGraphBuilder::new();
+        let a = b.add_task("a", 100.0);
+        let c = b.add_task("c", 200.0);
+        let d = b.add_task("d", 300.0);
+        b.add_edge(a, c, 10.0).unwrap();
+        b.add_edge(c, d, 30.0).unwrap();
+        let g = b.build().unwrap();
+        for target in [0.1, 1.0, 10.0] {
+            let scaled = apply_granularity(&g, target);
+            let s = GraphStats::compute(&scaled);
+            assert!(
+                (s.granularity - target).abs() < 1e-9,
+                "granularity {} != {target}",
+                s.granularity
+            );
+            // Execution costs untouched.
+            assert_eq!(scaled.total_execution_cost(), 600.0);
+        }
+    }
+
+    #[test]
+    fn apply_granularity_leaves_edgeless_graphs_alone() {
+        let mut b = TaskGraphBuilder::new();
+        b.add_task("a", 100.0);
+        let g = b.build().unwrap();
+        let out = apply_granularity(&g, 0.1);
+        assert_eq!(out, g);
+    }
+}

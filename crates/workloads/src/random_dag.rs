@@ -1,0 +1,227 @@
+//! Random layered DAG generator (the paper's second benchmark suite).
+//!
+//! The paper: "randomly structured graphs with sizes varied from 50 to 500 … the execution
+//! cost of each task was randomly selected from a uniform distribution with range
+//! [100, 200] … three granularities (0.1, 1.0, 10.0) were selected for each graph size",
+//! and the graphs are connected (`n−1 ≤ e < n²`).
+//!
+//! The generator places the `n` tasks into `L ≈ √n`-ish layers of random width, adds for
+//! every non-first-layer task at least one edge from the previous layer (guaranteeing it
+//! has a predecessor), sprinkles additional forward edges with a configurable probability,
+//! and finally connects any remaining weakly-connected components so the result is a single
+//! connected DAG.
+
+use crate::params::CostParams;
+use bsa_taskgraph::{GraphError, TaskGraph, TaskGraphBuilder, TaskId};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Structural knobs of the random generator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RandomDagParams {
+    /// Number of tasks.
+    pub num_tasks: usize,
+    /// Average number of tasks per layer (layer widths are drawn uniformly in
+    /// `[1, 2·avg_width]`).
+    pub avg_width: usize,
+    /// Probability of adding an extra edge between a task and each task of the previous
+    /// layer (beyond the one mandatory predecessor).
+    pub edge_probability: f64,
+    /// Probability of adding a "skip" edge from a layer at distance ≥ 2.
+    pub skip_probability: f64,
+}
+
+impl RandomDagParams {
+    /// A reasonable default: width ≈ √n, 25 % extra edges, 5 % skip edges.
+    pub fn for_size(num_tasks: usize) -> Self {
+        RandomDagParams {
+            num_tasks,
+            avg_width: (num_tasks as f64).sqrt().round().max(1.0) as usize,
+            edge_probability: 0.25,
+            skip_probability: 0.05,
+        }
+    }
+}
+
+/// Generates a connected random layered DAG with the given structure and costs.
+pub fn random_layered<R: Rng + ?Sized>(
+    structure: &RandomDagParams,
+    costs: &CostParams,
+    rng: &mut R,
+) -> Result<TaskGraph, GraphError> {
+    assert!(structure.num_tasks >= 1, "need at least one task");
+    costs.validate().map_err(GraphError::InvalidCost)?;
+    let n = structure.num_tasks;
+
+    // Partition tasks into layers.
+    let mut layers: Vec<Vec<usize>> = Vec::new();
+    let mut next = 0usize;
+    while next < n {
+        let max_w = (2 * structure.avg_width).max(1);
+        let w = rng.gen_range(1..=max_w).min(n - next);
+        layers.push((next..next + w).collect());
+        next += w;
+    }
+
+    let mut b = TaskGraphBuilder::with_capacity(n, 4 * n);
+    for i in 0..n {
+        b.add_task(format!("rt{i}"), costs.sample_exec(rng));
+    }
+    let tid = TaskId::from_index;
+
+    // Mandatory predecessor + extra edges from the previous layer.
+    for l in 1..layers.len() {
+        let prev = &layers[l - 1];
+        for &dst in &layers[l] {
+            let forced = prev[rng.gen_range(0..prev.len())];
+            b.add_edge(tid(forced), tid(dst), costs.sample_comm(rng))?;
+            for &src in prev {
+                if src != forced && rng.gen_bool(structure.edge_probability) {
+                    let _ = b.add_edge(tid(src), tid(dst), costs.sample_comm(rng));
+                }
+            }
+        }
+    }
+    // Skip edges.
+    if structure.skip_probability > 0.0 {
+        for l in 2..layers.len() {
+            for &dst in &layers[l] {
+                for earlier in 0..(l - 1) {
+                    for &src in &layers[earlier] {
+                        if rng.gen_bool(structure.skip_probability) && !b.has_edge(tid(src), tid(dst))
+                        {
+                            let _ = b.add_edge(tid(src), tid(dst), costs.sample_comm(rng));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    let graph = b.build()?;
+    if graph.is_weakly_connected() {
+        return Ok(graph);
+    }
+    // Rare case (single-layer graphs or isolated first-layer tasks): stitch components by
+    // adding an edge from task 0 to one representative of every other component.
+    let mut comp = vec![usize::MAX; n];
+    let mut ncomp = 0usize;
+    for start in 0..n {
+        if comp[start] != usize::MAX {
+            continue;
+        }
+        let id = ncomp;
+        ncomp += 1;
+        let mut stack = vec![TaskId::from_index(start)];
+        comp[start] = id;
+        while let Some(u) = stack.pop() {
+            for v in graph.predecessors(u).chain(graph.successors(u)) {
+                if comp[v.index()] == usize::MAX {
+                    comp[v.index()] = id;
+                    stack.push(v);
+                }
+            }
+        }
+    }
+    let mut b2 = TaskGraphBuilder::with_capacity(n, graph.num_edges() + ncomp);
+    for t in graph.tasks() {
+        b2.add_task(t.name.clone(), t.nominal_cost);
+    }
+    for e in graph.edges() {
+        b2.add_edge(e.src, e.dst, e.nominal_cost)?;
+    }
+    let root_comp = comp[0];
+    let mut linked = vec![false; ncomp];
+    linked[root_comp] = true;
+    for i in 1..n {
+        if !linked[comp[i]] {
+            linked[comp[i]] = true;
+            b2.add_edge(TaskId(0), TaskId::from_index(i), costs.sample_comm(rng))?;
+        }
+    }
+    b2.build()
+}
+
+/// Convenience wrapper matching the paper's suite: `n` tasks, default structure, execution
+/// costs in `[100, 200]` and the requested granularity.
+pub fn paper_random_graph<R: Rng + ?Sized>(
+    n: usize,
+    granularity: f64,
+    rng: &mut R,
+) -> Result<TaskGraph, GraphError> {
+    random_layered(
+        &RandomDagParams::for_size(n),
+        &CostParams::paper(granularity),
+        rng,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bsa_taskgraph::GraphStats;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn generates_connected_dags_of_the_requested_size() {
+        for &n in &[1usize, 2, 10, 50, 137, 250] {
+            let mut rng = StdRng::seed_from_u64(n as u64);
+            let g = paper_random_graph(n, 1.0, &mut rng).unwrap();
+            assert_eq!(g.num_tasks(), n);
+            assert!(g.is_weakly_connected(), "n = {n} must be connected");
+            if n > 1 {
+                assert!(g.num_edges() >= n - 1);
+            }
+        }
+    }
+
+    #[test]
+    fn execution_costs_are_in_the_paper_range() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = paper_random_graph(200, 1.0, &mut rng).unwrap();
+        for t in g.tasks() {
+            assert!((100.0..=200.0).contains(&t.nominal_cost));
+        }
+    }
+
+    #[test]
+    fn granularity_is_close_to_the_target() {
+        for gran in [0.1, 1.0, 10.0] {
+            let mut rng = StdRng::seed_from_u64(7);
+            let g = paper_random_graph(300, gran, &mut rng).unwrap();
+            let s = GraphStats::compute(&g);
+            // Sampled, so allow a generous tolerance.
+            assert!(
+                (s.granularity - gran).abs() / gran < 0.15,
+                "granularity {} too far from {gran}",
+                s.granularity
+            );
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let a = paper_random_graph(80, 1.0, &mut StdRng::seed_from_u64(11)).unwrap();
+        let b = paper_random_graph(80, 1.0, &mut StdRng::seed_from_u64(11)).unwrap();
+        let c = paper_random_graph(80, 1.0, &mut StdRng::seed_from_u64(12)).unwrap();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn custom_structure_parameters_are_respected_roughly() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let params = RandomDagParams {
+            num_tasks: 100,
+            avg_width: 2,
+            edge_probability: 0.9,
+            skip_probability: 0.0,
+        };
+        let g = random_layered(&params, &CostParams::paper(1.0), &mut rng).unwrap();
+        assert_eq!(g.num_tasks(), 100);
+        // Narrow layers + high edge probability => deep graph with many edges.
+        let s = GraphStats::compute(&g);
+        assert!(s.depth >= 20, "expected a deep graph, got depth {}", s.depth);
+    }
+}

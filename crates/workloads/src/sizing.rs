@@ -1,0 +1,171 @@
+//! Mapping from a target task count to a generator dimension.
+//!
+//! The paper varies the regular-application graphs from ≈50 to ≈500 tasks in increments of
+//! 50 by adjusting the matrix dimension `N`.  Every regular application has its own
+//! `tasks(N)` formula; [`dimension_for_tasks`] inverts it (choosing the `N` whose task count
+//! is closest to the target), and [`RegularApp`] enumerates the applications used in the
+//! Figure 3/5 experiments.
+
+use crate::params::CostParams;
+use crate::{gaussian, laplace, lu, mva};
+use bsa_taskgraph::{GraphError, TaskGraph};
+use serde::{Deserialize, Serialize};
+
+/// The regular applications of the paper's first benchmark suite.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RegularApp {
+    /// Column-oriented Gaussian elimination.
+    GaussianElimination,
+    /// LU decomposition.
+    LuDecomposition,
+    /// Laplace equation solver (wavefront).
+    Laplace,
+    /// Mean value analysis (triangular lattice).
+    MeanValueAnalysis,
+}
+
+impl RegularApp {
+    /// The three applications averaged in Figures 3 and 5 (the paper says "three graph
+    /// types"); MVA is also available for extra experiments.
+    pub const PAPER_SET: [RegularApp; 3] = [
+        RegularApp::GaussianElimination,
+        RegularApp::LuDecomposition,
+        RegularApp::Laplace,
+    ];
+
+    /// All four regular applications.
+    pub const ALL: [RegularApp; 4] = [
+        RegularApp::GaussianElimination,
+        RegularApp::LuDecomposition,
+        RegularApp::Laplace,
+        RegularApp::MeanValueAnalysis,
+    ];
+
+    /// Short label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            RegularApp::GaussianElimination => "gauss",
+            RegularApp::LuDecomposition => "lu",
+            RegularApp::Laplace => "laplace",
+            RegularApp::MeanValueAnalysis => "mva",
+        }
+    }
+
+    /// Number of tasks produced for dimension `n`.
+    pub fn num_tasks(self, n: usize) -> usize {
+        match self {
+            RegularApp::GaussianElimination => gaussian::num_tasks(n),
+            RegularApp::LuDecomposition => lu::num_tasks(n),
+            RegularApp::Laplace => laplace::num_tasks(n),
+            RegularApp::MeanValueAnalysis => mva::num_tasks(n),
+        }
+    }
+
+    /// Smallest admissible dimension.
+    pub fn min_dimension(self) -> usize {
+        match self {
+            RegularApp::GaussianElimination | RegularApp::LuDecomposition => 2,
+            RegularApp::Laplace | RegularApp::MeanValueAnalysis => 1,
+        }
+    }
+
+    /// Builds the application graph for dimension `n`.
+    pub fn build(self, n: usize, params: &CostParams) -> Result<TaskGraph, GraphError> {
+        match self {
+            RegularApp::GaussianElimination => gaussian::gaussian_elimination(n, params),
+            RegularApp::LuDecomposition => lu::lu_decomposition(n, params),
+            RegularApp::Laplace => laplace::laplace_solver(n, params),
+            RegularApp::MeanValueAnalysis => mva::mean_value_analysis(n, params),
+        }
+    }
+
+    /// Builds the application graph whose size is closest to `target_tasks`.
+    pub fn build_for_size(
+        self,
+        target_tasks: usize,
+        params: &CostParams,
+    ) -> Result<TaskGraph, GraphError> {
+        let n = dimension_for_tasks(self, target_tasks);
+        self.build(n, params)
+    }
+}
+
+impl std::fmt::Display for RegularApp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// The dimension `N` whose task count is closest to `target_tasks` (ties prefer the smaller
+/// dimension).
+pub fn dimension_for_tasks(app: RegularApp, target_tasks: usize) -> usize {
+    let mut best_n = app.min_dimension();
+    let mut best_err = usize::MAX;
+    let mut n = app.min_dimension();
+    loop {
+        let count = app.num_tasks(n);
+        let err = count.abs_diff(target_tasks);
+        if err < best_err {
+            best_err = err;
+            best_n = n;
+        }
+        if count >= target_tasks {
+            break;
+        }
+        n += 1;
+        if n > 100_000 {
+            break;
+        }
+    }
+    best_n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dimension_for_tasks_brackets_the_target() {
+        for app in RegularApp::ALL {
+            for target in (50..=500).step_by(50) {
+                let n = dimension_for_tasks(app, target);
+                let count = app.num_tasks(n);
+                // Must be within one dimension step of the target.
+                let below = if n > app.min_dimension() {
+                    app.num_tasks(n - 1)
+                } else {
+                    0
+                };
+                let above = app.num_tasks(n + 1);
+                assert!(
+                    count.abs_diff(target) <= below.abs_diff(target)
+                        && count.abs_diff(target) <= above.abs_diff(target),
+                    "{app}: target {target}, got n = {n} ({count} tasks)"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn build_for_size_produces_graphs_near_the_target() {
+        let p = CostParams::paper(1.0);
+        for app in RegularApp::PAPER_SET {
+            for target in [50usize, 250, 500] {
+                let g = app.build_for_size(target, &p).unwrap();
+                let rel_err = g.num_tasks().abs_diff(target) as f64 / target as f64;
+                assert!(
+                    rel_err < 0.25,
+                    "{app}: {} tasks vs target {target}",
+                    g.num_tasks()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let labels: std::collections::HashSet<_> =
+            RegularApp::ALL.iter().map(|a| a.label()).collect();
+        assert_eq!(labels.len(), 4);
+    }
+}

@@ -1,0 +1,81 @@
+//! Iterative 1-D stencil (e.g. Jacobi over a vector) task graph.
+//!
+//! `width` cells are updated for `steps` time steps; cell `i` at step `t` needs cells
+//! `i−1`, `i`, `i+1` from step `t−1`.  Used by examples and extra benches as a
+//! communication-heavy, regular workload with many entry tasks.
+
+use crate::params::CostParams;
+use bsa_taskgraph::{GraphError, TaskGraph, TaskGraphBuilder, TaskId};
+
+/// Number of tasks of the stencil graph.
+pub fn num_tasks(width: usize, steps: usize) -> usize {
+    width * steps
+}
+
+/// Builds the `width × steps` 1-D three-point stencil task graph.
+///
+/// # Panics
+/// Panics if `width == 0` or `steps == 0`.
+pub fn stencil_1d(width: usize, steps: usize, params: &CostParams) -> Result<TaskGraph, GraphError> {
+    assert!(width >= 1 && steps >= 1, "stencil needs width >= 1 and steps >= 1");
+    params.validate().map_err(GraphError::InvalidCost)?;
+    let exec = params.mean_exec();
+    let comm = params.mean_comm();
+
+    let mut b = TaskGraphBuilder::with_capacity(width * steps, 3 * width * steps);
+    let mut ids = vec![vec![TaskId(0); width]; steps];
+    for t in 0..steps {
+        for i in 0..width {
+            ids[t][i] = b.add_task(format!("stencil({t},{i})"), exec);
+        }
+    }
+    for t in 1..steps {
+        for i in 0..width {
+            let lo = i.saturating_sub(1);
+            let hi = (i + 1).min(width - 1);
+            for j in lo..=hi {
+                b.add_edge(ids[t - 1][j], ids[t][i], comm)?;
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bsa_taskgraph::GraphStats;
+
+    #[test]
+    fn counts_and_shape() {
+        let g = stencil_1d(8, 5, &CostParams::paper(1.0)).unwrap();
+        assert_eq!(g.num_tasks(), 40);
+        assert!(g.is_weakly_connected());
+        let s = GraphStats::compute(&g);
+        assert_eq!(s.depth, 5);
+        assert_eq!(s.width, 8);
+        assert_eq!(s.num_sources, 8);
+        assert_eq!(s.num_sinks, 8);
+    }
+
+    #[test]
+    fn interior_tasks_have_three_predecessors_borders_have_two() {
+        let g = stencil_1d(5, 3, &CostParams::paper(1.0)).unwrap();
+        // Second time-step tasks are ids 5..10; interior ones have 3 preds.
+        assert_eq!(g.in_degree(TaskId(5)), 2); // left border
+        assert_eq!(g.in_degree(TaskId(6)), 3);
+        assert_eq!(g.in_degree(TaskId(9)), 2); // right border
+    }
+
+    #[test]
+    fn single_step_has_no_edges() {
+        let g = stencil_1d(4, 1, &CostParams::paper(1.0)).unwrap();
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "width >= 1")]
+    fn rejects_zero_width() {
+        let _ = stencil_1d(0, 3, &CostParams::paper(1.0));
+    }
+}

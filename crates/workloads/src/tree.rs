@@ -1,0 +1,98 @@
+//! In-tree (reduction) and out-tree (broadcast/divide) task graphs.
+
+use crate::params::CostParams;
+use bsa_taskgraph::{GraphError, TaskGraph, TaskGraphBuilder, TaskId};
+
+/// Number of nodes of a complete tree with the given branching factor and depth
+/// (depth 1 = just the root).
+pub fn num_tasks(branching: usize, depth: usize) -> usize {
+    if branching == 1 {
+        return depth;
+    }
+    (branching.pow(depth as u32) - 1) / (branching - 1)
+}
+
+/// Builds an **out-tree**: the root forks work towards the leaves (divide phase).
+pub fn out_tree(branching: usize, depth: usize, params: &CostParams) -> Result<TaskGraph, GraphError> {
+    assert!(branching >= 1 && depth >= 1, "tree needs branching >= 1 and depth >= 1");
+    params.validate().map_err(GraphError::InvalidCost)?;
+    let exec = params.mean_exec();
+    let comm = params.mean_comm();
+    let total = num_tasks(branching, depth);
+    let mut b = TaskGraphBuilder::with_capacity(total, total);
+    for i in 0..total {
+        b.add_task(format!("node{i}"), exec);
+    }
+    for i in 0..total {
+        for c in 0..branching {
+            let child = i * branching + c + 1;
+            if child < total {
+                b.add_edge(TaskId::from_index(i), TaskId::from_index(child), comm)?;
+            }
+        }
+    }
+    b.build()
+}
+
+/// Builds an **in-tree**: the leaves reduce towards the root (conquer phase).
+pub fn in_tree(branching: usize, depth: usize, params: &CostParams) -> Result<TaskGraph, GraphError> {
+    assert!(branching >= 1 && depth >= 1, "tree needs branching >= 1 and depth >= 1");
+    params.validate().map_err(GraphError::InvalidCost)?;
+    let exec = params.mean_exec();
+    let comm = params.mean_comm();
+    let total = num_tasks(branching, depth);
+    let mut b = TaskGraphBuilder::with_capacity(total, total);
+    for i in 0..total {
+        b.add_task(format!("node{i}"), exec);
+    }
+    for i in 0..total {
+        for c in 0..branching {
+            let child = i * branching + c + 1;
+            if child < total {
+                b.add_edge(TaskId::from_index(child), TaskId::from_index(i), comm)?;
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_counts() {
+        assert_eq!(num_tasks(2, 1), 1);
+        assert_eq!(num_tasks(2, 3), 7);
+        assert_eq!(num_tasks(3, 3), 13);
+        assert_eq!(num_tasks(1, 5), 5);
+    }
+
+    #[test]
+    fn out_tree_has_single_source_many_sinks() {
+        let g = out_tree(2, 4, &CostParams::paper(1.0)).unwrap();
+        assert_eq!(g.num_tasks(), 15);
+        assert_eq!(g.sources().len(), 1);
+        assert_eq!(g.sinks().len(), 8);
+        assert!(g.is_weakly_connected());
+    }
+
+    #[test]
+    fn in_tree_is_the_reverse_of_out_tree() {
+        let o = out_tree(3, 3, &CostParams::paper(1.0)).unwrap();
+        let i = in_tree(3, 3, &CostParams::paper(1.0)).unwrap();
+        assert_eq!(o.num_tasks(), i.num_tasks());
+        assert_eq!(o.num_edges(), i.num_edges());
+        assert_eq!(o.sources().len(), i.sinks().len());
+        assert_eq!(o.sinks().len(), i.sources().len());
+    }
+
+    #[test]
+    fn unary_tree_is_a_chain() {
+        let g = out_tree(1, 6, &CostParams::paper(1.0)).unwrap();
+        assert_eq!(g.num_tasks(), 6);
+        assert_eq!(g.num_edges(), 5);
+        assert_eq!(g.sources().len(), 1);
+        assert_eq!(g.sinks().len(), 1);
+    }
+}

@@ -1,0 +1,62 @@
+//! Quick-start example: build a small task graph by hand, schedule it on a heterogeneous
+//! ring with BSA and with DLS, validate both schedules and print Gantt charts.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use bsa::prelude::*;
+use bsa::schedule::gantt::{render, GanttOptions};
+use bsa::schedule::validate;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    // 1. A small pipeline-with-fan-out program: one producer, four workers, one reducer.
+    let mut builder = TaskGraphBuilder::new();
+    let producer = builder.add_task("produce", 40.0);
+    let workers: Vec<TaskId> = (0..4)
+        .map(|i| builder.add_task(format!("work{i}"), 100.0))
+        .collect();
+    let reducer = builder.add_task("reduce", 30.0);
+    for &w in &workers {
+        builder.add_edge(producer, w, 25.0).unwrap();
+        builder.add_edge(w, reducer, 25.0).unwrap();
+    }
+    let graph = builder.build().unwrap();
+    println!(
+        "task graph: {} tasks, {} messages, critical path {:.0}",
+        graph.num_tasks(),
+        graph.num_edges(),
+        GraphLevels::nominal(&graph).critical_path_length()
+    );
+
+    // 2. A heterogeneous 6-processor ring: execution factors uniform in [1, 5], homogeneous
+    //    links (set the second range to something wider to make links heterogeneous too).
+    let mut rng = StdRng::seed_from_u64(7);
+    let system = HeterogeneousSystem::generate(
+        &graph,
+        bsa::network::builders::ring(6).unwrap(),
+        HeterogeneityRange::new(1.0, 5.0),
+        HeterogeneityRange::homogeneous(),
+        &mut rng,
+    );
+
+    // 3. Schedule with BSA (the paper's algorithm) and DLS (the baseline).
+    for scheduler in [&Bsa::default() as &dyn Scheduler, &Dls::new()] {
+        let schedule = scheduler.schedule(&graph, &system).unwrap();
+        let errors = validate::validate(&schedule, &graph, &system);
+        assert!(errors.is_empty(), "schedule must satisfy the contention model");
+        let metrics = ScheduleMetrics::compute(&schedule, &graph, &system);
+        println!("\n=== {} ===", scheduler.name());
+        println!(
+            "schedule length {:.1}, speedup {:.2}, processors used {}, communication {:.1}",
+            metrics.schedule_length,
+            metrics.speedup,
+            metrics.processors_used,
+            metrics.total_communication_cost
+        );
+        println!(
+            "{}",
+            render(&schedule, &graph, &system.topology, &GanttOptions::default())
+        );
+    }
+}

@@ -1,0 +1,64 @@
+//! # bsa
+//!
+//! Facade crate of the reproduction of Kwok & Ahmad, *"Link Contention-Constrained
+//! Scheduling and Mapping of Tasks and Messages to a Network of Heterogeneous Processors"*
+//! (ICPP 1999).
+//!
+//! It re-exports the workspace crates under stable module names so applications can depend
+//! on a single crate:
+//!
+//! * [`taskgraph`] — weighted DAG model (t-level / b-level / critical path);
+//! * [`workloads`] — benchmark graph generators (Gaussian elimination, LU, Laplace, MVA,
+//!   random layered DAGs, the paper's worked example);
+//! * [`network`] — heterogeneous processor networks (topologies, routing tables, cost
+//!   matrices);
+//! * [`schedule`] — schedule representation, validation, metrics, Gantt rendering;
+//! * [`core`] — the BSA algorithm itself;
+//! * [`baselines`] — DLS, HEFT variants and reference schedulers.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use bsa::prelude::*;
+//!
+//! // A small fork-join program.
+//! let graph = bsa::workloads::fork_join::fork_join(2, 3, &CostParams::fixed(100.0, 1.0)).unwrap();
+//! // A heterogeneous 8-processor ring.
+//! let mut rng: rand::rngs::StdRng = rand::SeedableRng::seed_from_u64(42);
+//! let system = HeterogeneousSystem::generate(
+//!     &graph,
+//!     bsa::network::builders::ring(8).unwrap(),
+//!     HeterogeneityRange::new(1.0, 10.0),
+//!     HeterogeneityRange::homogeneous(),
+//!     &mut rng,
+//! );
+//! // Schedule with BSA and with the DLS baseline.
+//! let bsa_schedule = Bsa::default().schedule(&graph, &system).unwrap();
+//! let dls_schedule = Dls::new().schedule(&graph, &system).unwrap();
+//! assert!(bsa::schedule::validate::validate(&bsa_schedule, &graph, &system).is_empty());
+//! assert!(bsa_schedule.schedule_length() > 0.0);
+//! assert!(dls_schedule.schedule_length() > 0.0);
+//! ```
+
+pub use bsa_baselines as baselines;
+pub use bsa_core as core;
+pub use bsa_network as network;
+pub use bsa_schedule as schedule;
+pub use bsa_taskgraph as taskgraph;
+pub use bsa_workloads as workloads;
+
+/// The most commonly used items from every sub-crate.
+pub mod prelude {
+    pub use bsa_baselines::{ContentionObliviousHeft, Dls, Heft, SerialScheduler};
+    pub use bsa_core::{Bsa, BsaConfig, PivotStrategy};
+    pub use bsa_network::builders::TopologyKind;
+    pub use bsa_network::{
+        CommCostModel, ExecutionCostMatrix, HeterogeneityRange, HeterogeneousSystem, LinkId,
+        ProcId, RoutingTable, Topology,
+    };
+    pub use bsa_schedule::{Schedule, ScheduleMetrics, Scheduler};
+    pub use bsa_taskgraph::{
+        EdgeId, GraphLevels, GraphStats, TaskGraph, TaskGraphBuilder, TaskId,
+    };
+    pub use bsa_workloads::prelude::*;
+}

@@ -1,0 +1,162 @@
+//! Qualitative "shape" tests: scaled-down versions of the paper's Figures 3–7 whose
+//! *relative* conclusions must hold even at small scale.  The experimental setup follows
+//! the paper: execution **and** link heterogeneity factors drawn uniformly from `[1, R]`
+//! (R = 50 unless stated otherwise), random layered task graphs, 8–16 processors.
+//!
+//! Checked shapes:
+//!
+//! * BSA produces shorter schedules than DLS on the ring (low connectivity), with the
+//!   margin largest at low granularity — the paper's headline result;
+//! * BSA stays competitive on the clique (high connectivity);
+//! * higher processor connectivity (clique) yields shorter schedules than a ring;
+//! * lower granularity (communication-heavy) yields longer schedules;
+//! * wider heterogeneity ranges yield longer schedules for both algorithms (Figure 7);
+//! * contention awareness pays off at low granularity (the paper's motivation).
+//!
+//! Every comparison is averaged over several instances so the assertions are robust to the
+//! randomness of individual graphs.  Absolute numbers are NOT compared against the paper —
+//! EXPERIMENTS.md records the measured values and discusses the deviations (in our
+//! reproduction BSA loses to DLS at coarse granularity on densely connected topologies;
+//! see the "Fidelity and deviations" section there).
+
+use bsa::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Average schedule lengths of (DLS, BSA) over several random graphs with the paper's
+/// factor model (both execution and link factors in `[1, hetero]`).
+fn average_lengths(
+    size: usize,
+    granularity: f64,
+    kind: TopologyKind,
+    procs: usize,
+    hetero: f64,
+    seeds: std::ops::Range<u64>,
+) -> (f64, f64) {
+    let mut dls_sum = 0.0;
+    let mut bsa_sum = 0.0;
+    let mut count = 0.0;
+    for seed in seeds {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let graph =
+            bsa::workloads::random_dag::paper_random_graph(size, granularity, &mut rng).unwrap();
+        let topology = kind.build(procs, &mut rng).unwrap();
+        let system = HeterogeneousSystem::generate(
+            &graph,
+            topology,
+            HeterogeneityRange::new(1.0, hetero),
+            HeterogeneityRange::new(1.0, hetero),
+            &mut rng,
+        );
+        dls_sum += Dls::new().schedule(&graph, &system).unwrap().schedule_length();
+        bsa_sum += Bsa::default()
+            .schedule(&graph, &system)
+            .unwrap()
+            .schedule_length();
+        count += 1.0;
+    }
+    (dls_sum / count, bsa_sum / count)
+}
+
+#[test]
+fn bsa_outperforms_dls_on_the_ring_at_fine_and_medium_granularity() {
+    // The paper's headline: BSA wins, with the largest margin at low connectivity and low
+    // granularity.  The paper's machine size (16 processors) is used; with very few
+    // processors the serialisation-plus-diffusion strategy has too little room to win.
+    let (dls_fine, bsa_fine) = average_lengths(80, 0.1, TopologyKind::Ring, 16, 50.0, 0..4);
+    assert!(
+        bsa_fine < dls_fine,
+        "granularity 0.1: BSA ({bsa_fine:.0}) must beat DLS ({dls_fine:.0}) on a ring"
+    );
+    let (dls_med, bsa_med) = average_lengths(80, 1.0, TopologyKind::Ring, 16, 50.0, 0..4);
+    assert!(
+        bsa_med < dls_med,
+        "granularity 1.0: BSA ({bsa_med:.0}) must beat DLS ({dls_med:.0}) on a ring"
+    );
+    // The relative improvement is larger at the lower granularity.
+    assert!(
+        bsa_fine / dls_fine <= bsa_med / dls_med + 0.05,
+        "the improvement should not shrink as granularity drops"
+    );
+}
+
+#[test]
+fn bsa_is_competitive_on_the_clique_at_fine_granularity() {
+    let (dls, bsa) = average_lengths(80, 0.1, TopologyKind::Clique, 16, 50.0, 10..14);
+    assert!(
+        bsa < dls * 1.25,
+        "BSA ({bsa:.0}) should stay within 25% of DLS ({dls:.0}) on a clique at granularity 0.1"
+    );
+}
+
+#[test]
+fn higher_connectivity_gives_shorter_schedules() {
+    let (dls_ring, bsa_ring) = average_lengths(60, 1.0, TopologyKind::Ring, 8, 50.0, 20..24);
+    let (dls_clique, bsa_clique) = average_lengths(60, 1.0, TopologyKind::Clique, 8, 50.0, 20..24);
+    assert!(
+        bsa_clique < bsa_ring,
+        "BSA: clique ({bsa_clique:.0}) should beat ring ({bsa_ring:.0})"
+    );
+    assert!(
+        dls_clique < dls_ring,
+        "DLS: clique ({dls_clique:.0}) should beat ring ({dls_ring:.0})"
+    );
+}
+
+#[test]
+fn lower_granularity_means_longer_schedules() {
+    let (dls_fine, bsa_fine) = average_lengths(50, 0.1, TopologyKind::Hypercube, 8, 50.0, 30..34);
+    let (dls_coarse, bsa_coarse) =
+        average_lengths(50, 10.0, TopologyKind::Hypercube, 8, 50.0, 30..34);
+    assert!(
+        bsa_fine > bsa_coarse,
+        "BSA: communication-heavy graphs ({bsa_fine:.0}) must take longer than coarse ones ({bsa_coarse:.0})"
+    );
+    assert!(
+        dls_fine > dls_coarse,
+        "DLS: communication-heavy graphs ({dls_fine:.0}) must take longer than coarse ones ({dls_coarse:.0})"
+    );
+}
+
+#[test]
+fn wider_heterogeneity_ranges_give_longer_schedules() {
+    let (dls_narrow, bsa_narrow) =
+        average_lengths(60, 1.0, TopologyKind::Hypercube, 8, 10.0, 40..44);
+    let (dls_wide, bsa_wide) = average_lengths(60, 1.0, TopologyKind::Hypercube, 8, 200.0, 40..44);
+    assert!(
+        bsa_wide > bsa_narrow,
+        "wider factor range must slow BSA down ({bsa_narrow:.0} -> {bsa_wide:.0})"
+    );
+    assert!(
+        dls_wide > dls_narrow,
+        "wider factor range must slow DLS down ({dls_narrow:.0} -> {dls_wide:.0})"
+    );
+}
+
+#[test]
+fn contention_awareness_pays_off_at_low_granularity_on_the_ring() {
+    // Ablation A3 shape: contention-aware HEFT beats the re-simulated oblivious HEFT on
+    // communication-heavy workloads over a sparse topology, on average.
+    let mut aware_sum = 0.0;
+    let mut oblivious_sum = 0.0;
+    for seed in 50..56u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let graph = bsa::workloads::random_dag::paper_random_graph(50, 0.1, &mut rng).unwrap();
+        let system = HeterogeneousSystem::generate(
+            &graph,
+            bsa::network::builders::ring(8).unwrap(),
+            HeterogeneityRange::DEFAULT,
+            HeterogeneityRange::DEFAULT,
+            &mut rng,
+        );
+        aware_sum += Heft::new().schedule(&graph, &system).unwrap().schedule_length();
+        oblivious_sum += ContentionObliviousHeft::new()
+            .schedule(&graph, &system)
+            .unwrap()
+            .schedule_length();
+    }
+    assert!(
+        aware_sum < oblivious_sum,
+        "contention-aware HEFT ({aware_sum:.0}) should beat oblivious HEFT ({oblivious_sum:.0}) in total"
+    );
+}

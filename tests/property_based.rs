@@ -1,0 +1,138 @@
+//! Property-based tests (proptest) over the core data structures and invariants:
+//!
+//! * graph levels: `t_level + b_level ≤ CP length` with equality exactly on CP tasks,
+//!   b-levels decrease along edges;
+//! * serialization always yields a valid linearization with CP tasks in path order;
+//! * every scheduler yields a schedule that passes full validation on arbitrary layered
+//!   DAGs and ring/clique topologies;
+//! * the schedule-length metric equals the maximum finish time and is never smaller than
+//!   the cheapest critical path under the actual costs.
+
+use bsa::prelude::*;
+use bsa::schedule::validate;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Strategy: parameters of a random layered DAG plus an instance seed.
+fn dag_params() -> impl Strategy<Value = (usize, f64, u64)> {
+    (10usize..60, prop_oneof![Just(0.1), Just(1.0), Just(10.0)], any::<u64>())
+}
+
+fn build_graph(n: usize, granularity: f64, seed: u64) -> TaskGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    bsa::workloads::random_dag::paper_random_graph(n, granularity, &mut rng).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn levels_invariants_hold((n, gran, seed) in dag_params()) {
+        let graph = build_graph(n, gran, seed);
+        let levels = GraphLevels::nominal(&graph);
+        let cp = levels.critical_path_length();
+        for t in graph.task_ids() {
+            let sum = levels.t_level(t) + levels.b_level(t);
+            prop_assert!(sum <= cp + 1e-6 * cp.max(1.0));
+            prop_assert!(levels.b_level(t) >= graph.task(t).nominal_cost - 1e-9);
+            prop_assert!(levels.static_level(t) <= levels.b_level(t) + 1e-9);
+        }
+        for e in graph.edges() {
+            prop_assert!(
+                levels.b_level(e.src) >= levels.b_level(e.dst) + graph.task(e.src).nominal_cost - 1e-6,
+                "b-level must decrease along edges"
+            );
+            prop_assert!(levels.t_level(e.dst) >= levels.t_level(e.src) + graph.task(e.src).nominal_cost - 1e-6);
+        }
+        let path = levels.critical_path(&graph);
+        prop_assert!(!path.tasks.is_empty());
+        for t in &path.tasks {
+            prop_assert!(levels.on_critical_path(*t));
+        }
+    }
+
+    #[test]
+    fn serialization_is_a_valid_linearization_for_arbitrary_costs(
+        (n, gran, seed) in dag_params(),
+        cost_scale in 1.0f64..50.0,
+    ) {
+        let graph = build_graph(n, gran, seed);
+        let costs: Vec<f64> = graph.tasks().map(|t| t.nominal_cost * cost_scale).collect();
+        let s = bsa::core::serialize(&graph, &costs);
+        prop_assert!(bsa::taskgraph::TopologicalOrder::is_valid_linearization(&graph, &s.order));
+        // CP tasks appear in path order.
+        let mut last = 0usize;
+        for t in &s.critical_path {
+            let pos = s.order.iter().position(|x| x == t).unwrap();
+            prop_assert!(pos >= last);
+            last = pos;
+        }
+    }
+
+    #[test]
+    fn bsa_and_dls_schedules_are_always_valid((n, gran, seed) in dag_params()) {
+        let graph = build_graph(n, gran, seed);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xDEAD_BEEF);
+        let kind = if seed % 2 == 0 { TopologyKind::Ring } else { TopologyKind::Clique };
+        let topology = kind.build(6, &mut rng).unwrap();
+        let system = HeterogeneousSystem::generate(
+            &graph,
+            topology,
+            HeterogeneityRange::DEFAULT,
+            HeterogeneityRange::homogeneous(),
+            &mut rng,
+        );
+        for scheduler in [&Bsa::default() as &dyn Scheduler, &Dls::new()] {
+            let schedule = scheduler.schedule(&graph, &system).unwrap();
+            let errors = validate::validate(&schedule, &graph, &system);
+            prop_assert!(errors.is_empty(), "{}: {:?}", scheduler.name(), &errors[..errors.len().min(3)]);
+            // The schedule length is the max finish time.
+            let max_finish = graph
+                .task_ids()
+                .map(|t| schedule.finish_of(t))
+                .fold(0.0f64, f64::max);
+            prop_assert!((schedule.schedule_length() - max_finish).abs() < 1e-9);
+            // It can never beat the cheapest possible critical path (every CP task at its
+            // fastest processor, zero communication).
+            let cheapest_costs: Vec<f64> = graph
+                .task_ids()
+                .map(|t| {
+                    system
+                        .topology
+                        .proc_ids()
+                        .map(|p| system.exec_cost(t, p))
+                        .fold(f64::INFINITY, f64::min)
+                })
+                .collect();
+            let lower_bound = GraphLevels::with_costs(&graph, &cheapest_costs, 0.0).critical_path_length();
+            prop_assert!(schedule.schedule_length() >= lower_bound - 1e-6);
+        }
+    }
+
+    #[test]
+    fn timeline_gap_search_never_overlaps(
+        ops in prop::collection::vec((0.0f64..500.0, 0.1f64..40.0), 1..80)
+    ) {
+        let mut timeline: bsa::schedule::Timeline<u32> = bsa::schedule::Timeline::new();
+        for (i, (ready, duration)) in ops.iter().enumerate() {
+            let start = timeline.earliest_gap(*ready, *duration);
+            prop_assert!(start >= *ready - 1e-9);
+            timeline.insert(start, *duration, i as u32);
+            prop_assert!(timeline.is_consistent());
+        }
+        prop_assert_eq!(timeline.len(), ops.len());
+    }
+
+    #[test]
+    fn granularity_rescaling_is_exact((n, _gran, seed) in dag_params(), target in 0.05f64..20.0) {
+        let graph = build_graph(n, 1.0, seed);
+        if graph.num_edges() == 0 {
+            return Ok(());
+        }
+        let scaled = apply_granularity(&graph, target);
+        let stats = GraphStats::compute(&scaled);
+        prop_assert!((stats.granularity - target).abs() / target < 1e-9);
+        prop_assert_eq!(scaled.num_edges(), graph.num_edges());
+    }
+}

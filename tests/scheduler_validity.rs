@@ -1,0 +1,141 @@
+//! Cross-crate validity tests: every scheduler must produce schedules that satisfy the
+//! full link-contention model on a spread of workloads, topologies and heterogeneity
+//! settings.  These are the strongest end-to-end correctness checks in the workspace.
+
+use bsa::prelude::*;
+use bsa::schedule::validate;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn schedulers() -> Vec<Box<dyn Scheduler>> {
+    vec![
+        Box::new(Bsa::default()),
+        Box::new(Bsa::new(BsaConfig::without_vip_rule())),
+        Box::new(Dls::new()),
+        Box::new(Heft::new()),
+        Box::new(ContentionObliviousHeft::new()),
+        Box::new(SerialScheduler::new()),
+    ]
+}
+
+fn check_all(graph: &TaskGraph, system: &HeterogeneousSystem) {
+    let serial = system.best_serial_length(graph);
+    for s in schedulers() {
+        let schedule = s.schedule(graph, system).unwrap();
+        let errors = validate::validate(&schedule, graph, system);
+        assert!(
+            errors.is_empty(),
+            "{} produced an invalid schedule: {:?}",
+            s.name(),
+            &errors[..errors.len().min(5)]
+        );
+        assert!(schedule.schedule_length() > 0.0);
+        // No scheduler in this workspace should ever be worse than 3x the serial bound
+        // (a loose sanity ceiling that catches pathological regressions).
+        assert!(
+            schedule.schedule_length() <= 3.0 * serial + 1e-6,
+            "{}: length {} vs serial {}",
+            s.name(),
+            schedule.schedule_length(),
+            serial
+        );
+    }
+}
+
+#[test]
+fn all_schedulers_are_valid_on_random_graphs_across_topologies() {
+    let mut rng = StdRng::seed_from_u64(0xC0FFEE);
+    for (i, &size) in [30usize, 60, 90].iter().enumerate() {
+        let graph = bsa::workloads::random_dag::paper_random_graph(size, 1.0, &mut rng).unwrap();
+        for kind in TopologyKind::ALL {
+            let topology = kind.build(8, &mut rng).unwrap();
+            let system = HeterogeneousSystem::generate(
+                &graph,
+                topology,
+                HeterogeneityRange::DEFAULT,
+                HeterogeneityRange::homogeneous(),
+                &mut rng,
+            );
+            check_all(&graph, &system);
+            let _ = i;
+        }
+    }
+}
+
+#[test]
+fn all_schedulers_are_valid_on_every_regular_application() {
+    let mut rng = StdRng::seed_from_u64(42);
+    for app in RegularApp::ALL {
+        for granularity in [0.1, 10.0] {
+            let graph = app
+                .build_for_size(60, &CostParams::paper(granularity))
+                .unwrap();
+            let system = HeterogeneousSystem::generate(
+                &graph,
+                bsa::network::builders::hypercube_for(8).unwrap(),
+                HeterogeneityRange::DEFAULT,
+                HeterogeneityRange::homogeneous(),
+                &mut rng,
+            );
+            check_all(&graph, &system);
+        }
+    }
+}
+
+#[test]
+fn all_schedulers_are_valid_with_heterogeneous_links() {
+    let mut rng = StdRng::seed_from_u64(7);
+    let graph = bsa::workloads::random_dag::paper_random_graph(50, 0.5, &mut rng).unwrap();
+    let system = HeterogeneousSystem::generate(
+        &graph,
+        bsa::network::builders::random_connected(10, 2, 6, &mut rng).unwrap(),
+        HeterogeneityRange::new(1.0, 100.0),
+        HeterogeneityRange::new(1.0, 20.0),
+        &mut rng,
+    );
+    check_all(&graph, &system);
+}
+
+#[test]
+fn all_schedulers_are_valid_on_structured_extras() {
+    // FFT, stencil, fork-join and trees stress different fan-in/fan-out shapes.
+    let mut rng = StdRng::seed_from_u64(11);
+    let p = CostParams::paper(0.5);
+    let graphs = vec![
+        bsa::workloads::fft::fft(4, &p).unwrap(),
+        bsa::workloads::stencil::stencil_1d(8, 6, &p).unwrap(),
+        bsa::workloads::fork_join::fork_join(4, 6, &p).unwrap(),
+        bsa::workloads::tree::in_tree(2, 5, &p).unwrap(),
+        bsa::workloads::tree::out_tree(3, 4, &p).unwrap(),
+    ];
+    for graph in &graphs {
+        let system = HeterogeneousSystem::generate(
+            graph,
+            bsa::network::builders::mesh2d(3, 3).unwrap(),
+            HeterogeneityRange::new(1.0, 10.0),
+            HeterogeneityRange::homogeneous(),
+            &mut rng,
+        );
+        check_all(graph, &system);
+    }
+}
+
+#[test]
+fn single_processor_systems_degenerate_to_serial_schedules() {
+    let mut rng = StdRng::seed_from_u64(3);
+    let graph = bsa::workloads::random_dag::paper_random_graph(40, 1.0, &mut rng).unwrap();
+    let topology = Topology::new("solo", 1, &[]).unwrap();
+    let system = HeterogeneousSystem::generate(
+        &graph,
+        topology,
+        HeterogeneityRange::new(1.0, 10.0),
+        HeterogeneityRange::homogeneous(),
+        &mut rng,
+    );
+    for s in schedulers() {
+        let schedule = s.schedule(&graph, &system).unwrap();
+        assert!(validate::validate(&schedule, &graph, &system).is_empty());
+        assert!((schedule.schedule_length() - system.best_serial_length(&graph)).abs() < 1e-6);
+        assert_eq!(schedule.num_remote_messages(), 0);
+    }
+}
