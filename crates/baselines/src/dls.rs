@@ -113,7 +113,9 @@ impl Scheduler for Dls {
             let mut da = 0.0f64;
             for &eid in graph.in_edges(t) {
                 let e = graph.edge(eid);
-                let sp = builder.proc_of(e.src).expect("predecessors scheduled first");
+                let sp = builder
+                    .proc_of(e.src)
+                    .expect("predecessors scheduled first");
                 let (hops, arrival) =
                     route_message(&builder, &table, eid, sp, p, builder.finish_of(e.src));
                 commit_route(&mut builder, eid, hops);

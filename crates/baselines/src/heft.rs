@@ -130,11 +130,7 @@ impl ContentionObliviousHeft {
     /// Runs the *decision phase* only: classic HEFT on an idealised fully-connected,
     /// contention-free network.  Returns the processor assignment and the idealised finish
     /// times (used to define the per-processor order).
-    fn decide(
-        &self,
-        graph: &TaskGraph,
-        system: &HeterogeneousSystem,
-    ) -> (Vec<ProcId>, Vec<f64>) {
+    fn decide(&self, graph: &TaskGraph, system: &HeterogeneousSystem) -> (Vec<ProcId>, Vec<f64>) {
         let order = priority_order(graph, system);
         let m = system.num_processors();
         let mut assignment = vec![ProcId(0); graph.num_tasks()];
@@ -358,7 +354,10 @@ mod tests {
                 HeterogeneityRange::homogeneous(),
                 &mut rng,
             );
-            for scheduler in [&Heft::new() as &dyn Scheduler, &ContentionObliviousHeft::new()] {
+            for scheduler in [
+                &Heft::new() as &dyn Scheduler,
+                &ContentionObliviousHeft::new(),
+            ] {
                 let a = scheduler.schedule(&g, &sys).unwrap();
                 let b = scheduler.schedule(&g, &sys).unwrap();
                 assert_valid(&a, &g, &sys);

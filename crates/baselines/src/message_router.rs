@@ -169,9 +169,16 @@ mod tests {
         let table = RoutingTable::shortest_paths(&sys.topology);
         builder.place_task(TaskId(0), ProcId(0), 0.0); // finishes 10
         builder.place_task(TaskId(1), ProcId(1), 0.0); // finishes 20
+
         // On P1: A's message crosses one link (arrives 14), B is local (20) -> DA = 20.
-        assert_eq!(data_available_time(&builder, &table, TaskId(2), ProcId(1)), 20.0);
+        assert_eq!(
+            data_available_time(&builder, &table, TaskId(2), ProcId(1)),
+            20.0
+        );
         // On P3 (adjacent to P0): A arrives 14, B needs two hops from P1 and arrives 28.
-        assert_eq!(data_available_time(&builder, &table, TaskId(2), ProcId(3)), 28.0);
+        assert_eq!(
+            data_available_time(&builder, &table, TaskId(2), ProcId(3)),
+            28.0
+        );
     }
 }

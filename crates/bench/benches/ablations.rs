@@ -63,10 +63,18 @@ fn bench_ablations(c: &mut Criterion) {
         .warm_up_time(Duration::from_millis(300))
         .measurement_time(Duration::from_secs(1));
     for (name, config) in variants() {
-        let len = Bsa::new(config).schedule(&graph, &sys).unwrap().schedule_length();
+        let len = Bsa::new(config)
+            .schedule(&graph, &sys)
+            .unwrap()
+            .schedule_length();
         println!("[ablation] {name}: schedule length = {len:.0}");
         group.bench_with_input(BenchmarkId::from_parameter(name), &config, |b, cfg| {
-            b.iter(|| Bsa::new(*cfg).schedule(&graph, &sys).unwrap().schedule_length())
+            b.iter(|| {
+                Bsa::new(*cfg)
+                    .schedule(&graph, &sys)
+                    .unwrap()
+                    .schedule_length()
+            })
         });
     }
     group.finish();

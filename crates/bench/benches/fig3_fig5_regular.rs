@@ -24,15 +24,22 @@ fn bench_regular(c: &mut Criterion) {
             let graph = regular_graph(RegularApp::GaussianElimination, 100, granularity);
             let sys = system(&graph, kind, 50.0, 42);
             let label = format!("{}_g{granularity}", kind.label());
-            let bsa_len = Bsa::default().schedule(&graph, &sys).unwrap().schedule_length();
+            let bsa_len = Bsa::default()
+                .schedule(&graph, &sys)
+                .unwrap()
+                .schedule_length();
             let dls_len = Dls::new().schedule(&graph, &sys).unwrap().schedule_length();
             println!("[fig3/fig5] gauss-100 {label}: BSA = {bsa_len:.0}, DLS = {dls_len:.0}");
-            group.bench_with_input(BenchmarkId::new("bsa", &label), &(&graph, &sys), |b, (g, s)| {
-                b.iter(|| Bsa::default().schedule(g, s).unwrap().schedule_length())
-            });
-            group.bench_with_input(BenchmarkId::new("dls", &label), &(&graph, &sys), |b, (g, s)| {
-                b.iter(|| Dls::new().schedule(g, s).unwrap().schedule_length())
-            });
+            group.bench_with_input(
+                BenchmarkId::new("bsa", &label),
+                &(&graph, &sys),
+                |b, (g, s)| b.iter(|| Bsa::default().schedule(g, s).unwrap().schedule_length()),
+            );
+            group.bench_with_input(
+                BenchmarkId::new("dls", &label),
+                &(&graph, &sys),
+                |b, (g, s)| b.iter(|| Dls::new().schedule(g, s).unwrap().schedule_length()),
+            );
         }
     }
     group.finish();

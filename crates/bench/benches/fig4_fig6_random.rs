@@ -22,15 +22,25 @@ fn bench_random(c: &mut Criterion) {
             let graph = random_graph(size, 1.0, size as u64);
             let sys = system(&graph, kind, 50.0, size as u64);
             let label = format!("{}_{size}", kind.label());
-            let bsa_len = Bsa::default().schedule(&graph, &sys).unwrap().schedule_length();
+            let bsa_len = Bsa::default()
+                .schedule(&graph, &sys)
+                .unwrap()
+                .schedule_length();
             let dls_len = Dls::new().schedule(&graph, &sys).unwrap().schedule_length();
-            println!("[fig4/fig6] random-{size} {}: BSA = {bsa_len:.0}, DLS = {dls_len:.0}", kind.label());
-            group.bench_with_input(BenchmarkId::new("bsa", &label), &(&graph, &sys), |b, (g, s)| {
-                b.iter(|| Bsa::default().schedule(g, s).unwrap().schedule_length())
-            });
-            group.bench_with_input(BenchmarkId::new("dls", &label), &(&graph, &sys), |b, (g, s)| {
-                b.iter(|| Dls::new().schedule(g, s).unwrap().schedule_length())
-            });
+            println!(
+                "[fig4/fig6] random-{size} {}: BSA = {bsa_len:.0}, DLS = {dls_len:.0}",
+                kind.label()
+            );
+            group.bench_with_input(
+                BenchmarkId::new("bsa", &label),
+                &(&graph, &sys),
+                |b, (g, s)| b.iter(|| Bsa::default().schedule(g, s).unwrap().schedule_length()),
+            );
+            group.bench_with_input(
+                BenchmarkId::new("dls", &label),
+                &(&graph, &sys),
+                |b, (g, s)| b.iter(|| Dls::new().schedule(g, s).unwrap().schedule_length()),
+            );
         }
     }
     group.finish();

@@ -20,15 +20,22 @@ fn bench_heterogeneity(c: &mut Criterion) {
     for &range in &[10.0f64, 200.0] {
         let sys = system(&graph, TopologyKind::Hypercube, range, 7);
         let label = format!("range_{range}");
-        let bsa_len = Bsa::default().schedule(&graph, &sys).unwrap().schedule_length();
+        let bsa_len = Bsa::default()
+            .schedule(&graph, &sys)
+            .unwrap()
+            .schedule_length();
         let dls_len = Dls::new().schedule(&graph, &sys).unwrap().schedule_length();
         println!("[fig7] heterogeneity [1,{range}]: BSA = {bsa_len:.0}, DLS = {dls_len:.0}");
-        group.bench_with_input(BenchmarkId::new("bsa", &label), &(&graph, &sys), |b, (g, s)| {
-            b.iter(|| Bsa::default().schedule(g, s).unwrap().schedule_length())
-        });
-        group.bench_with_input(BenchmarkId::new("dls", &label), &(&graph, &sys), |b, (g, s)| {
-            b.iter(|| Dls::new().schedule(g, s).unwrap().schedule_length())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("bsa", &label),
+            &(&graph, &sys),
+            |b, (g, s)| b.iter(|| Bsa::default().schedule(g, s).unwrap().schedule_length()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("dls", &label),
+            &(&graph, &sys),
+            |b, (g, s)| b.iter(|| Dls::new().schedule(g, s).unwrap().schedule_length()),
+        );
     }
     group.finish();
 }

@@ -23,10 +23,20 @@ fn bench_paper_example(c: &mut Criterion) {
         .warm_up_time(Duration::from_millis(300))
         .measurement_time(Duration::from_secs(1));
     group.bench_function("bsa", |b| {
-        b.iter(|| Bsa::default().schedule(&graph, &system).unwrap().schedule_length())
+        b.iter(|| {
+            Bsa::default()
+                .schedule(&graph, &system)
+                .unwrap()
+                .schedule_length()
+        })
     });
     group.bench_function("dls", |b| {
-        b.iter(|| Dls::new().schedule(&graph, &system).unwrap().schedule_length())
+        b.iter(|| {
+            Dls::new()
+                .schedule(&graph, &system)
+                .unwrap()
+                .schedule_length()
+        })
     });
     group.finish();
 }

@@ -76,84 +76,86 @@ impl Bsa {
         for sweep in 0..cfg.sweeps.max(1) {
             let mut sweep_migrations = 0usize;
             for &pivot in &processor_order {
-            let tasks_snapshot = builder.tasks_on(pivot);
-            // Finish times as they stand when the pivot phase begins.  Migration decisions
-            // compare candidate finish times against these phase-start values (the finish
-            // time the task would keep if the pivot's schedule were left as is), which is
-            // what lets a heavily loaded pivot shed most of its load in one phase.
-            let phase_start_ft: Vec<f64> = graph.task_ids().map(|x| builder.finish_of(x)).collect();
-            for t in tasks_snapshot {
-                if builder.proc_of(t) != Some(pivot) {
-                    continue;
-                }
-                let (drt_pivot, vip) = builder.current_drt(t);
-                let ft_pivot = if cfg.compare_against_phase_start {
-                    phase_start_ft[t.index()]
-                } else {
-                    builder.finish_of(t)
-                };
-                let vip_on_pivot = vip.map_or(true, |v| builder.proc_of(v) == Some(pivot));
-                // Paper line 7: "if FT(Ti, Pivot) > DRT(Ti, Pivot) or VIP of Ti is not
-                // scheduled to Pivot".  Since FT = ST + w ≥ DRT + w, the condition holds for
-                // every task with positive execution cost — i.e. every task is considered
-                // for migration in every pivot phase; only zero-cost tasks that start right
-                // at their data-ready time next to their VIP are skipped.
-                if ft_pivot <= drt_pivot + EPS && vip_on_pivot {
-                    continue;
-                }
+                let tasks_snapshot = builder.tasks_on(pivot);
+                // Finish times as they stand when the pivot phase begins.  Migration decisions
+                // compare candidate finish times against these phase-start values (the finish
+                // time the task would keep if the pivot's schedule were left as is), which is
+                // what lets a heavily loaded pivot shed most of its load in one phase.
+                let phase_start_ft: Vec<f64> =
+                    graph.task_ids().map(|x| builder.finish_of(x)).collect();
+                for t in tasks_snapshot {
+                    if builder.proc_of(t) != Some(pivot) {
+                        continue;
+                    }
+                    let (drt_pivot, vip) = builder.current_drt(t);
+                    let ft_pivot = if cfg.compare_against_phase_start {
+                        phase_start_ft[t.index()]
+                    } else {
+                        builder.finish_of(t)
+                    };
+                    let vip_on_pivot = vip.map_or(true, |v| builder.proc_of(v) == Some(pivot));
+                    // Paper line 7: "if FT(Ti, Pivot) > DRT(Ti, Pivot) or VIP of Ti is not
+                    // scheduled to Pivot".  Since FT = ST + w ≥ DRT + w, the condition holds for
+                    // every task with positive execution cost — i.e. every task is considered
+                    // for migration in every pivot phase; only zero-cost tasks that start right
+                    // at their data-ready time next to their VIP are skipped.
+                    if ft_pivot <= drt_pivot + EPS && vip_on_pivot {
+                        continue;
+                    }
 
-                // Evaluate every neighbour of the pivot.
-                let mut best: Option<(ProcId, f64)> = None;
-                let mut vip_equal: Option<(ProcId, f64)> = None;
-                for &(py, link) in system.topology.neighbors(pivot) {
-                    let ft_y = estimate_finish_on_neighbor(&builder, graph, t, pivot, py, link, cfg);
-                    if ft_y < ft_pivot - EPS {
-                        let better = best.map_or(true, |(bp, bf)| {
-                            ft_y < bf - EPS || ((ft_y - bf).abs() <= EPS && py < bp)
-                        });
-                        if better {
-                            best = Some((py, ft_y));
+                    // Evaluate every neighbour of the pivot.
+                    let mut best: Option<(ProcId, f64)> = None;
+                    let mut vip_equal: Option<(ProcId, f64)> = None;
+                    for &(py, link) in system.topology.neighbors(pivot) {
+                        let ft_y =
+                            estimate_finish_on_neighbor(&builder, graph, t, pivot, py, link, cfg);
+                        if ft_y < ft_pivot - EPS {
+                            let better = best.map_or(true, |(bp, bf)| {
+                                ft_y < bf - EPS || ((ft_y - bf).abs() <= EPS && py < bp)
+                            });
+                            if better {
+                                best = Some((py, ft_y));
+                            }
+                        } else if cfg.use_vip_rule
+                            && (ft_y - ft_pivot).abs() <= EPS
+                            && vip.is_some_and(|v| builder.proc_of(v) == Some(py))
+                            && vip_equal.is_none()
+                        {
+                            vip_equal = Some((py, ft_y));
                         }
-                    } else if cfg.use_vip_rule
-                        && (ft_y - ft_pivot).abs() <= EPS
-                        && vip.is_some_and(|v| builder.proc_of(v) == Some(py))
-                        && vip_equal.is_none()
-                    {
-                        vip_equal = Some((py, ft_y));
+                    }
+
+                    let decision = match (best, vip_equal) {
+                        (Some(b), _) => Some((b, false)),
+                        (None, Some(v)) => Some((v, true)),
+                        (None, None) => None,
+                    };
+                    let Some(((py, ft_estimate), via_vip)) = decision else {
+                        continue;
+                    };
+
+                    // Perform the migration; if the incremental re-routing produces ordering
+                    // decisions that cannot be timed consistently (rare — see DESIGN.md), roll
+                    // back and keep the task where it was.
+                    let snapshot = builder.clone();
+                    migrate(&mut builder, graph, t, pivot, py, cfg);
+                    if builder.recompute_times().is_err() {
+                        builder = snapshot;
+                        continue;
+                    }
+                    sweep_migrations += 1;
+                    if cfg.record_trace {
+                        trace.migrations.push(MigrationRecord {
+                            pivot,
+                            task: t,
+                            from: pivot,
+                            to: py,
+                            old_finish: ft_pivot,
+                            new_finish_estimate: ft_estimate,
+                            vip_rule: via_vip,
+                        });
                     }
                 }
-
-                let decision = match (best, vip_equal) {
-                    (Some(b), _) => Some((b, false)),
-                    (None, Some(v)) => Some((v, true)),
-                    (None, None) => None,
-                };
-                let Some(((py, ft_estimate), via_vip)) = decision else {
-                    continue;
-                };
-
-                // Perform the migration; if the incremental re-routing produces ordering
-                // decisions that cannot be timed consistently (rare — see DESIGN.md), roll
-                // back and keep the task where it was.
-                let snapshot = builder.clone();
-                migrate(&mut builder, graph, t, pivot, py, cfg);
-                if builder.recompute_times().is_err() {
-                    builder = snapshot;
-                    continue;
-                }
-                sweep_migrations += 1;
-                if cfg.record_trace {
-                    trace.migrations.push(MigrationRecord {
-                        pivot,
-                        task: t,
-                        from: pivot,
-                        to: py,
-                        old_finish: ft_pivot,
-                        new_finish_estimate: ft_estimate,
-                        vip_rule: via_vip,
-                    });
-                }
-            }
             }
             // Later sweeps stop as soon as the schedule is quiescent.
             if sweep_migrations == 0 {
@@ -386,11 +388,15 @@ fn migrate(
         let old_hops = builder.route(eid).to_vec();
         let extend_arrival =
             via_pivot_start + dur + old_hops.iter().map(|h| h.finish - h.start).sum::<f64>();
-        let direct = builder.system().topology.link_between(py, dst_proc).map(|dl| {
-            let ddur = builder.transfer_time(dl, eid);
-            let s = builder.earliest_link_slot(dl, ft, ddur);
-            (dl, s, s + ddur)
-        });
+        let direct = builder
+            .system()
+            .topology
+            .link_between(py, dst_proc)
+            .map(|dl| {
+                let ddur = builder.transfer_time(dl, eid);
+                let s = builder.earliest_link_slot(dl, ft, ddur);
+                (dl, s, s + ddur)
+            });
         match direct {
             Some((dl, s, a)) if a < extend_arrival => {
                 builder.set_route(

@@ -7,22 +7,17 @@ use bsa_network::ProcId;
 use serde::{Deserialize, Serialize};
 
 /// How the first pivot processor is chosen.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
 pub enum PivotStrategy {
     /// The processor whose actual execution costs yield the shortest critical path
     /// (the paper's rule).
+    #[default]
     ShortestCriticalPath,
     /// The processor yielding the *longest* critical path (ablation: a deliberately bad
     /// starting point).
     LongestCriticalPath,
     /// A fixed processor chosen by the caller (ablation / determinism studies).
     Fixed(ProcId),
-}
-
-impl Default for PivotStrategy {
-    fn default() -> Self {
-        PivotStrategy::ShortestCriticalPath
-    }
 }
 
 /// Tunable behaviour of the BSA scheduler.
@@ -104,6 +99,9 @@ mod tests {
     fn ablation_constructors() {
         assert!(!BsaConfig::without_vip_rule().use_vip_rule);
         assert!(BsaConfig::traced().record_trace);
-        assert_eq!(PivotStrategy::default(), PivotStrategy::ShortestCriticalPath);
+        assert_eq!(
+            PivotStrategy::default(),
+            PivotStrategy::ShortestCriticalPath
+        );
     }
 }

@@ -102,10 +102,7 @@ pub fn serialize(graph: &TaskGraph, exec_costs: &[f64]) -> Serialization {
 
     // OB tasks (and any IB task of an unreached component, which cannot happen for
     // connected graphs) in descending b-level; ties by ascending t-level then id.
-    let mut rest: Vec<TaskId> = graph
-        .task_ids()
-        .filter(|t| !in_order[t.index()])
-        .collect();
+    let mut rest: Vec<TaskId> = graph.task_ids().filter(|t| !in_order[t.index()]).collect();
     rest.sort_by(|&a, &b| {
         levels
             .b_level(b)

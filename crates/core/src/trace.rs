@@ -52,7 +52,10 @@ impl BsaTrace {
 
     /// Migrations performed during the phase of a given pivot.
     pub fn migrations_of_pivot(&self, pivot: ProcId) -> Vec<&MigrationRecord> {
-        self.migrations.iter().filter(|m| m.pivot == pivot).collect()
+        self.migrations
+            .iter()
+            .filter(|m| m.pivot == pivot)
+            .collect()
     }
 
     /// Human-readable multi-line summary.

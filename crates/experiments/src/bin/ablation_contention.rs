@@ -7,7 +7,7 @@
 //! HEFT-CO isolates the effect of contention awareness from the effect of the mapping
 //! heuristic itself; the effect is largest at low granularity and low connectivity.
 //!
-//! Run with `cargo run --release -p bsa-experiments --bin ablation_contention [--quick|--full]`.
+//! Run with `cargo run --release -p bsa_experiments --bin ablation_contention -- [--quick|--full]`.
 
 use bsa_experiments::algorithms::Algo;
 use bsa_experiments::figures::run_grid;
@@ -17,7 +17,10 @@ use bsa_network::builders::TopologyKind;
 
 fn main() {
     let scale = scale_from_args();
-    println!("# Ablation A3 — contention awareness ({} scale)\n", scale.name);
+    println!(
+        "# Ablation A3 — contention awareness ({} scale)\n",
+        scale.name
+    );
     let algos = [Algo::Bsa, Algo::Dls, Algo::HeftCa, Algo::HeftCo];
     let mut csv = String::new();
     for kind in [TopologyKind::Ring, TopologyKind::Clique] {

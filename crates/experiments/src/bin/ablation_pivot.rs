@@ -5,7 +5,7 @@
 //! longest-CP pivot on the random-graph suite (ring topology, where the pivot matters
 //! most).
 //!
-//! Run with `cargo run --release -p bsa-experiments --bin ablation_pivot [--quick|--full]`.
+//! Run with `cargo run --release -p bsa_experiments --bin ablation_pivot -- [--quick|--full]`.
 
 use bsa_experiments::algorithms::Algo;
 use bsa_experiments::figures::run_grid;
@@ -15,7 +15,10 @@ use bsa_network::builders::TopologyKind;
 
 fn main() {
     let scale = scale_from_args();
-    println!("# Ablation A2 — first-pivot selection ({} scale)\n", scale.name);
+    println!(
+        "# Ablation A2 — first-pivot selection ({} scale)\n",
+        scale.name
+    );
     let algos = [Algo::Bsa, Algo::BsaFixedPivot, Algo::BsaWorstPivot];
     let mut csv = String::new();
     for kind in [TopologyKind::Ring, TopologyKind::Hypercube] {

@@ -5,7 +5,7 @@
 //! task's successors later.  This binary compares BSA with and without that rule on the
 //! random-graph suite over all four topologies.
 //!
-//! Run with `cargo run --release -p bsa-experiments --bin ablation_vip [--quick|--full]`.
+//! Run with `cargo run --release -p bsa_experiments --bin ablation_vip -- [--quick|--full]`.
 
 use bsa_experiments::algorithms::Algo;
 use bsa_experiments::figures::run_grid;
@@ -15,7 +15,10 @@ use bsa_network::builders::TopologyKind;
 
 fn main() {
     let scale = scale_from_args();
-    println!("# Ablation A1 — the VIP co-location rule ({} scale)\n", scale.name);
+    println!(
+        "# Ablation A1 — the VIP co-location rule ({} scale)\n",
+        scale.name
+    );
     let algos = [Algo::Bsa, Algo::BsaNoVip];
     let mut csv = String::new();
     for kind in TopologyKind::ALL {

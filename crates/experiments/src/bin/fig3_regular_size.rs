@@ -2,7 +2,7 @@
 //! elimination, LU decomposition, Laplace solver) with different graph sizes on the four
 //! 16-processor topologies (ring, hypercube, clique, random), DLS vs BSA.
 //!
-//! Run with `cargo run --release -p bsa-experiments --bin fig3_regular_size [--quick|--full]`.
+//! Run with `cargo run --release -p bsa_experiments --bin fig3_regular_size -- [--quick|--full]`.
 
 use bsa_experiments::algorithms::Algo;
 use bsa_experiments::figures::run_grid;
@@ -12,7 +12,10 @@ use bsa_network::builders::TopologyKind;
 
 fn main() {
     let scale = scale_from_args();
-    println!("# Figure 3 — regular graphs, schedule length vs graph size ({} scale)\n", scale.name);
+    println!(
+        "# Figure 3 — regular graphs, schedule length vs graph size ({} scale)\n",
+        scale.name
+    );
     let mut all_csv = String::new();
     for kind in TopologyKind::ALL {
         let grid = run_grid(Suite::Regular, kind, &scale, &Algo::PAPER_PAIR);

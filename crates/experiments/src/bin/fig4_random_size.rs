@@ -1,7 +1,7 @@
 //! Reproduces **Figure 4**: average schedule lengths for the random graphs with different
 //! graph sizes on the four 16-processor topologies, DLS vs BSA.
 //!
-//! Run with `cargo run --release -p bsa-experiments --bin fig4_random_size [--quick|--full]`.
+//! Run with `cargo run --release -p bsa_experiments --bin fig4_random_size -- [--quick|--full]`.
 
 use bsa_experiments::algorithms::Algo;
 use bsa_experiments::figures::run_grid;
@@ -11,7 +11,10 @@ use bsa_network::builders::TopologyKind;
 
 fn main() {
     let scale = scale_from_args();
-    println!("# Figure 4 — random graphs, schedule length vs graph size ({} scale)\n", scale.name);
+    println!(
+        "# Figure 4 — random graphs, schedule length vs graph size ({} scale)\n",
+        scale.name
+    );
     let mut all_csv = String::new();
     for kind in TopologyKind::ALL {
         let grid = run_grid(Suite::Random, kind, &scale, &Algo::PAPER_PAIR);

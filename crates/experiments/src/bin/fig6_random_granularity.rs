@@ -1,7 +1,7 @@
 //! Reproduces **Figure 6**: average schedule lengths for the random graphs with different
 //! granularities (0.1, 1.0, 10.0) on the four 16-processor topologies, DLS vs BSA.
 //!
-//! Run with `cargo run --release -p bsa-experiments --bin fig6_random_granularity [--quick|--full]`.
+//! Run with `cargo run --release -p bsa_experiments --bin fig6_random_granularity -- [--quick|--full]`.
 
 use bsa_experiments::algorithms::Algo;
 use bsa_experiments::figures::run_grid;

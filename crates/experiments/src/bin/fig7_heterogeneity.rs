@@ -1,10 +1,10 @@
 //! Reproduces **Figure 7**: the effect of the heterogeneity range on the average schedule
 //! length (random graphs, granularity 1.0, 16-processor hypercube), DLS vs BSA, for ranges
-//! [1,10], [1,50], [1,100] and [1,200].
+//! `[1,10]`, `[1,50]`, `[1,100]` and `[1,200]`.
 //!
 //! Also prints the extended variant where link factors are heterogeneous as well.
 //!
-//! Run with `cargo run --release -p bsa-experiments --bin fig7_heterogeneity [--quick|--full]`.
+//! Run with `cargo run --release -p bsa_experiments --bin fig7_heterogeneity -- [--quick|--full]`.
 
 use bsa_experiments::algorithms::Algo;
 use bsa_experiments::figures::{heterogeneity_sweep, heterogeneity_sweep_homogeneous_links};
@@ -12,7 +12,10 @@ use bsa_experiments::{scale_from_args, write_results_file};
 
 fn main() {
     let scale = scale_from_args();
-    println!("# Figure 7 — effect of heterogeneity ({} scale)\n", scale.name);
+    println!(
+        "# Figure 7 — effect of heterogeneity ({} scale)\n",
+        scale.name
+    );
     let table = heterogeneity_sweep(&scale, &Algo::PAPER_PAIR);
     println!("{}", table.to_markdown());
     if let Some(ratio) = table.average_ratio("BSA", "DLS") {

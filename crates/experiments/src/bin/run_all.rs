@@ -1,7 +1,7 @@
 //! Runs every experiment binary's sweep in one process and writes all CSVs under
 //! `results/`.  Convenient for regenerating the complete EXPERIMENTS.md data set.
 //!
-//! Run with `cargo run --release -p bsa-experiments --bin run_all [--quick|--full]`.
+//! Run with `cargo run --release -p bsa_experiments --bin run_all -- [--quick|--full]`.
 
 use bsa_experiments::algorithms::Algo;
 use bsa_experiments::figures::{heterogeneity_sweep, run_grid, timing_comparison};
@@ -12,7 +12,10 @@ use bsa_network::builders::TopologyKind;
 fn main() {
     let scale = scale_from_args();
     let started = std::time::Instant::now();
-    println!("# BSA reproduction — full experiment sweep ({} scale)\n", scale.name);
+    println!(
+        "# BSA reproduction — full experiment sweep ({} scale)\n",
+        scale.name
+    );
 
     // Figures 3–6.
     for (fig_size, fig_gran, suite) in [

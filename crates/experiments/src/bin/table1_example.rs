@@ -5,7 +5,7 @@
 //! The binary prints the per-processor CP lengths, the chosen pivot, the serial order, a
 //! trace of every migration, the final Gantt chart and a comparison with DLS.
 //!
-//! Run with `cargo run --release -p bsa-experiments --bin table1_example`.
+//! Run with `cargo run --release -p bsa_experiments --bin table1_example`.
 
 use bsa_baselines::Dls;
 use bsa_core::{Bsa, BsaConfig};
@@ -36,7 +36,12 @@ fn main() {
     println!("{}", trace.summary());
 
     println!("## BSA schedule\n");
-    let gantt = render(&schedule, &graph, &system.topology, &GanttOptions::default());
+    let gantt = render(
+        &schedule,
+        &graph,
+        &system.topology,
+        &GanttOptions::default(),
+    );
     println!("{gantt}");
     let metrics = ScheduleMetrics::compute(&schedule, &graph, &system);
     println!(
@@ -46,13 +51,24 @@ fn main() {
 
     let dls_schedule = Dls::new().schedule(&graph, &system).unwrap();
     let dls_errors = validate::validate(&dls_schedule, &graph, &system);
-    assert!(dls_errors.is_empty(), "DLS schedule must be valid: {dls_errors:?}");
+    assert!(
+        dls_errors.is_empty(),
+        "DLS schedule must be valid: {dls_errors:?}"
+    );
     println!("## DLS on the same instance\n");
     println!(
         "{}",
-        render(&dls_schedule, &graph, &system.topology, &GanttOptions::default())
+        render(
+            &dls_schedule,
+            &graph,
+            &system.topology,
+            &GanttOptions::default()
+        )
     );
-    println!("DLS schedule length = {:.1}\n", dls_schedule.schedule_length());
+    println!(
+        "DLS schedule length = {:.1}\n",
+        dls_schedule.schedule_length()
+    );
 
     let mut report = String::new();
     report.push_str(&trace.summary());

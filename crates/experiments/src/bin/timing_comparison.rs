@@ -2,7 +2,7 @@
 //! both algorithms, which were about the same"): wall-clock scheduling time of DLS and BSA
 //! (plus the HEFT baselines) on random graphs of growing size.
 //!
-//! Run with `cargo run --release -p bsa-experiments --bin timing_comparison [--quick|--full]`.
+//! Run with `cargo run --release -p bsa_experiments --bin timing_comparison -- [--quick|--full]`.
 
 use bsa_experiments::algorithms::Algo;
 use bsa_experiments::figures::timing_comparison;

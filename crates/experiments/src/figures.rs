@@ -59,7 +59,11 @@ pub fn run_grid(suite: Suite, kind: TopologyKind, scale: &Scale, algos: &[Algo])
                 per_algo[ai].push(schedule.schedule_length());
             }
         }
-        (si, gi, per_algo.iter().map(|v| mean(v)).collect::<Vec<f64>>())
+        (
+            si,
+            gi,
+            per_algo.iter().map(|v| mean(v)).collect::<Vec<f64>>(),
+        )
     });
 
     let mut cells =
@@ -92,8 +96,9 @@ impl SweepGrid {
         for (si, &size) in self.sizes.iter().enumerate() {
             let values = (0..self.algos.len())
                 .map(|ai| {
-                    let per_gran: Vec<f64> =
-                        (0..self.granularities.len()).map(|gi| self.cells[si][gi][ai]).collect();
+                    let per_gran: Vec<f64> = (0..self.granularities.len())
+                        .map(|gi| self.cells[si][gi][ai])
+                        .collect();
                     Some(mean(&per_gran))
                 })
                 .collect();
@@ -116,8 +121,9 @@ impl SweepGrid {
         for (gi, &gran) in self.granularities.iter().enumerate() {
             let values = (0..self.algos.len())
                 .map(|ai| {
-                    let per_size: Vec<f64> =
-                        (0..self.sizes.len()).map(|si| self.cells[si][gi][ai]).collect();
+                    let per_size: Vec<f64> = (0..self.sizes.len())
+                        .map(|si| self.cells[si][gi][ai])
+                        .collect();
                     Some(mean(&per_size))
                 })
                 .collect();
@@ -140,7 +146,13 @@ pub fn heterogeneity_sweep(scale: &Scale, algos: &[Algo]) -> Table {
     let results = run_parallel(jobs, scale.effective_threads(), |&(ri, range, g)| {
         let graphs = Suite::Random.graphs(scale, scale.heterogeneity_graph_size, 1.0, 9000 + g);
         let graph = &graphs[0];
-        let system = system_for(graph, TopologyKind::Hypercube, scale, range, 900 + g + ri * 131);
+        let system = system_for(
+            graph,
+            TopologyKind::Hypercube,
+            scale,
+            range,
+            900 + g + ri * 131,
+        );
         let lengths: Vec<f64> = algos_vec
             .iter()
             .map(|a| {
@@ -166,7 +178,9 @@ pub fn heterogeneity_sweep(scale: &Scale, algos: &[Algo]) -> Table {
         algos.iter().map(|a| a.label().to_string()).collect(),
     );
     for (ri, &range) in scale.heterogeneity_ranges.iter().enumerate() {
-        let values = (0..algos.len()).map(|ai| Some(mean(&per_range[ri][ai]))).collect();
+        let values = (0..algos.len())
+            .map(|ai| Some(mean(&per_range[ri][ai])))
+            .collect();
         t.push_row(format!("[1, {range}]"), values);
     }
     t
@@ -216,7 +230,9 @@ pub fn heterogeneity_sweep_homogeneous_links(scale: &Scale, algos: &[Algo]) -> T
         algos.iter().map(|a| a.label().to_string()).collect(),
     );
     for (ri, &range) in scale.heterogeneity_ranges.iter().enumerate() {
-        let values = (0..algos.len()).map(|ai| Some(mean(&per_range[ri][ai]))).collect();
+        let values = (0..algos.len())
+            .map(|ai| Some(mean(&per_range[ri][ai])))
+            .collect();
         t.push_row(format!("[1, {range}]"), values);
     }
     t
@@ -308,7 +324,10 @@ mod tests {
         let large = t.get("[1, 100]", "BSA").unwrap();
         assert!(small > 0.0 && large > 0.0);
         // A wider factor range means slower processors on average; schedules get longer.
-        assert!(large > small * 0.8, "expected growth, got {small} -> {large}");
+        assert!(
+            large > small * 0.8,
+            "expected growth, got {small} -> {large}"
+        );
     }
 
     #[test]

@@ -32,7 +32,13 @@ impl Suite {
     /// For the regular suite this is one graph per paper application (their schedule
     /// lengths are averaged, exactly as the paper does); for the random suite it is
     /// `scale.random_graphs_per_point` independently drawn graphs.
-    pub fn graphs(self, scale: &Scale, size: usize, granularity: f64, seed_tag: usize) -> Vec<TaskGraph> {
+    pub fn graphs(
+        self,
+        scale: &Scale,
+        size: usize,
+        granularity: f64,
+        seed_tag: usize,
+    ) -> Vec<TaskGraph> {
         match self {
             Suite::Regular => RegularApp::PAPER_SET
                 .iter()
@@ -43,7 +49,8 @@ impl Suite {
                 .collect(),
             Suite::Random => (0..scale.random_graphs_per_point)
                 .map(|i| {
-                    let seed = scale.instance_seed(&[seed_tag, size, (granularity * 10.0) as usize, i]);
+                    let seed =
+                        scale.instance_seed(&[seed_tag, size, (granularity * 10.0) as usize, i]);
                     let mut rng = StdRng::seed_from_u64(seed);
                     random_dag::paper_random_graph(size, granularity, &mut rng)
                         .expect("random generator accepts all paper sizes")
@@ -138,7 +145,10 @@ mod tests {
         for kind in TopologyKind::ALL {
             let sys = system_for(&g, kind, &scale, 50.0, 0);
             assert_eq!(sys.num_processors(), scale.num_processors);
-            assert!(sys.comm_costs.average_factor() > 1.0, "links are heterogeneous");
+            assert!(
+                sys.comm_costs.average_factor() > 1.0,
+                "links are heterogeneous"
+            );
             sys.validate_for(&g).unwrap();
         }
         let sys = system_with_homogeneous_links(&g, TopologyKind::Ring, &scale, 50.0, 0);

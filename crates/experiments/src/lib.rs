@@ -34,7 +34,10 @@ pub fn scale_from_args() -> Scale {
         Scale::full()
     } else if args.iter().any(|a| a == "--quick") {
         Scale::quick()
+    } else if args.iter().any(|a| a == "--medium") {
+        Scale::medium()
     } else {
+        // No recognized scale flag: medium is the documented default.
         Scale::medium()
     }
 }

@@ -23,7 +23,7 @@ where
     }
     let threads = threads.max(1).min(n);
     if threads == 1 {
-        return jobs.iter().map(|j| worker(j)).collect();
+        return jobs.iter().map(&worker).collect();
     }
     let next = AtomicUsize::new(0);
     let results: Mutex<Vec<Option<R>>> = Mutex::new((0..n).map(|_| None).collect());

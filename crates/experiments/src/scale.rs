@@ -107,7 +107,10 @@ mod tests {
     #[test]
     fn presets_have_expected_shapes() {
         let full = Scale::full();
-        assert_eq!(full.sizes, vec![50, 100, 150, 200, 250, 300, 350, 400, 450, 500]);
+        assert_eq!(
+            full.sizes,
+            vec![50, 100, 150, 200, 250, 300, 350, 400, 450, 500]
+        );
         assert_eq!(full.num_processors, 16);
         assert_eq!(full.heterogeneity_graphs, 10);
         assert_eq!(full.heterogeneity_graph_size, 500);

@@ -114,7 +114,10 @@ pub fn hypercube_for(m: usize) -> Result<Topology, TopologyError> {
     if m == 0 {
         return Err(TopologyError::Empty);
     }
-    assert!(m.is_power_of_two(), "hypercube requires a power-of-two size, got {m}");
+    assert!(
+        m.is_power_of_two(),
+        "hypercube requires a power-of-two size, got {m}"
+    );
     hypercube(m.trailing_zeros())
 }
 
@@ -169,10 +172,7 @@ pub fn random_connected<R: Rng + ?Sized>(
     rng: &mut R,
 ) -> Result<Topology, TopologyError> {
     assert!(min_degree >= 1, "min_degree must be at least 1");
-    assert!(
-        max_degree >= min_degree,
-        "max_degree must be >= min_degree"
-    );
+    assert!(max_degree >= min_degree, "max_degree must be >= min_degree");
     if m == 0 {
         return Err(TopologyError::Empty);
     }
@@ -199,7 +199,8 @@ pub fn random_connected<R: Rng + ?Sized>(
         }
     }
     // Target a random average degree between min(4, max) and max, then add random links.
-    let target_avg = rng.gen_range(min_degree.max(2) as f64..=(max_degree as f64).min(m as f64 - 1.0));
+    let target_avg =
+        rng.gen_range(min_degree.max(2) as f64..=(max_degree as f64).min(m as f64 - 1.0));
     let target_links = ((target_avg * m as f64) / 2.0).round() as usize;
     let mut attempts = 0usize;
     let max_attempts = 50 * m * max_degree;

@@ -30,9 +30,14 @@ impl HeterogeneityRange {
         high: 50.0,
     };
 
-    /// Creates a range, validating `1 <= low <= high`.
+    /// Creates a range, validating `0 <= low <= high`.  The paper always draws factors
+    /// from `[1, x]`; values in `[0, 1)` are allowed to model faster-than-nominal
+    /// processors.
     pub fn new(low: f64, high: f64) -> Self {
-        assert!(low >= 0.0 && low <= high, "invalid heterogeneity range [{low}, {high}]");
+        assert!(
+            low >= 0.0 && low <= high,
+            "invalid heterogeneity range [{low}, {high}]"
+        );
         HeterogeneityRange { low, high }
     }
 
@@ -69,7 +74,10 @@ impl ExecutionCostMatrix {
     pub fn from_rows(rows: &[Vec<f64>]) -> Self {
         assert!(!rows.is_empty(), "cost matrix needs at least one task row");
         let num_procs = rows[0].len();
-        assert!(num_procs > 0, "cost matrix needs at least one processor column");
+        assert!(
+            num_procs > 0,
+            "cost matrix needs at least one processor column"
+        );
         let mut costs = Vec::with_capacity(rows.len() * num_procs);
         for (i, row) in rows.iter().enumerate() {
             assert_eq!(
@@ -215,7 +223,10 @@ impl CommCostModel {
 
     /// Uniform factor applied to every link.
     pub fn uniform(topology: &Topology, factor: f64) -> Self {
-        assert!(factor.is_finite() && factor > 0.0, "invalid link factor {factor}");
+        assert!(
+            factor.is_finite() && factor > 0.0,
+            "invalid link factor {factor}"
+        );
         CommCostModel {
             factors: vec![factor; topology.num_links()],
         }
@@ -228,7 +239,9 @@ impl CommCostModel {
         rng: &mut R,
     ) -> Self {
         CommCostModel {
-            factors: (0..topology.num_links()).map(|_| range.sample(rng)).collect(),
+            factors: (0..topology.num_links())
+                .map(|_| range.sample(rng))
+                .collect(),
         }
     }
 
@@ -320,8 +333,14 @@ mod tests {
         for p in 0..8 {
             let c0 = m.cost(TaskId(0), ProcId(p));
             let c1 = m.cost(TaskId(1), ProcId(p));
-            assert!((10.0..=500.0).contains(&c0), "cost {c0} outside factor range");
-            assert!((20.0..=1000.0).contains(&c1), "cost {c1} outside factor range");
+            assert!(
+                (10.0..=500.0).contains(&c0),
+                "cost {c0} outside factor range"
+            );
+            assert!(
+                (20.0..=1000.0).contains(&c1),
+                "cost {c1} outside factor range"
+            );
         }
     }
 

@@ -234,10 +234,7 @@ mod tests {
         let sp = RoutingTable::shortest_paths(&t);
         for src in t.proc_ids() {
             for dst in t.proc_ids() {
-                assert_eq!(
-                    rt.distance(src, dst),
-                    (src.0 ^ dst.0).count_ones() as usize
-                );
+                assert_eq!(rt.distance(src, dst), (src.0 ^ dst.0).count_ones() as usize);
                 // E-cube routes are shortest.
                 assert_eq!(rt.distance(src, dst), sp.distance(src, dst));
                 let route = rt.route(&t, src, dst).unwrap();

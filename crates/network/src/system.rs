@@ -68,8 +68,7 @@ impl HeterogeneousSystem {
         comm_range: HeterogeneityRange,
         rng: &mut R,
     ) -> Self {
-        let exec =
-            ExecutionCostMatrix::generate(graph, topology.num_processors(), exec_range, rng);
+        let exec = ExecutionCostMatrix::generate(graph, topology.num_processors(), exec_range, rng);
         let comm = CommCostModel::generate(&topology, comm_range, rng);
         HeterogeneousSystem::new(topology, exec, comm)
     }
@@ -116,12 +115,7 @@ impl HeterogeneousSystem {
     pub fn best_serial_length(&self, graph: &TaskGraph) -> f64 {
         self.topology
             .proc_ids()
-            .map(|p| {
-                graph
-                    .task_ids()
-                    .map(|t| self.exec_cost(t, p))
-                    .sum::<f64>()
-            })
+            .map(|p| graph.task_ids().map(|t| self.exec_cost(t, p)).sum::<f64>())
             .fold(f64::INFINITY, f64::min)
     }
 }

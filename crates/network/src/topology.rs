@@ -15,18 +15,13 @@ pub struct Processor {
 }
 
 /// How a link arbitrates simultaneous transfers.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
 pub enum LinkMode {
     /// One message at a time regardless of direction (the paper's model; default).
+    #[default]
     HalfDuplex,
     /// One message per direction at a time.
     FullDuplex,
-}
-
-impl Default for LinkMode {
-    fn default() -> Self {
-        LinkMode::HalfDuplex
-    }
 }
 
 /// An undirected point-to-point communication link between two processors.
@@ -388,7 +383,10 @@ mod tests {
             Topology::new("x", 2, &[(0, 5)]).unwrap_err(),
             TopologyError::UnknownProcessor(ProcId(5))
         );
-        assert_eq!(Topology::new("x", 0, &[]).unwrap_err(), TopologyError::Empty);
+        assert_eq!(
+            Topology::new("x", 0, &[]).unwrap_err(),
+            TopologyError::Empty
+        );
     }
 
     #[test]

@@ -245,9 +245,8 @@ impl<'a> ScheduleBuilder<'a> {
     pub fn build(self, algorithm: impl Into<String>) -> Result<Schedule, ScheduleError> {
         let mut placements = Vec::with_capacity(self.graph.num_tasks());
         for t in self.graph.task_ids() {
-            let proc = self.assignment[t.index()].ok_or_else(|| {
-                ScheduleError::Internal(format!("task {t} was never placed"))
-            })?;
+            let proc = self.assignment[t.index()]
+                .ok_or_else(|| ScheduleError::Internal(format!("task {t} was never placed")))?;
             placements.push(TaskPlacement {
                 task: t,
                 proc,
@@ -426,7 +425,10 @@ mod tests {
         b2.place_task(TaskId(1), ProcId(1), 20.0);
         b2.place_task(TaskId(2), ProcId(1), 40.0);
         // Edge 0 crosses P0 -> P1 without a route: must fail.
-        assert!(matches!(b2.clone().build("x"), Err(ScheduleError::Internal(_))));
+        assert!(matches!(
+            b2.clone().build("x"),
+            Err(ScheduleError::Internal(_))
+        ));
         b2.set_route(
             EdgeId(0),
             vec![MessageHop {

@@ -71,8 +71,7 @@ pub fn render(
                 let a = scale(hop.start).min(width - 1);
                 let b = scale(hop.finish).min(width).max(a + 1);
                 let e = graph.edge(*edge);
-                let label: Vec<char> =
-                    format!("{}>{}", e.src.0 + 1, e.dst.0 + 1).chars().collect();
+                let label: Vec<char> = format!("{}>{}", e.src.0 + 1, e.dst.0 + 1).chars().collect();
                 for (i, cell) in row[a..b].iter_mut().enumerate() {
                     *cell = if i < label.len() { label[i] } else { '=' };
                 }

@@ -35,11 +35,7 @@ pub struct ScheduleMetrics {
 
 impl ScheduleMetrics {
     /// Computes the metrics of `schedule` for `graph` on `system`.
-    pub fn compute(
-        schedule: &Schedule,
-        graph: &TaskGraph,
-        system: &HeterogeneousSystem,
-    ) -> Self {
+    pub fn compute(schedule: &Schedule, graph: &TaskGraph, system: &HeterogeneousSystem) -> Self {
         let sl = schedule.schedule_length();
         let serial = system.best_serial_length(graph);
         let m = system.num_processors() as f64;

@@ -176,9 +176,9 @@ pub(crate) fn recompute(b: &mut ScheduleBuilder<'_>) -> Result<(), RecomputeErro
         b.task_finish[t.index()] = finish[t.index()];
     }
     let mut new_proc: Vec<Timeline<TaskId>> = vec![Timeline::new(); b.proc_timelines.len()];
-    for p in 0..b.proc_timelines.len() {
-        for t in b.proc_timelines[p].payloads() {
-            new_proc[p].insert(start[t.index()], duration[t.index()], t);
+    for (old, new) in b.proc_timelines.iter().zip(new_proc.iter_mut()) {
+        for t in old.payloads() {
+            new.insert(start[t.index()], duration[t.index()], t);
         }
     }
     b.proc_timelines = new_proc;
@@ -192,10 +192,10 @@ pub(crate) fn recompute(b: &mut ScheduleBuilder<'_>) -> Result<(), RecomputeErro
     }
     let mut new_link: Vec<Timeline<(bsa_taskgraph::EdgeId, u32)>> =
         vec![Timeline::new(); b.link_timelines.len()];
-    for l in 0..b.link_timelines.len() {
-        for (e, k) in b.link_timelines[l].payloads() {
+    for (old, new) in b.link_timelines.iter().zip(new_link.iter_mut()) {
+        for (e, k) in old.payloads() {
             let node = hop_node(e.index(), k as usize);
-            new_link[l].insert(start[node], duration[node], (e, k));
+            new.insert(start[node], duration[node], (e, k));
         }
     }
     b.link_timelines = new_link;

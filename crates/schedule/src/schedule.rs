@@ -99,10 +99,7 @@ impl Schedule {
         num_procs: usize,
         num_links: usize,
     ) -> Self {
-        let schedule_length = placements
-            .iter()
-            .map(|p| p.finish)
-            .fold(0.0f64, f64::max);
+        let schedule_length = placements.iter().map(|p| p.finish).fold(0.0f64, f64::max);
         Schedule {
             algorithm: algorithm.into(),
             placements,
@@ -187,7 +184,12 @@ impl Schedule {
         let mut v: Vec<(EdgeId, MessageHop)> = self
             .routes
             .iter()
-            .flat_map(|r| r.hops.iter().filter(|h| h.link == l).map(move |h| (r.edge, *h)))
+            .flat_map(|r| {
+                r.hops
+                    .iter()
+                    .filter(|h| h.link == l)
+                    .map(move |h| (r.edge, *h))
+            })
             .collect();
         v.sort_by(|a, b| a.1.start.partial_cmp(&b.1.start).unwrap());
         v

@@ -118,8 +118,8 @@ impl<P: Copy> Timeline<P> {
     }
 
     /// Removes the first interval matching `pred`; returns the removed interval.
-    pub fn remove_where<F: FnMut(&Interval<P>) -> bool>(&mut self, mut pred: F) -> Option<Interval<P>> {
-        let pos = self.intervals.iter().position(|iv| pred(iv))?;
+    pub fn remove_where<F: FnMut(&Interval<P>) -> bool>(&mut self, pred: F) -> Option<Interval<P>> {
+        let pos = self.intervals.iter().position(pred)?;
         Some(self.intervals.remove(pos))
     }
 
@@ -234,7 +234,9 @@ mod tests {
         let mut t = Timeline::new();
         let mut x = 1u64;
         for i in 0..200 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let ready = (x % 1000) as f64 / 10.0;
             let duration = ((x >> 10) % 50) as f64 / 10.0 + 0.1;
             let start = t.earliest_gap(ready, duration);

@@ -40,7 +40,11 @@ pub enum ValidationError {
     /// Two tasks overlap on the same processor.
     ProcessorOverlap(TaskId, TaskId, ProcId),
     /// A precedence constraint between co-located tasks is violated.
-    LocalPrecedence { edge: EdgeId, src: TaskId, dst: TaskId },
+    LocalPrecedence {
+        edge: EdgeId,
+        src: TaskId,
+        dst: TaskId,
+    },
     /// A remote edge has no route.
     MissingRoute(EdgeId),
     /// A local edge carries a (useless) route — flagged because it indicates scheduler

@@ -304,12 +304,16 @@ impl TaskGraph {
 
     /// Tasks with no predecessors (entry tasks).
     pub fn sources(&self) -> Vec<TaskId> {
-        self.task_ids().filter(|&t| self.in_degree(t) == 0).collect()
+        self.task_ids()
+            .filter(|&t| self.in_degree(t) == 0)
+            .collect()
     }
 
     /// Tasks with no successors (exit tasks).
     pub fn sinks(&self) -> Vec<TaskId> {
-        self.task_ids().filter(|&t| self.out_degree(t) == 0).collect()
+        self.task_ids()
+            .filter(|&t| self.out_degree(t) == 0)
+            .collect()
     }
 
     /// Looks up the edge id connecting `src` to `dst`, if any.
@@ -447,10 +451,7 @@ mod tests {
         let a = b.add_task("a", 1.0);
         let c = b.add_task("c", 1.0);
         b.add_edge(a, c, 1.0).unwrap();
-        assert_eq!(
-            b.add_edge(a, c, 2.0),
-            Err(GraphError::DuplicateEdge(a, c))
-        );
+        assert_eq!(b.add_edge(a, c, 2.0), Err(GraphError::DuplicateEdge(a, c)));
     }
 
     #[test]
@@ -489,7 +490,10 @@ mod tests {
 
     #[test]
     fn rejects_empty_graph() {
-        assert_eq!(TaskGraphBuilder::new().build().err(), Some(GraphError::Empty));
+        assert_eq!(
+            TaskGraphBuilder::new().build().err(),
+            Some(GraphError::Empty)
+        );
     }
 
     #[test]

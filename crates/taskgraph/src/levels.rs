@@ -64,8 +64,9 @@ impl GraphLevels {
             let mut best: f64 = 0.0;
             for &eid in graph.in_edges(t) {
                 let e = graph.edge(eid);
-                let via =
-                    t_level[e.src.index()] + exec_costs[e.src.index()] + comm_scale * e.nominal_cost;
+                let via = t_level[e.src.index()]
+                    + exec_costs[e.src.index()]
+                    + comm_scale * e.nominal_cost;
                 if via > best {
                     best = via;
                 }
@@ -93,11 +94,7 @@ impl GraphLevels {
             static_level[t.index()] = exec_costs[t.index()] + best_static;
         }
 
-        let cp_length = b_level
-            .iter()
-            .cloned()
-            .fold(0.0f64, f64::max)
-            .max(0.0);
+        let cp_length = b_level.iter().cloned().fold(0.0f64, f64::max).max(0.0);
 
         GraphLevels {
             t_level,
@@ -223,13 +220,14 @@ impl GraphLevels {
                 let mut next: Option<TaskId> = None;
                 for &eid in graph.out_edges(cur) {
                     let e = graph.edge(eid);
-                    if !self.on_critical_path(e.dst) || best_exec_sum[e.dst.index()] == f64::NEG_INFINITY {
+                    if !self.on_critical_path(e.dst)
+                        || best_exec_sum[e.dst.index()] == f64::NEG_INFINITY
+                    {
                         continue;
                     }
-                    let slack = self.t_level(cur)
-                        + self.exec_cost(cur)
-                        + e.nominal_cost * self.comm_scale
-                        - self.t_level(e.dst);
+                    let slack =
+                        self.t_level(cur) + self.exec_cost(cur) + e.nominal_cost * self.comm_scale
+                            - self.t_level(e.dst);
                     if slack.abs() > eps {
                         continue;
                     }
@@ -238,7 +236,8 @@ impl GraphLevels {
                         Some(nx) => {
                             let better = best_exec_sum[e.dst.index()]
                                 > best_exec_sum[nx.index()] + eps
-                                || ((best_exec_sum[e.dst.index()] - best_exec_sum[nx.index()]).abs()
+                                || ((best_exec_sum[e.dst.index()] - best_exec_sum[nx.index()])
+                                    .abs()
                                     <= eps
                                     && e.dst < nx);
                             if better {
@@ -395,6 +394,7 @@ mod tests {
         assert_eq!(cp2, 226.0); // paper: 226
         assert_eq!(cp3, 235.0); // paper: 235
         assert_eq!(cp4, 260.0); // paper: 260
+
         // P2 gives the shortest CP and is therefore the first pivot.
         assert!(cp2 < cp1 && cp2 < cp3 && cp2 < cp4);
     }

@@ -17,8 +17,15 @@ pub fn num_tasks(stages: usize, width: usize) -> usize {
 ///
 /// # Panics
 /// Panics if `stages == 0` or `width == 0`.
-pub fn fork_join(stages: usize, width: usize, params: &CostParams) -> Result<TaskGraph, GraphError> {
-    assert!(stages >= 1 && width >= 1, "fork_join needs stages >= 1 and width >= 1");
+pub fn fork_join(
+    stages: usize,
+    width: usize,
+    params: &CostParams,
+) -> Result<TaskGraph, GraphError> {
+    assert!(
+        stages >= 1 && width >= 1,
+        "fork_join needs stages >= 1 and width >= 1"
+    );
     params.validate().map_err(GraphError::InvalidCost)?;
     let exec = params.mean_exec();
     let comm = params.mean_comm();

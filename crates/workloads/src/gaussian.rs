@@ -14,6 +14,10 @@
 //! communication costs equal the mean communication cost implied by the requested
 //! granularity.
 
+// Generator loops index 2-D task arrays by their mathematical (step, column) coordinates;
+// iterator rewrites would obscure the recurrences the module docs state.
+#![allow(clippy::needless_range_loop)]
+
 use crate::params::CostParams;
 use bsa_taskgraph::{GraphError, TaskGraph, TaskGraphBuilder, TaskId};
 
@@ -30,7 +34,10 @@ pub fn num_tasks(n: usize) -> usize {
 /// # Panics
 /// Panics if `n < 2` (no elimination step exists).
 pub fn gaussian_elimination(n: usize, params: &CostParams) -> Result<TaskGraph, GraphError> {
-    assert!(n >= 2, "Gaussian elimination needs a matrix dimension of at least 2");
+    assert!(
+        n >= 2,
+        "Gaussian elimination needs a matrix dimension of at least 2"
+    );
     params.validate().map_err(GraphError::InvalidCost)?;
 
     // Raw (relative) execution costs: pivot ∝ 2(N-k), update ∝ (N-k).  The mean of the raw

@@ -11,6 +11,10 @@
 //!
 //! giving `N(N+1)/2` tasks — `O(N²)` as the paper requires.
 
+// Generator loops index 2-D task arrays by their mathematical (step, column) coordinates;
+// iterator rewrites would obscure the recurrences the module docs state.
+#![allow(clippy::needless_range_loop)]
+
 use crate::params::CostParams;
 use bsa_taskgraph::{GraphError, TaskGraph, TaskGraphBuilder, TaskId};
 

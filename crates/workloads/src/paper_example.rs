@@ -120,10 +120,13 @@ mod tests {
         let g = figure1_graph();
         let lv = GraphLevels::nominal(&g);
         let cp = lv.critical_path(&g);
-        let mut is_ib_or_cp = vec![false; 9];
+        let mut is_ib_or_cp = [false; 9];
         for &t in &cp.tasks {
             is_ib_or_cp[t.index()] = true;
-            for (i, anc) in bsa_taskgraph::traversal::ancestors(&g, t).iter().enumerate() {
+            for (i, anc) in bsa_taskgraph::traversal::ancestors(&g, t)
+                .iter()
+                .enumerate()
+            {
                 if *anc {
                     is_ib_or_cp[i] = true;
                 }

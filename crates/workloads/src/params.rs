@@ -86,11 +86,18 @@ impl CostParams {
                 self.exec_min, self.exec_max
             ));
         }
-        if !(self.granularity > 0.0) {
-            return Err(format!("granularity must be positive, got {}", self.granularity));
+        // The NaN check is load-bearing: `<= 0.0` alone would accept a NaN granularity.
+        if self.granularity.is_nan() || self.granularity <= 0.0 {
+            return Err(format!(
+                "granularity must be positive, got {}",
+                self.granularity
+            ));
         }
         if !(0.0..1.0).contains(&self.comm_jitter) {
-            return Err(format!("comm_jitter must be in [0, 1), got {}", self.comm_jitter));
+            return Err(format!(
+                "comm_jitter must be in [0, 1), got {}",
+                self.comm_jitter
+            ));
         }
         Ok(())
     }

@@ -11,6 +11,10 @@
 //! and finally connects any remaining weakly-connected components so the result is a single
 //! connected DAG.
 
+// Generator loops index 2-D task arrays by their mathematical (step, column) coordinates;
+// iterator rewrites would obscure the recurrences the module docs state.
+#![allow(clippy::needless_range_loop)]
+
 use crate::params::CostParams;
 use bsa_taskgraph::{GraphError, TaskGraph, TaskGraphBuilder, TaskId};
 use rand::Rng;
@@ -88,7 +92,8 @@ pub fn random_layered<R: Rng + ?Sized>(
             for &dst in &layers[l] {
                 for earlier in 0..(l - 1) {
                     for &src in &layers[earlier] {
-                        if rng.gen_bool(structure.skip_probability) && !b.has_edge(tid(src), tid(dst))
+                        if rng.gen_bool(structure.skip_probability)
+                            && !b.has_edge(tid(src), tid(dst))
                         {
                             let _ = b.add_edge(tid(src), tid(dst), costs.sample_comm(rng));
                         }
@@ -222,6 +227,10 @@ mod tests {
         assert_eq!(g.num_tasks(), 100);
         // Narrow layers + high edge probability => deep graph with many edges.
         let s = GraphStats::compute(&g);
-        assert!(s.depth >= 20, "expected a deep graph, got depth {}", s.depth);
+        assert!(
+            s.depth >= 20,
+            "expected a deep graph, got depth {}",
+            s.depth
+        );
     }
 }

@@ -4,6 +4,10 @@
 //! `i−1`, `i`, `i+1` from step `t−1`.  Used by examples and extra benches as a
 //! communication-heavy, regular workload with many entry tasks.
 
+// Generator loops index 2-D task arrays by their mathematical (step, column) coordinates;
+// iterator rewrites would obscure the recurrences the module docs state.
+#![allow(clippy::needless_range_loop)]
+
 use crate::params::CostParams;
 use bsa_taskgraph::{GraphError, TaskGraph, TaskGraphBuilder, TaskId};
 
@@ -16,8 +20,15 @@ pub fn num_tasks(width: usize, steps: usize) -> usize {
 ///
 /// # Panics
 /// Panics if `width == 0` or `steps == 0`.
-pub fn stencil_1d(width: usize, steps: usize, params: &CostParams) -> Result<TaskGraph, GraphError> {
-    assert!(width >= 1 && steps >= 1, "stencil needs width >= 1 and steps >= 1");
+pub fn stencil_1d(
+    width: usize,
+    steps: usize,
+    params: &CostParams,
+) -> Result<TaskGraph, GraphError> {
+    assert!(
+        width >= 1 && steps >= 1,
+        "stencil needs width >= 1 and steps >= 1"
+    );
     params.validate().map_err(GraphError::InvalidCost)?;
     let exec = params.mean_exec();
     let comm = params.mean_comm();

@@ -13,8 +13,15 @@ pub fn num_tasks(branching: usize, depth: usize) -> usize {
 }
 
 /// Builds an **out-tree**: the root forks work towards the leaves (divide phase).
-pub fn out_tree(branching: usize, depth: usize, params: &CostParams) -> Result<TaskGraph, GraphError> {
-    assert!(branching >= 1 && depth >= 1, "tree needs branching >= 1 and depth >= 1");
+pub fn out_tree(
+    branching: usize,
+    depth: usize,
+    params: &CostParams,
+) -> Result<TaskGraph, GraphError> {
+    assert!(
+        branching >= 1 && depth >= 1,
+        "tree needs branching >= 1 and depth >= 1"
+    );
     params.validate().map_err(GraphError::InvalidCost)?;
     let exec = params.mean_exec();
     let comm = params.mean_comm();
@@ -35,8 +42,15 @@ pub fn out_tree(branching: usize, depth: usize, params: &CostParams) -> Result<T
 }
 
 /// Builds an **in-tree**: the leaves reduce towards the root (conquer phase).
-pub fn in_tree(branching: usize, depth: usize, params: &CostParams) -> Result<TaskGraph, GraphError> {
-    assert!(branching >= 1 && depth >= 1, "tree needs branching >= 1 and depth >= 1");
+pub fn in_tree(
+    branching: usize,
+    depth: usize,
+    params: &CostParams,
+) -> Result<TaskGraph, GraphError> {
+    assert!(
+        branching >= 1 && depth >= 1,
+        "tree needs branching >= 1 and depth >= 1"
+    );
     params.validate().map_err(GraphError::InvalidCost)?;
     let exec = params.mean_exec();
     let comm = params.mean_comm();

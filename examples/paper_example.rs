@@ -45,7 +45,12 @@ fn main() {
     println!("\n{}", trace.summary());
     println!(
         "{}",
-        render(&schedule, &graph, &system.topology, &GanttOptions::default())
+        render(
+            &schedule,
+            &graph,
+            &system.topology,
+            &GanttOptions::default()
+        )
     );
     println!(
         "final schedule length {:.1} (paper reports 138 for its own edge labelling); \

@@ -44,7 +44,10 @@ fn main() {
     for scheduler in [&Bsa::default() as &dyn Scheduler, &Dls::new()] {
         let schedule = scheduler.schedule(&graph, &system).unwrap();
         let errors = validate::validate(&schedule, &graph, &system);
-        assert!(errors.is_empty(), "schedule must satisfy the contention model");
+        assert!(
+            errors.is_empty(),
+            "schedule must satisfy the contention model"
+        );
         let metrics = ScheduleMetrics::compute(&schedule, &graph, &system);
         println!("\n=== {} ===", scheduler.name());
         println!(
@@ -56,7 +59,12 @@ fn main() {
         );
         println!(
             "{}",
-            render(&schedule, &graph, &system.topology, &GanttOptions::default())
+            render(
+                &schedule,
+                &graph,
+                &system.topology,
+                &GanttOptions::default()
+            )
         );
     }
 }

@@ -57,8 +57,6 @@ pub mod prelude {
         ProcId, RoutingTable, Topology,
     };
     pub use bsa_schedule::{Schedule, ScheduleMetrics, Scheduler};
-    pub use bsa_taskgraph::{
-        EdgeId, GraphLevels, GraphStats, TaskGraph, TaskGraphBuilder, TaskId,
-    };
+    pub use bsa_taskgraph::{EdgeId, GraphLevels, GraphStats, TaskGraph, TaskGraphBuilder, TaskId};
     pub use bsa_workloads::prelude::*;
 }

@@ -48,7 +48,10 @@ fn average_lengths(
             HeterogeneityRange::new(1.0, hetero),
             &mut rng,
         );
-        dls_sum += Dls::new().schedule(&graph, &system).unwrap().schedule_length();
+        dls_sum += Dls::new()
+            .schedule(&graph, &system)
+            .unwrap()
+            .schedule_length();
         bsa_sum += Bsa::default()
             .schedule(&graph, &system)
             .unwrap()
@@ -149,7 +152,10 @@ fn contention_awareness_pays_off_at_low_granularity_on_the_ring() {
             HeterogeneityRange::DEFAULT,
             &mut rng,
         );
-        aware_sum += Heft::new().schedule(&graph, &system).unwrap().schedule_length();
+        aware_sum += Heft::new()
+            .schedule(&graph, &system)
+            .unwrap()
+            .schedule_length();
         oblivious_sum += ContentionObliviousHeft::new()
             .schedule(&graph, &system)
             .unwrap()

@@ -78,7 +78,10 @@ fn bsa_beats_both_the_serialized_schedule_and_dls_on_the_worked_example() {
     );
     // Heterogeneity is exploited: a strict majority of tasks run on a processor that is
     // at least as fast as the nominal reference for that task would suggest.
-    assert!(trace.num_migrations() >= 4, "most tasks should leave the pivot");
+    assert!(
+        trace.num_migrations() >= 4,
+        "most tasks should leave the pivot"
+    );
 }
 
 #[test]

@@ -16,7 +16,11 @@ use rand::SeedableRng;
 
 /// Strategy: parameters of a random layered DAG plus an instance seed.
 fn dag_params() -> impl Strategy<Value = (usize, f64, u64)> {
-    (10usize..60, prop_oneof![Just(0.1), Just(1.0), Just(10.0)], any::<u64>())
+    (
+        10usize..60,
+        prop_oneof![Just(0.1), Just(1.0), Just(10.0)],
+        any::<u64>(),
+    )
 }
 
 fn build_graph(n: usize, granularity: f64, seed: u64) -> TaskGraph {

@@ -1,0 +1,396 @@
+//! Offline stand-in for [`criterion`](https://crates.io/crates/criterion).
+//!
+//! Implements the slice of the 0.5 API the workspace's benches use — [`Criterion`],
+//! [`BenchmarkGroup`] (`sample_size` / `warm_up_time` / `measurement_time` /
+//! `bench_function` / `bench_with_input` / `finish`), [`Bencher::iter`],
+//! [`BenchmarkId`], and the [`criterion_group!`] / [`criterion_main!`] macros — as a
+//! plain wall-clock harness: each benchmark is warmed up briefly, then timed in batches
+//! until the measurement budget is spent, and the mean/min/max per-iteration times are
+//! printed in a `cargo bench`-like format.  There is no statistics engine, no plotting,
+//! and no saved baselines; swap in the real crate when registry access is available.
+//!
+//! Supports `--bench <filter>` / bare `<filter>` CLI args the way `cargo bench -- foo`
+//! passes them: only benchmark ids containing the filter substring run.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Entry point: holds global configuration and the CLI filter.
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            filter: parse_filter(std::env::args().skip(1)),
+        }
+    }
+}
+
+/// Extracts the benchmark-id filter from `cargo bench -- <args>`.  Flags are ignored;
+/// a flag that takes a value (`--save-baseline main`) consumes its value so it is not
+/// mistaken for a filter.  The first bare argument wins; extras are reported.
+fn parse_filter(args: impl Iterator<Item = String>) -> Option<String> {
+    // Flags real criterion / libtest treat as boolean; everything else dashed is
+    // assumed to carry a value in the next argument (unless written as --key=value).
+    const BOOLEAN_FLAGS: &[&str] = &[
+        "bench",
+        "test",
+        "exact",
+        "list",
+        "nocapture",
+        "quiet",
+        "verbose",
+        "help",
+        "version",
+        "ignored",
+        "include-ignored",
+        "show-output",
+        "noplot",
+        "discard-baseline",
+    ];
+    let mut args = args.peekable();
+    let mut filter: Option<String> = None;
+    while let Some(arg) = args.next() {
+        if let Some(rest) = arg.strip_prefix("--") {
+            let key = rest.split('=').next().unwrap_or(rest);
+            // A flag's value never itself looks like a flag, so an unknown boolean
+            // flag followed by another `--flag` consumes nothing.
+            let next_is_flag = args.peek().is_some_and(|a| a.starts_with("--"));
+            if !rest.contains('=') && !BOOLEAN_FLAGS.contains(&key) && !next_is_flag {
+                args.next();
+            }
+        } else if filter.is_none() {
+            filter = Some(arg);
+        } else {
+            eprintln!("warning: extra benchmark filter `{arg}` ignored (one filter supported)");
+        }
+    }
+    filter
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 20,
+            warm_up_time: Duration::from_millis(100),
+            measurement_time: Duration::from_millis(400),
+        }
+    }
+
+    /// Benchmarks `f` under `id` outside any group.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.to_string();
+        let sample_size = 20;
+        let warm = Duration::from_millis(100);
+        let measure = Duration::from_millis(400);
+        self.run_one(&id, sample_size, warm, measure, f);
+        self
+    }
+
+    fn run_one<F>(
+        &mut self,
+        id: &str,
+        sample_size: usize,
+        warm_up_time: Duration,
+        measurement_time: Duration,
+        mut f: F,
+    ) where
+        F: FnMut(&mut Bencher),
+    {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut bencher = Bencher {
+            sample_size,
+            warm_up_time,
+            measurement_time,
+            samples: Vec::new(),
+        };
+        f(&mut bencher);
+        bencher.report(id);
+    }
+}
+
+/// A group of benchmarks sharing measurement settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the warm-up duration per benchmark.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Sets the measurement budget per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Runs `f` as the benchmark `id` within this group.
+    pub fn bench_function<I, F>(&mut self, id: I, f: F) -> &mut Self
+    where
+        I: IntoBenchmarkId,
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into_benchmark_id());
+        let (n, w, m) = (self.sample_size, self.warm_up_time, self.measurement_time);
+        self.criterion.run_one(&full, n, w, m, f);
+        self
+    }
+
+    /// Runs `f` with `input` as the benchmark `id` within this group.
+    pub fn bench_with_input<I, Inp, F>(&mut self, id: I, input: &Inp, mut f: F) -> &mut Self
+    where
+        I: IntoBenchmarkId,
+        Inp: ?Sized,
+        F: FnMut(&mut Bencher, &Inp),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group.  (The shim reports eagerly, so this is a no-op.)
+    pub fn finish(self) {}
+}
+
+/// Identifier of one benchmark: a function name and an optional parameter label.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Just the parameter (for groups whose name already identifies the function).
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Conversion into the string id under which a benchmark is reported.
+pub trait IntoBenchmarkId {
+    /// The display id.
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> String {
+        self
+    }
+}
+
+/// Timer handed to each benchmark closure.
+pub struct Bencher {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    /// Measures `routine`, discarding a warm-up period and then collecting up to
+    /// `sample_size` batch samples within the measurement budget.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // Warm-up, which also calibrates the batch size so one batch is >= ~50 µs.
+        let warm_start = Instant::now();
+        let mut calls: u64 = 0;
+        loop {
+            black_box(routine());
+            calls += 1;
+            if warm_start.elapsed() >= self.warm_up_time {
+                break;
+            }
+        }
+        let per_call = warm_start.elapsed().as_secs_f64() / calls as f64;
+        let batch = ((50e-6 / per_call.max(1e-12)) as u64).clamp(1, 100_000);
+
+        self.samples.clear();
+        let budget_start = Instant::now();
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            self.samples.push(t0.elapsed().as_secs_f64() / batch as f64);
+            if budget_start.elapsed() >= self.measurement_time {
+                break;
+            }
+        }
+    }
+
+    fn report(&self, id: &str) {
+        if self.samples.is_empty() {
+            println!("{id:<50} (no samples — `iter` never called)");
+            return;
+        }
+        let n = self.samples.len() as f64;
+        let mean = self.samples.iter().sum::<f64>() / n;
+        let min = self.samples.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = self.samples.iter().cloned().fold(0.0f64, f64::max);
+        println!(
+            "{id:<50} time: [{} {} {}]  ({} samples)",
+            fmt_time(min),
+            fmt_time(mean),
+            fmt_time(max),
+            self.samples.len(),
+        );
+    }
+}
+
+fn fmt_time(seconds: f64) -> String {
+    if seconds < 1e-6 {
+        format!("{:.2} ns", seconds * 1e9)
+    } else if seconds < 1e-3 {
+        format!("{:.2} µs", seconds * 1e6)
+    } else if seconds < 1.0 {
+        format!("{:.2} ms", seconds * 1e3)
+    } else {
+        format!("{seconds:.2} s")
+    }
+}
+
+/// Declares a function that runs the listed benchmark targets in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` for a bench binary (used with `harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(c: &mut Criterion) -> (u64,) {
+        let mut group = c.benchmark_group("shim");
+        group
+            .sample_size(3)
+            .warm_up_time(Duration::from_micros(200))
+            .measurement_time(Duration::from_micros(500));
+        let mut count = 0u64;
+        group.bench_function("count", |b| {
+            b.iter(|| {
+                count += 1;
+                count
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("sum", 4), &4u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+        (count,)
+    }
+
+    #[test]
+    fn group_runs_the_closures() {
+        let mut c = Criterion { filter: None };
+        let (count,) = quick(&mut c);
+        assert!(count > 0, "bench closure must actually run");
+    }
+
+    #[test]
+    fn filter_skips_non_matching_ids() {
+        let mut c = Criterion {
+            filter: Some("no-such-bench".into()),
+        };
+        let (count,) = quick(&mut c);
+        assert_eq!(count, 0);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("bsa", 64).to_string(), "bsa/64");
+        assert_eq!(BenchmarkId::from_parameter("ring").to_string(), "ring");
+    }
+
+    #[test]
+    fn filter_parsing_skips_flags_and_their_values() {
+        let parse = |args: &[&str]| parse_filter(args.iter().map(|s| s.to_string()));
+        assert_eq!(parse(&[]), None);
+        assert_eq!(parse(&["dls"]), Some("dls".into()));
+        assert_eq!(parse(&["--bench", "dls"]), Some("dls".into()));
+        // A value-carrying flag must not surface its value as a filter.
+        assert_eq!(parse(&["--save-baseline", "main"]), None);
+        assert_eq!(parse(&["--save-baseline=main", "dls"]), Some("dls".into()));
+        assert_eq!(parse(&["--sample-size", "10", "bsa"]), Some("bsa".into()));
+        // libtest boolean flags must not swallow the filter after them.
+        assert_eq!(parse(&["--show-output", "dls"]), Some("dls".into()));
+        assert_eq!(parse(&["--include-ignored", "dls"]), Some("dls".into()));
+        // Unknown boolean flag followed by another flag consumes nothing.
+        assert_eq!(
+            parse(&["--unknown-bool", "--bench", "dls"]),
+            Some("dls".into())
+        );
+        assert_eq!(parse(&["--noplot", "dls"]), Some("dls".into()));
+        // First bare filter wins.
+        assert_eq!(parse(&["a", "b"]), Some("a".into()));
+    }
+}

@@ -1,0 +1,46 @@
+//! Collection strategies.
+
+use crate::strategy::Strategy;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Strategy for `Vec`s whose length is drawn from `size` and whose elements come from
+/// `element`.
+pub struct VecStrategy<S> {
+    element: S,
+    size: core::ops::Range<usize>,
+}
+
+/// `Vec` strategy with lengths in `size` (half-open, like the real crate's `0..n`).
+pub fn vec<S: Strategy>(element: S, size: core::ops::Range<usize>) -> VecStrategy<S> {
+    VecStrategy { element, size }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut StdRng) -> Self::Value {
+        let len = rng.gen_range(self.size.clone());
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn vec_lengths_and_elements_respect_ranges() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let s = vec((0.0f64..500.0, 0.1f64..40.0), 1..80);
+        for _ in 0..100 {
+            let v = s.generate(&mut rng);
+            assert!((1..80).contains(&v.len()));
+            for (a, b) in v {
+                assert!((0.0..500.0).contains(&a));
+                assert!((0.1..40.0).contains(&b));
+            }
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! Offline stand-in for [`proptest`](https://crates.io/crates/proptest).
+//!
+//! Reproduces the API surface the workspace's property tests use — the [`proptest!`]
+//! macro, [`strategy::Strategy`] with ranges / tuples / [`strategy::Just`] /
+//! [`prop_oneof!`] / [`collection::vec`] / [`arbitrary::any`], the `prop_assert*`
+//! macros, and [`test_runner::ProptestConfig`] — on top of the vendored deterministic
+//! `rand` shim.
+//!
+//! Differences from the real crate, deliberately accepted for the offline build:
+//!
+//! * **No shrinking.**  A failing case reports its case index and per-test seed base so
+//!   it can be replayed by re-running the test (generation is fully deterministic), but
+//!   it is not minimized.
+//! * **Deterministic seeding.**  Cases derive from a FNV hash of the test name plus the
+//!   case index, so runs are reproducible across machines; there is no `PROPTEST_` env
+//!   handling.
+
+#![forbid(unsafe_code)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod prelude;
+pub mod strategy;
+pub mod test_runner;
+
+/// Declares property tests.
+///
+/// ```
+/// use proptest::prelude::*;
+///
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(16))]
+///
+///     fn addition_commutes(a in 0u64..1000, b in 0u64..1000) {
+///         prop_assert_eq!(a + b, b + a);
+///     }
+/// }
+/// // In a test module the function would carry `#[test]`; doctests call it directly.
+/// addition_commutes();
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_case!(($config) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_case!(($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_case {
+    (($config:expr)) => {};
+    (($config:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat_param in $strategy:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $config;
+            let seed_base = $crate::test_runner::seed_base(stringify!($name));
+            for case in 0..config.cases {
+                let mut __proptest_rng = $crate::test_runner::case_rng(seed_base, case as u64);
+                $(let $pat = $crate::strategy::Strategy::generate(&($strategy), &mut __proptest_rng);)+
+                let outcome: $crate::test_runner::TestCaseResult = (move || {
+                    $body
+                    ::core::result::Result::Ok(())
+                })();
+                if let ::core::result::Result::Err(error) = outcome {
+                    panic!(
+                        "proptest '{}' failed at case {}/{} (seed base {:#018x}): {}",
+                        stringify!($name),
+                        case,
+                        config.cases,
+                        seed_base,
+                        error,
+                    );
+                }
+            }
+        }
+        $crate::__proptest_case!(($config) $($rest)*);
+    };
+}
+
+/// Fails the surrounding property-test case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fails the surrounding property-test case unless the two values compare equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `{:?}` != `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(left == right, $($fmt)+);
+    }};
+}
+
+/// Builds a strategy choosing uniformly between the listed strategies (all must yield
+/// the same value type).  Weighted arms are not supported by the shim.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {{
+        let options: Vec<Box<dyn $crate::strategy::Strategy<Value = _>>> =
+            vec![$(Box::new($strategy)),+];
+        $crate::strategy::Union::new(options)
+    }};
+}

@@ -1,0 +1,9 @@
+//! One-stop import mirroring `proptest::prelude`.
+
+pub use crate::arbitrary::{any, Arbitrary};
+pub use crate::strategy::{Just, Strategy};
+pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+
+/// The crate root under its conventional prelude alias (`prop::collection::vec`, …).
+pub use crate as prop;

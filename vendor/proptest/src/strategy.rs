@@ -1,0 +1,133 @@
+//! Value-generation strategies.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A recipe for generating values of one type from a seeded RNG.
+///
+/// The real proptest couples generation with shrinking via `ValueTree`; the shim keeps
+/// only generation (see the crate-level docs).
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut StdRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+impl<V> Strategy for Box<dyn Strategy<Value = V>> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut StdRng) -> V {
+        (**self).generate(rng)
+    }
+}
+
+/// Strategy producing one fixed value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! range_strategy {
+    ($($ty:ty),+) => {$(
+        impl Strategy for core::ops::Range<$ty> {
+            type Value = $ty;
+
+            fn generate(&self, rng: &mut StdRng) -> $ty {
+                rng.gen_range(self.clone())
+            }
+        }
+
+        impl Strategy for core::ops::RangeInclusive<$ty> {
+            type Value = $ty;
+
+            fn generate(&self, rng: &mut StdRng) -> $ty {
+                rng.gen_range(self.clone())
+            }
+        }
+    )+};
+}
+
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+tuple_strategy!(A, B, C, D, E, F);
+
+/// Uniform choice between same-typed strategies; built by [`crate::prop_oneof!`].
+pub struct Union<V> {
+    options: Vec<Box<dyn Strategy<Value = V>>>,
+}
+
+impl<V> Union<V> {
+    /// Creates a union; `options` must be non-empty.
+    pub fn new(options: Vec<Box<dyn Strategy<Value = V>>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+        Union { options }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut StdRng) -> V {
+        let idx = rng.gen_range(0..self.options.len());
+        self.options[idx].generate(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ranges_tuples_and_unions_generate_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let strategy = (1usize..4, 0.5f64..=1.5, Just("x"));
+        for _ in 0..200 {
+            let (a, b, c) = strategy.generate(&mut rng);
+            assert!((1..4).contains(&a));
+            assert!((0.5..=1.5).contains(&b));
+            assert_eq!(c, "x");
+        }
+        let one_of = crate::prop_oneof![Just(1u8), Just(2), Just(4)];
+        let mut seen = [false; 5];
+        for _ in 0..100 {
+            seen[one_of.generate(&mut rng) as usize] = true;
+        }
+        assert!(seen[1] && seen[2] && seen[4] && !seen[3]);
+    }
+}

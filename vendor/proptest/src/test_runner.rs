@@ -1,0 +1,83 @@
+//! Configuration and failure plumbing for [`crate::proptest!`].
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Per-block configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProptestConfig {
+    /// Number of cases each test runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // The real crate defaults to 256; the shim trades coverage for suite latency.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A failed (or rejected) test case.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// An assertion failure carrying `message`.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError {
+            message: message.into(),
+        }
+    }
+
+    /// Alias of [`TestCaseError::fail`] kept for API compatibility.
+    pub fn reject(message: impl Into<String>) -> Self {
+        Self::fail(message)
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// Outcome of one generated case.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Stable per-test seed: FNV-1a over the test name.
+pub fn seed_base(test_name: &str) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in test_name.bytes() {
+        hash = (hash ^ byte as u64).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// RNG for one case, decorrelated from neighbouring cases.
+pub fn case_rng(seed_base: u64, case: u64) -> StdRng {
+    StdRng::seed_from_u64(seed_base ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::RngCore;
+
+    #[test]
+    fn seeds_are_stable_and_distinct() {
+        assert_eq!(seed_base("alpha"), seed_base("alpha"));
+        assert_ne!(seed_base("alpha"), seed_base("beta"));
+        assert_ne!(case_rng(1, 0).next_u64(), case_rng(1, 1).next_u64());
+    }
+}

@@ -1,0 +1,279 @@
+//! Offline stand-in for the [`rand`](https://crates.io/crates/rand) crate.
+//!
+//! This workspace builds in an environment with no access to crates.io, so the external
+//! dependency set is vendored as minimal, API-compatible shims (see `vendor/` in the
+//! repository root).  This crate reproduces exactly the slice of the `rand` 0.8 API the
+//! workspace uses:
+//!
+//! * [`RngCore`], [`Rng`] (`gen_range` over integer/float ranges, `gen_bool`);
+//! * [`SeedableRng`] (`from_seed`, `seed_from_u64`);
+//! * [`rngs::StdRng`] — a deterministic xoshiro256++ generator;
+//! * [`seq::SliceRandom::shuffle`] — Fisher–Yates.
+//!
+//! Determinism is the only contract the workspace relies on: the same seed always yields
+//! the same stream on every platform.  The streams are **not** bit-compatible with the
+//! real `rand` crate (which uses ChaCha12 behind `StdRng`); nothing in the workspace
+//! depends on specific draws, only on seeded reproducibility.
+
+#![forbid(unsafe_code)]
+
+pub mod rngs;
+pub mod seq;
+
+/// Low-level source of uniformly random bits.
+pub trait RngCore {
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// A generator that can be instantiated from a fixed seed.
+pub trait SeedableRng: Sized {
+    /// Raw seed type (a byte array).
+    type Seed: Default + AsMut<[u8]>;
+
+    /// Creates a generator from a raw seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Creates a generator from a `u64`, expanding it with SplitMix64 like `rand_core`.
+    fn seed_from_u64(state: u64) -> Self {
+        let mut sm = SplitMix64 { state };
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            let bytes = sm.next().to_le_bytes();
+            let n = chunk.len();
+            chunk.copy_from_slice(&bytes[..n]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// SplitMix64, used both for seed expansion and as the recommended way to derive
+/// sub-seeds; see Vigna, <https://prng.di.unimi.it/splitmix64.c>.
+pub(crate) struct SplitMix64 {
+    pub(crate) state: u64,
+}
+
+impl SplitMix64 {
+    pub(crate) fn next(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// User-facing convenience methods; blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples uniformly from `range` (half-open `a..b` or inclusive `a..=b`).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    /// Panics when `p` is not in `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p = {p} not in [0, 1]");
+        unit_f64(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Uniform `f64` in `[0, 1)` with 53 bits of precision.
+fn unit_f64<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Uniform index in `[0, bound)` via Lemire's multiply-shift reduction.
+pub(crate) fn index_below<R: RngCore + ?Sized>(rng: &mut R, bound: usize) -> usize {
+    debug_assert!(bound > 0);
+    ((rng.next_u64() as u128 * bound as u128) >> 64) as usize
+}
+
+/// A range that [`Rng::gen_range`] can sample from.
+pub trait SampleRange<T> {
+    /// Draws one value from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Types with a uniform-sampling implementation over ranges.
+pub trait SampleUniform: Sized {
+    /// Uniform draw from `[low, high)` (`inclusive = false`) or `[low, high]` (`true`).
+    fn sample_between<R: RngCore + ?Sized>(
+        rng: &mut R,
+        low: Self,
+        high: Self,
+        inclusive: bool,
+    ) -> Self;
+}
+
+macro_rules! uniform_int {
+    ($($ty:ty),+) => {$(
+        impl SampleUniform for $ty {
+            fn sample_between<R: RngCore + ?Sized>(
+                rng: &mut R,
+                low: Self,
+                high: Self,
+                inclusive: bool,
+            ) -> Self {
+                if inclusive {
+                    assert!(low <= high, "gen_range: empty range {low}..={high}");
+                } else {
+                    assert!(low < high, "gen_range: empty range {low}..{high}");
+                }
+                // Width of the sampling window minus one, computed without overflow.
+                let span_minus_1 =
+                    (high as u128).wrapping_sub(low as u128) - if inclusive { 0 } else { 1 };
+                if span_minus_1 >= u64::MAX as u128 {
+                    // Window covers (almost) the full u64 range: a raw draw is uniform.
+                    return (low as u128).wrapping_add(rng.next_u64() as u128) as $ty;
+                }
+                let span = span_minus_1 as u64 + 1;
+                let offset = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+                (low as u128).wrapping_add(offset as u128) as $ty
+            }
+        }
+    )+};
+}
+
+uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! uniform_float {
+    ($($ty:ty),+) => {$(
+        impl SampleUniform for $ty {
+            fn sample_between<R: RngCore + ?Sized>(
+                rng: &mut R,
+                low: Self,
+                high: Self,
+                inclusive: bool,
+            ) -> Self {
+                if inclusive {
+                    assert!(low <= high, "gen_range: empty range {low}..={high}");
+                } else {
+                    assert!(low < high, "gen_range: empty range {low}..{high}");
+                }
+                let unit = unit_f64(rng) as $ty;
+                // `high - low` can overflow to infinity for huge spans; the two-term
+                // lerp keeps both products finite (opposite signs cannot overflow).
+                let span = high - low;
+                let value = if span.is_finite() {
+                    low + unit * span
+                } else {
+                    low * (1.0 - unit) + high * unit
+                };
+                // Floating-point rounding may land exactly on `high`; fold that
+                // measure-zero case back to `low`, which is in range for every
+                // non-empty half-open range regardless of sign.
+                if !inclusive && value >= high {
+                    low
+                } else {
+                    value
+                }
+            }
+        }
+    )+};
+}
+
+uniform_float!(f32, f64);
+
+impl<T: SampleUniform + PartialOrd> SampleRange<T> for core::ops::Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_between(rng, self.start, self.end, false)
+    }
+}
+
+impl<T: SampleUniform + PartialOrd> SampleRange<T> for core::ops::RangeInclusive<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (low, high) = self.into_inner();
+        T::sample_between(rng, low, high, true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+
+    #[test]
+    fn seeding_is_deterministic() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..2000 {
+            let v = rng.gen_range(3usize..17);
+            assert!((3..17).contains(&v));
+            let w = rng.gen_range(5u64..=5);
+            assert_eq!(w, 5);
+            let x = rng.gen_range(-2.5f64..4.0);
+            assert!((-2.5..4.0).contains(&x));
+            let y = rng.gen_range(1.0f64..=2.0);
+            assert!((1.0..=2.0).contains(&y));
+            // Non-positive upper bounds exercise the high-endpoint fold-back path.
+            let z = rng.gen_range(-2.0f64..-1.0);
+            assert!((-2.0..-1.0).contains(&z));
+            let w = rng.gen_range(-1.0f64..0.0);
+            assert!((-1.0..0.0).contains(&w));
+            // Spans wider than f64::MAX must stay finite and in range.
+            let v = rng.gen_range(f64::MIN..f64::MAX);
+            assert!(v.is_finite() && v < f64::MAX);
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_small_ranges() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut seen = [false; 4];
+        for _ in 0..256 {
+            seen[rng.gen_range(0usize..4)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn gen_bool_edges_and_balance() {
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+        assert!((0..100).all(|_| !rng.gen_bool(0.0)));
+        let heads = (0..10_000).filter(|_| rng.gen_bool(0.5)).count();
+        assert!((4_000..6_000).contains(&heads), "heads = {heads}");
+    }
+
+    #[test]
+    fn fill_bytes_fills_everything() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut buf = [0u8; 37];
+        rng.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+}

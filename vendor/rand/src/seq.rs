@@ -1,0 +1,72 @@
+//! Sequence-related extensions.
+
+use crate::{index_below, Rng};
+
+/// Extension trait for slices: random shuffling.
+pub trait SliceRandom {
+    /// Element type of the slice.
+    type Item;
+
+    /// Shuffles the slice in place (Fisher–Yates).
+    fn shuffle<R>(&mut self, rng: &mut R)
+    where
+        R: Rng + ?Sized;
+
+    /// Returns one uniformly chosen element, or `None` on an empty slice.
+    fn choose<R>(&self, rng: &mut R) -> Option<&Self::Item>
+    where
+        R: Rng + ?Sized;
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn shuffle<R>(&mut self, rng: &mut R)
+    where
+        R: Rng + ?Sized,
+    {
+        for i in (1..self.len()).rev() {
+            self.swap(i, index_below(rng, i + 1));
+        }
+    }
+
+    fn choose<R>(&self, rng: &mut R) -> Option<&T>
+    where
+        R: Rng + ?Sized,
+    {
+        if self.is_empty() {
+            None
+        } else {
+            Some(&self[index_below(rng, self.len())])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut v: Vec<u32> = (0..100).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        // Overwhelmingly likely to actually move something.
+        assert_ne!(v, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn choose_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let v = [1, 2, 3];
+        for _ in 0..100 {
+            assert!(v.contains(v.choose(&mut rng).unwrap()));
+        }
+        assert!(Vec::<u8>::new().choose(&mut rng).is_none());
+    }
+}

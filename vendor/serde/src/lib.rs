@@ -1,0 +1,62 @@
+//! Offline stand-in for [`serde`](https://crates.io/crates/serde).
+//!
+//! The workspace derives `Serialize` / `Deserialize` on its data model as a statement of
+//! intent, but never feeds those impls to an actual serializer (there is no `serde_json`
+//! in the offline dependency set — see the round-trip test in `bsa_taskgraph::graph`,
+//! which hand-rolls its probe for exactly that reason).  This shim therefore provides the
+//! two traits as markers, blanket-implemented for every type, plus the derive macros
+//! (no-ops from the sibling `serde_derive` shim).
+//!
+//! When the build environment gains registry access, deleting `vendor/serde` and
+//! `vendor/serde_derive` and pointing `[workspace.dependencies]` at the real crates is a
+//! drop-in change: every annotated type derives only `Serialize`/`Deserialize` with no
+//! `#[serde(...)]` attributes.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker for types that are intended to be serializable.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker for types that are intended to be deserializable.
+pub trait Deserialize<'de> {}
+
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker for types deserializable without borrowing, mirroring `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+
+impl<T: ?Sized> DeserializeOwned for T {}
+
+#[cfg(test)]
+mod tests {
+    use super::{Deserialize, Serialize};
+
+    #[derive(Serialize, Deserialize)]
+    struct Plain {
+        _x: u32,
+    }
+
+    #[derive(Serialize, Deserialize)]
+    struct Generic<P> {
+        _items: Vec<P>,
+    }
+
+    #[derive(Serialize, Deserialize)]
+    enum Kind {
+        _A,
+        _B(u8),
+    }
+
+    fn assert_bounds<T: Serialize + for<'de> Deserialize<'de>>() {}
+
+    #[test]
+    fn derives_and_blanket_impls_compose() {
+        assert_bounds::<Plain>();
+        assert_bounds::<Generic<String>>();
+        assert_bounds::<Kind>();
+    }
+}

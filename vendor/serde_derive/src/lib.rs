@@ -1,0 +1,21 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The sibling `serde` shim blanket-implements its marker `Serialize` / `Deserialize`
+//! traits for every type, so the derive macros have nothing to generate: they accept any
+//! item and expand to nothing.  This keeps the workspace's `#[derive(Serialize,
+//! Deserialize)]` annotations compiling (and meaningful as *intent markers* for the day a
+//! real serializer is wired in) without pulling `syn`/`quote` into the offline build.
+
+use proc_macro::TokenStream;
+
+/// No-op derive: the shim `serde::Serialize` is blanket-implemented.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op derive: the shim `serde::Deserialize` is blanket-implemented.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
