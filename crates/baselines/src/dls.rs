@@ -89,7 +89,7 @@ impl Scheduler for Dls {
             for &t in &ready {
                 let median = system.exec_costs.median_cost(t);
                 for p in system.topology.proc_ids() {
-                    let da = data_available_time(&builder, &table, t, p);
+                    let da = data_available_time(&mut builder, &table, t, p);
                     let tf = builder.proc_timeline(p).last_finish();
                     let delta = median - system.exec_cost(t, p);
                     let dl = static_level[t.index()] - da.max(tf) + delta;
@@ -116,8 +116,8 @@ impl Scheduler for Dls {
                 let sp = builder
                     .proc_of(e.src)
                     .expect("predecessors scheduled first");
-                let (hops, arrival) =
-                    route_message(&builder, &table, eid, sp, p, builder.finish_of(e.src));
+                let ready = builder.finish_of(e.src);
+                let (hops, arrival) = route_message(&mut builder, &table, eid, sp, p, ready);
                 commit_route(&mut builder, eid, hops);
                 da = da.max(arrival);
             }

@@ -85,8 +85,8 @@ impl Scheduler for Heft {
                 for &eid in graph.in_edges(t) {
                     let e = graph.edge(eid);
                     let sp = builder.proc_of(e.src).expect("preds scheduled first");
-                    let (_, arrival) =
-                        route_message(&builder, &table, eid, sp, p, builder.finish_of(e.src));
+                    let ready = builder.finish_of(e.src);
+                    let (_, arrival) = route_message(&mut builder, &table, eid, sp, p, ready);
                     da = da.max(arrival);
                 }
                 let exec = builder.exec_cost(t, p);
@@ -103,8 +103,8 @@ impl Scheduler for Heft {
             for &eid in graph.in_edges(t) {
                 let e = graph.edge(eid);
                 let sp = builder.proc_of(e.src).expect("preds scheduled first");
-                let (hops, arrival) =
-                    route_message(&builder, &table, eid, sp, p, builder.finish_of(e.src));
+                let ready = builder.finish_of(e.src);
+                let (hops, arrival) = route_message(&mut builder, &table, eid, sp, p, ready);
                 commit_route(&mut builder, eid, hops);
                 da = da.max(arrival);
             }
@@ -242,8 +242,8 @@ impl Scheduler for ContentionObliviousHeft {
             for &eid in graph.in_edges(t) {
                 let e = graph.edge(eid);
                 let sp = assignment[e.src.index()];
-                let (hops, arrival) =
-                    route_message(&builder, &table, eid, sp, p, builder.finish_of(e.src));
+                let ready = builder.finish_of(e.src);
+                let (hops, arrival) = route_message(&mut builder, &table, eid, sp, p, ready);
                 commit_route(&mut builder, eid, hops);
                 da = da.max(arrival);
             }

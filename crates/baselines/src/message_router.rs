@@ -5,6 +5,12 @@
 //! pre-computed shortest-hop route, occupying each link of the route in turn.  The helpers
 //! here compute the hop bookings either *tentatively* (for evaluating a candidate
 //! processor) or *for real* (mutating the builder's link timelines).
+//!
+//! Tentative bookings run on the builder's speculative kernel
+//! ([`ScheduleBuilder::speculate`] + [`ScheduleBuilder::push_hop`]): the hops are booked
+//! for real inside a transaction that is always rolled back, so each hop of the route
+//! sees the contention created by the hops before it — the same primitives BSA's
+//! migration loop uses, instead of a hand-rolled non-mutating re-implementation.
 
 use bsa_network::{ProcId, RoutingTable};
 use bsa_schedule::schedule::MessageHop;
@@ -17,12 +23,12 @@ use bsa_taskgraph::EdgeId;
 /// Returns the hops (with concrete start/finish times) and the arrival time at `dst_proc`.
 /// When `src_proc == dst_proc` the result is an empty route arriving at `ready`.
 ///
-/// The computation does not mutate the builder; callers that commit the decision must call
-/// [`commit_route`] with the returned hops (hop times stay valid because each hop occupies
-/// a different link and the gaps used are still free at commit time within the same
-/// scheduling step).
+/// The hops are booked speculatively and rolled back before returning, so the builder is
+/// unchanged; callers that commit the decision must call [`commit_route`] with the
+/// returned hops (the gaps used are still free at commit time within the same scheduling
+/// step).
 pub fn route_message(
-    builder: &ScheduleBuilder<'_>,
+    builder: &mut ScheduleBuilder<'_>,
     table: &RoutingTable,
     e: EdgeId,
     src_proc: ProcId,
@@ -32,31 +38,39 @@ pub fn route_message(
     if src_proc == dst_proc {
         return (Vec::new(), ready);
     }
-    let topology = &builder.system().topology;
     let links = table
-        .route(topology, src_proc, dst_proc)
+        .route(&builder.system().topology, src_proc, dst_proc)
         .expect("routing table covers connected topologies");
-    let mut hops = Vec::with_capacity(links.len());
-    let mut cursor = ready;
-    let mut at = src_proc;
-    for link in links {
-        let next = topology
-            .link(link)
-            .other_end(at)
-            .expect("route links are adjacent to the current processor");
-        let dur = builder.transfer_time(link, e);
-        let start = builder.earliest_link_slot(link, cursor, dur);
-        hops.push(MessageHop {
-            link,
-            from: at,
-            to: next,
-            start,
-            finish: start + dur,
-        });
-        cursor = start + dur;
-        at = next;
-    }
-    (hops, cursor)
+    builder.speculate(|b| {
+        // The edge may already carry a committed route (re-routing scenarios); the
+        // speculation books the candidate from scratch and the rollback restores it.
+        b.clear_route(e);
+        let mut cursor = ready;
+        let mut at = src_proc;
+        for link in links {
+            let next = b
+                .system()
+                .topology
+                .link(link)
+                .other_end(at)
+                .expect("route links are adjacent to the current processor");
+            let dur = b.transfer_time(link, e);
+            let start = b.earliest_link_slot(link, cursor, dur);
+            b.push_hop(
+                e,
+                MessageHop {
+                    link,
+                    from: at,
+                    to: next,
+                    start,
+                    finish: start + dur,
+                },
+            );
+            cursor = start + dur;
+            at = next;
+        }
+        (b.route(e).to_vec(), cursor)
+    })
 }
 
 /// Books the hops returned by [`route_message`] on the builder's link timelines.
@@ -69,11 +83,12 @@ pub fn commit_route(builder: &mut ScheduleBuilder<'_>, e: EdgeId, hops: Vec<Mess
 }
 
 /// Data-available time of task `t` on processor `p`: the latest arrival over all incoming
-/// messages, each routed from its producer's processor (tentatively, without mutation).
+/// messages, each routed from its producer's processor (speculatively — the builder is
+/// left unchanged).
 ///
 /// Every predecessor of `t` must already be placed.
 pub fn data_available_time(
-    builder: &ScheduleBuilder<'_>,
+    builder: &mut ScheduleBuilder<'_>,
     table: &RoutingTable,
     t: bsa_taskgraph::TaskId,
     p: ProcId,
@@ -85,7 +100,8 @@ pub fn data_available_time(
         let sp = builder
             .proc_of(e.src)
             .expect("predecessors must be scheduled before their successors");
-        let (_, arrival) = route_message(builder, table, eid, sp, p, builder.finish_of(e.src));
+        let ready = builder.finish_of(e.src);
+        let (_, arrival) = route_message(builder, table, eid, sp, p, ready);
         da = da.max(arrival);
     }
     da
@@ -110,10 +126,10 @@ mod tests {
     fn local_route_is_empty_and_arrives_at_ready() {
         let g = pair();
         let sys = HeterogeneousSystem::homogeneous(&g, ring(4).unwrap());
-        let builder = ScheduleBuilder::new(&g, &sys).unwrap();
+        let mut builder = ScheduleBuilder::new(&g, &sys).unwrap();
         let table = RoutingTable::shortest_paths(&sys.topology);
         let (hops, arrival) =
-            route_message(&builder, &table, EdgeId(0), ProcId(2), ProcId(2), 33.0);
+            route_message(&mut builder, &table, EdgeId(0), ProcId(2), ProcId(2), 33.0);
         assert!(hops.is_empty());
         assert_eq!(arrival, 33.0);
     }
@@ -122,11 +138,11 @@ mod tests {
     fn multi_hop_route_is_store_and_forward() {
         let g = pair();
         let sys = HeterogeneousSystem::homogeneous(&g, ring(4).unwrap());
-        let builder = ScheduleBuilder::new(&g, &sys).unwrap();
+        let mut builder = ScheduleBuilder::new(&g, &sys).unwrap();
         let table = RoutingTable::shortest_paths(&sys.topology);
         // P0 -> P2 needs two hops on an otherwise empty 4-ring.
         let (hops, arrival) =
-            route_message(&builder, &table, EdgeId(0), ProcId(0), ProcId(2), 10.0);
+            route_message(&mut builder, &table, EdgeId(0), ProcId(0), ProcId(2), 10.0);
         assert_eq!(hops.len(), 2);
         assert_eq!(hops[0].start, 10.0);
         assert_eq!(hops[0].finish, 14.0);
@@ -139,20 +155,45 @@ mod tests {
 
     #[test]
     fn routing_respects_existing_link_traffic() {
+        // Two edges so one can block the other.
+        let mut b = TaskGraphBuilder::new();
+        let a = b.add_task("A", 10.0);
+        let c = b.add_task("B", 10.0);
+        let d = b.add_task("C", 10.0);
+        b.add_edge(a, c, 4.0).unwrap();
+        b.add_edge(a, d, 4.0).unwrap();
+        let g = b.build().unwrap();
+        let sys = HeterogeneousSystem::homogeneous(&g, ring(4).unwrap());
+        let mut builder = ScheduleBuilder::new(&g, &sys).unwrap();
+        let table = RoutingTable::shortest_paths(&sys.topology);
+        // Occupy L(P0-P1) during [10, 30) with another edge's hop.
+        let (hops, _) = route_message(&mut builder, &table, EdgeId(1), ProcId(0), ProcId(1), 10.0);
+        let mut blocking = hops.clone();
+        blocking[0].finish = 30.0;
+        commit_route(&mut builder, EdgeId(1), blocking);
+        // A new tentative route at ready=10 must start at 30.
+        let (hops2, arrival2) =
+            route_message(&mut builder, &table, EdgeId(0), ProcId(0), ProcId(1), 10.0);
+        assert_eq!(hops2[0].start, 30.0);
+        assert_eq!(arrival2, 34.0);
+    }
+
+    #[test]
+    fn rerouting_an_edge_does_not_contend_with_its_own_old_booking() {
         let g = pair();
         let sys = HeterogeneousSystem::homogeneous(&g, ring(4).unwrap());
         let mut builder = ScheduleBuilder::new(&g, &sys).unwrap();
         let table = RoutingTable::shortest_paths(&sys.topology);
-        // Occupy L(P0-P1) during [10, 30) with some other edge's hop.
-        let (hops, _) = route_message(&builder, &table, EdgeId(0), ProcId(0), ProcId(1), 10.0);
-        let mut blocking = hops.clone();
-        blocking[0].finish = 30.0;
-        commit_route(&mut builder, EdgeId(0), blocking);
-        // A new tentative route at ready=10 must start at 30.
+        let (hops, _) = route_message(&mut builder, &table, EdgeId(0), ProcId(0), ProcId(1), 10.0);
+        commit_route(&mut builder, EdgeId(0), hops.clone());
+        // Re-evaluating the same edge sees the link as free where its own hops sit …
         let (hops2, arrival2) =
-            route_message(&builder, &table, EdgeId(0), ProcId(0), ProcId(1), 10.0);
-        assert_eq!(hops2[0].start, 30.0);
-        assert_eq!(arrival2, 34.0);
+            route_message(&mut builder, &table, EdgeId(0), ProcId(0), ProcId(1), 10.0);
+        assert_eq!(hops2, hops);
+        assert_eq!(arrival2, 14.0);
+        // … and the speculation left the committed booking untouched.
+        assert_eq!(builder.route(EdgeId(0)), &hops[..]);
+        assert_eq!(builder.link_timeline(hops[0].link).len(), 1);
     }
 
     #[test]
@@ -172,12 +213,12 @@ mod tests {
 
         // On P1: A's message crosses one link (arrives 14), B is local (20) -> DA = 20.
         assert_eq!(
-            data_available_time(&builder, &table, TaskId(2), ProcId(1)),
+            data_available_time(&mut builder, &table, TaskId(2), ProcId(1)),
             20.0
         );
         // On P3 (adjacent to P0): A arrives 14, B needs two hops from P1 and arrives 28.
         assert_eq!(
-            data_available_time(&builder, &table, TaskId(2), ProcId(3)),
+            data_available_time(&mut builder, &table, TaskId(2), ProcId(3)),
             28.0
         );
     }

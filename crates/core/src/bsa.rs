@@ -14,12 +14,24 @@
 //!
 //! The implementation never consults a routing table: message routes grow hop-by-hop as
 //! tasks migrate, exactly as described in the paper.
+//!
+//! Both the neighbour evaluation and the migration itself run on the transactional
+//! kernel of `bsa_schedule` (see DESIGN.md §7): a neighbour is evaluated by *actually
+//! performing* the tentative message bookings and placement inside
+//! [`ScheduleBuilder::speculate`] (so the estimate sees real link contention) and
+//! rolling them back; an accepted migration is committed, a migration whose re-routing
+//! produces un-timeable (cyclic) ordering decisions is rolled back through the same
+//! undo log.  No whole-builder snapshot is ever cloned.  After each accepted migration
+//! only the *dirty cone* — the migrated task, its re-routed messages, and everything
+//! downstream — is re-timed ([`ScheduleBuilder::recompute_times_incremental`]);
+//! [`crate::config::RetimingMode::Full`] switches back to the full-relaxation oracle,
+//! which produces bit-identical times at a much higher cost per migration.
 
-use crate::config::BsaConfig;
+use crate::config::{BsaConfig, RetimingMode};
 use crate::pivot::select_pivot;
 use crate::serialization::serialize;
 use crate::trace::{BsaTrace, MigrationRecord};
-use bsa_network::{HeterogeneousSystem, LinkId, ProcId};
+use bsa_network::{HeterogeneousSystem, ProcId};
 use bsa_schedule::schedule::MessageHop;
 use bsa_schedule::{Schedule, ScheduleBuilder, ScheduleError, Scheduler};
 use bsa_taskgraph::{EdgeId, TaskGraph, TaskId};
@@ -60,6 +72,12 @@ impl Bsa {
             builder.place_task(t, pivot0, cursor);
             cursor = builder.finish_of(t);
         }
+        // The serialized schedule is compacted by construction; this full pass is a
+        // no-op on the times but establishes the clean baseline the dirty-cone
+        // re-timing passes extend from.
+        builder
+            .recompute_times()
+            .map_err(|e| ScheduleError::Internal(format!("serialized schedule: {e}")))?;
         let serialized_length = builder.schedule_length();
 
         let processor_order = system.topology.bfs_order(pivot0);
@@ -76,7 +94,7 @@ impl Bsa {
         for sweep in 0..cfg.sweeps.max(1) {
             let mut sweep_migrations = 0usize;
             for &pivot in &processor_order {
-                let tasks_snapshot = builder.tasks_on(pivot);
+                let tasks_snapshot: Vec<TaskId> = builder.tasks_on(pivot).collect();
                 // Finish times as they stand when the pivot phase begins.  Migration decisions
                 // compare candidate finish times against these phase-start values (the finish
                 // time the task would keep if the pivot's schedule were left as is), which is
@@ -106,9 +124,9 @@ impl Bsa {
                     // Evaluate every neighbour of the pivot.
                     let mut best: Option<(ProcId, f64)> = None;
                     let mut vip_equal: Option<(ProcId, f64)> = None;
-                    for &(py, link) in system.topology.neighbors(pivot) {
+                    for &(py, _link) in system.topology.neighbors(pivot) {
                         let ft_y =
-                            estimate_finish_on_neighbor(&builder, graph, t, pivot, py, link, cfg);
+                            estimate_finish_on_neighbor(&mut builder, graph, t, pivot, py, cfg);
                         if ft_y < ft_pivot - EPS {
                             let better = best.map_or(true, |(bp, bf)| {
                                 ft_y < bf - EPS || ((ft_y - bf).abs() <= EPS && py < bp)
@@ -134,15 +152,22 @@ impl Bsa {
                         continue;
                     };
 
-                    // Perform the migration; if the incremental re-routing produces ordering
-                    // decisions that cannot be timed consistently (rare — see DESIGN.md), roll
-                    // back and keep the task where it was.
-                    let snapshot = builder.clone();
-                    migrate(&mut builder, graph, t, pivot, py, cfg);
-                    if builder.recompute_times().is_err() {
-                        builder = snapshot;
+                    // Perform the migration transactionally; if the incremental re-routing
+                    // produces ordering decisions that cannot be timed consistently (rare —
+                    // see DESIGN.md §5.2), roll back and keep the task where it was.
+                    let txn = builder.begin_txn();
+                    migrate(&mut builder, graph, t, pivot, py, cfg, true);
+                    let retimed = match cfg.retiming {
+                        RetimingMode::Incremental => {
+                            builder.recompute_times_incremental().map(|_| ())
+                        }
+                        RetimingMode::Full => builder.recompute_times(),
+                    };
+                    if retimed.is_err() {
+                        builder.rollback(txn);
                         continue;
                     }
+                    builder.commit(txn);
                     sweep_migrations += 1;
                     if cfg.record_trace {
                         trace.migrations.push(MigrationRecord {
@@ -184,66 +209,37 @@ impl Scheduler for Bsa {
     }
 }
 
-/// Estimates the finish time of `t` if it migrated from `pivot` to the neighbour `py`
-/// across `link`, without mutating the builder (the paper's `ComputeMFT`/`ComputeFT`).
+/// Finish time of `t` if it migrated from `pivot` to the neighbour `py` (the paper's
+/// `ComputeMFT`/`ComputeFT`), obtained by *performing* the migration's incoming-message
+/// bookings and placement inside a speculation that is always rolled back.
 ///
-/// Messages from predecessors on the pivot (or beyond it) are tentatively booked on `link`
-/// one at a time against the link's current timeline; predecessors already on `py` deliver
-/// locally.  The estimate is optimistic when several messages compete for the same link —
-/// the actual migration books them sequentially.
+/// Because the speculative bookings go through the same [`migrate`] code that a real
+/// migration uses, the returned finish time accounts exactly for link contention among
+/// the task's own incoming messages (the previous hand-rolled estimator was optimistic
+/// when several messages competed for the joining link).  Outgoing messages are skipped:
+/// they do not influence `t`'s own finish time.
 fn estimate_finish_on_neighbor(
-    builder: &ScheduleBuilder<'_>,
+    builder: &mut ScheduleBuilder<'_>,
     graph: &TaskGraph,
     t: TaskId,
     pivot: ProcId,
     py: ProcId,
-    link: LinkId,
     cfg: &BsaConfig,
 ) -> f64 {
-    let mut drt = 0.0f64;
-    for &eid in graph.in_edges(t) {
-        let e = graph.edge(eid);
-        let src_proc = builder.proc_of(e.src).expect("all tasks are placed");
-        let arrival = if src_proc == py {
-            builder.finish_of(e.src)
-        } else if src_proc == pivot {
-            let dur = builder.transfer_time(link, eid);
-            builder.earliest_link_slot(link, builder.finish_of(e.src), dur) + dur
-        } else {
-            // The message currently terminates at the pivot.  Either extend that route by
-            // one hop across `link`, or — if the predecessor's processor is directly
-            // connected to `py` — resend it over that direct link ("optimized routes").
-            let ready_at_pivot = builder
-                .route(eid)
-                .last()
-                .map(|h| h.finish)
-                .unwrap_or_else(|| builder.finish_of(e.src));
-            let dur = builder.transfer_time(link, eid);
-            let extend = builder.earliest_link_slot(link, ready_at_pivot, dur) + dur;
-            let direct = builder
-                .system()
-                .topology
-                .link_between(src_proc, py)
-                .map(|dl| {
-                    let ddur = builder.transfer_time(dl, eid);
-                    builder.earliest_link_slot(dl, builder.finish_of(e.src), ddur) + ddur
-                })
-                .unwrap_or(f64::INFINITY);
-            extend.min(direct)
-        };
-        drt = drt.max(arrival);
-    }
-    let exec = builder.exec_cost(t, py);
-    let st = if cfg.insertion {
-        builder.earliest_proc_slot(py, drt, exec)
-    } else {
-        builder.earliest_proc_append(py, drt)
-    };
-    st + exec
+    builder.speculate(|b| {
+        migrate(b, graph, t, pivot, py, cfg, false);
+        b.finish_of(t)
+    })
 }
 
 /// Moves `t` from `pivot` to the neighbouring processor `py`, re-routing its incoming and
-/// outgoing messages across the joining link and booking contention-free slots for them.
+/// (when `route_outgoing` is set) outgoing messages across the joining link and booking
+/// contention-free slots for them.
+///
+/// Runs entirely on the builder's transactional mutation API, so a caller-held [`Txn`]
+/// (or [`ScheduleBuilder::speculate`]) can undo the whole move.
+///
+/// [`Txn`]: bsa_schedule::Txn
 fn migrate(
     builder: &mut ScheduleBuilder<'_>,
     graph: &TaskGraph,
@@ -251,6 +247,7 @@ fn migrate(
     pivot: ProcId,
     py: ProcId,
     cfg: &BsaConfig,
+    route_outgoing: bool,
 ) {
     let link = builder
         .system()
@@ -333,14 +330,14 @@ fn migrate(
                     start: via_pivot_start,
                     finish: via_pivot_arrival,
                 };
-                let hops = if src_proc == pivot {
-                    vec![hop]
+                if src_proc == pivot {
+                    // Producer still on the pivot: a fresh single-hop route.
+                    builder.set_route(eid, vec![hop]);
                 } else {
-                    let mut v = builder.route(eid).to_vec();
-                    v.push(hop);
-                    v
-                };
-                builder.set_route(eid, hops);
+                    // Route already terminates at the pivot: extend it by one hop in
+                    // place instead of re-booking every existing hop.
+                    builder.push_hop(eid, hop);
+                }
                 via_pivot_arrival
             }
         };
@@ -358,6 +355,9 @@ fn migrate(
     let ft = builder.finish_of(t);
 
     // --- outgoing messages -------------------------------------------------------------
+    if !route_outgoing {
+        return;
+    }
     for &eid in graph.out_edges(t) {
         let e = graph.edge(eid);
         let dst_proc = builder.proc_of(e.dst).expect("all tasks are placed");

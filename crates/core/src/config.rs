@@ -20,6 +20,22 @@ pub enum PivotStrategy {
     Fixed(ProcId),
 }
 
+/// Which re-timing kernel runs after every accepted migration.
+///
+/// Both produce identical times (a property the test suite pins down); they differ only
+/// in cost.  `Full` is kept as the oracle and for the scaling benchmark's baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum RetimingMode {
+    /// Dirty-cone incremental relaxation: only the nodes affected by the migration and
+    /// their downstream cone are re-timed
+    /// ([`bsa_schedule::ScheduleBuilder::recompute_times_from`]).
+    #[default]
+    Incremental,
+    /// Full Kahn relaxation over every task and hop
+    /// ([`bsa_schedule::ScheduleBuilder::recompute_times`]).
+    Full,
+}
+
 /// Tunable behaviour of the BSA scheduler.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct BsaConfig {
@@ -49,6 +65,9 @@ pub struct BsaConfig {
     /// sweeps simply repeat the bubble-up pass (each task may migrate one more hop per
     /// sweep) and stop early once a sweep performs no migration.
     pub sweeps: usize,
+    /// Re-timing kernel used after every accepted migration (see [`RetimingMode`]).
+    /// The incremental default changes performance, never results.
+    pub retiming: RetimingMode,
 }
 
 impl Default for BsaConfig {
@@ -60,6 +79,7 @@ impl Default for BsaConfig {
             record_trace: false,
             compare_against_phase_start: false,
             sweeps: 1,
+            retiming: RetimingMode::Incremental,
         }
     }
 }
@@ -77,6 +97,16 @@ impl BsaConfig {
     pub fn without_vip_rule() -> Self {
         BsaConfig {
             use_vip_rule: false,
+            ..Self::default()
+        }
+    }
+
+    /// The full-relaxation oracle kernel — identical schedules, slower migrations.
+    /// Used by the scaling benchmark as the comparison baseline and by the property
+    /// tests as the reference implementation.
+    pub fn full_retiming() -> Self {
+        BsaConfig {
+            retiming: RetimingMode::Full,
             ..Self::default()
         }
     }
@@ -103,5 +133,7 @@ mod tests {
             PivotStrategy::default(),
             PivotStrategy::ShortestCriticalPath
         );
+        assert_eq!(BsaConfig::default().retiming, RetimingMode::Incremental);
+        assert_eq!(BsaConfig::full_retiming().retiming, RetimingMode::Full);
     }
 }

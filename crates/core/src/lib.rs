@@ -47,7 +47,7 @@ pub mod serialization;
 pub mod trace;
 
 pub use bsa::Bsa;
-pub use config::{BsaConfig, PivotStrategy};
+pub use config::{BsaConfig, PivotStrategy, RetimingMode};
 pub use pivot::{cp_length_on, select_pivot};
 pub use serialization::{serialize, TaskClass};
 pub use trace::{BsaTrace, MigrationRecord};
@@ -55,6 +55,6 @@ pub use trace::{BsaTrace, MigrationRecord};
 /// Convenient glob-import.
 pub mod prelude {
     pub use crate::bsa::Bsa;
-    pub use crate::config::{BsaConfig, PivotStrategy};
+    pub use crate::config::{BsaConfig, PivotStrategy, RetimingMode};
     pub use crate::trace::BsaTrace;
 }

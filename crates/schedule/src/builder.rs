@@ -12,11 +12,21 @@
 //! [`ScheduleBuilder::place_task`] / [`ScheduleBuilder::set_route`], undo them with
 //! [`ScheduleBuilder::unplace_task`] / [`ScheduleBuilder::clear_route`], and can ask for a
 //! global re-timing that preserves every ordering decision with
-//! [`ScheduleBuilder::recompute_times`] (the "bubble up" compaction BSA relies on).
+//! [`ScheduleBuilder::recompute_times`] (the "bubble up" compaction BSA relies on) — or
+//! for the incremental dirty-cone variant [`ScheduleBuilder::recompute_times_from`],
+//! which relaxes only the nodes downstream of the mutations made since the last
+//! re-timing.
+//!
+//! Speculative work (evaluating a candidate migration or message route without
+//! committing it) goes through the transactional API in [`crate::txn`]:
+//! [`ScheduleBuilder::begin_txn`] / [`ScheduleBuilder::commit`] /
+//! [`ScheduleBuilder::rollback`], or the [`ScheduleBuilder::speculate`] wrapper.
 
+use crate::incremental::{recompute_from, RetimeStats};
 use crate::recompute::{recompute, RecomputeError};
 use crate::schedule::{MessageHop, MessageRoute, Schedule, TaskPlacement};
 use crate::timeline::Timeline;
+use crate::txn::{DirtyNode, UndoOp};
 use crate::ScheduleError;
 use bsa_network::{HeterogeneousSystem, LinkId, ProcId};
 use bsa_taskgraph::{EdgeId, TaskGraph, TaskId};
@@ -34,6 +44,14 @@ pub struct ScheduleBuilder<'a> {
     pub(crate) routes: Vec<Vec<MessageHop>>,
     /// Busy intervals of every link; payload = (edge, hop index within the edge's route).
     pub(crate) link_timelines: Vec<Timeline<(EdgeId, u32)>>,
+    /// Undo log of the open transaction(s); empty when no transaction is open.
+    pub(crate) undo: Vec<UndoOp>,
+    /// Nesting depth of open transactions (see [`crate::txn`]).
+    pub(crate) txn_depth: usize,
+    /// Decision-graph nodes whose predecessor set changed since the last re-timing —
+    /// the seeds of the next dirty-cone pass.  May contain duplicates and stale hop
+    /// indices; the incremental pass dedups and filters.
+    pub(crate) dirty: Vec<DirtyNode>,
 }
 
 impl<'a> ScheduleBuilder<'a> {
@@ -54,6 +72,9 @@ impl<'a> ScheduleBuilder<'a> {
             proc_timelines: vec![Timeline::new(); system.num_processors()],
             routes: vec![Vec::new(); graph.num_edges()],
             link_timelines: vec![Timeline::new(); system.num_links()],
+            undo: Vec::new(),
+            txn_depth: 0,
+            dirty: Vec::new(),
         })
     }
 
@@ -115,9 +136,12 @@ impl<'a> ScheduleBuilder<'a> {
         &self.link_timelines[l.index()]
     }
 
-    /// Tasks currently placed on `p`, in start-time order.
-    pub fn tasks_on(&self, p: ProcId) -> Vec<TaskId> {
-        self.proc_timelines[p.index()].payloads().collect()
+    /// Tasks currently placed on `p`, in start-time (timeline) order.
+    ///
+    /// Borrows the processor's timeline directly — no allocation.  Callers that mutate
+    /// the builder while iterating must collect first.
+    pub fn tasks_on(&self, p: ProcId) -> impl Iterator<Item = TaskId> + '_ {
+        self.proc_timelines[p.index()].payloads()
     }
 
     /// The current route of edge `e` (empty = local / unrouted).
@@ -190,10 +214,27 @@ impl<'a> ScheduleBuilder<'a> {
             "task {t} is already placed; unplace it first"
         );
         let duration = self.exec_cost(t, p);
+        let old_start = self.task_start[t.index()];
+        let old_finish = self.task_finish[t.index()];
         self.assignment[t.index()] = Some(p);
         self.task_start[t.index()] = start;
         self.task_finish[t.index()] = start + duration;
-        self.proc_timelines[p.index()].insert(start, duration, t);
+        let pos = self.proc_timelines[p.index()].insert(start, duration, t);
+        // The task following the inserted window gains a new processor-order
+        // predecessor; the task itself is new to the decision graph.
+        let follower = self.proc_timelines[p.index()]
+            .intervals()
+            .get(pos + 1)
+            .map(|iv| iv.payload);
+        if let Some(next) = follower {
+            self.mark_dirty(DirtyNode::Task(next));
+        }
+        self.mark_dirty(DirtyNode::Task(t));
+        self.log_undo(UndoOp::Place {
+            task: t,
+            old_start,
+            old_finish,
+        });
     }
 
     /// Removes task `t` from its processor timeline and marks it unplaced.
@@ -202,7 +243,25 @@ impl<'a> ScheduleBuilder<'a> {
     /// affected edges right after.
     pub fn unplace_task(&mut self, t: TaskId) {
         if let Some(p) = self.assignment[t.index()].take() {
-            self.proc_timelines[p.index()].remove_where(|iv| iv.payload == t);
+            let start = self.task_start[t.index()];
+            let finish = self.task_finish[t.index()];
+            let tl = &mut self.proc_timelines[p.index()];
+            let pos = tl
+                .position_at(start, |x| x == t)
+                .expect("placed task is on its processor's timeline");
+            let follower = tl.intervals().get(pos + 1).map(|iv| iv.payload);
+            tl.remove_index(pos);
+            // The task that followed `t` inherits `t`'s processor-order predecessor.
+            if let Some(next) = follower {
+                self.mark_dirty(DirtyNode::Task(next));
+            }
+            self.mark_dirty(DirtyNode::Task(t));
+            self.log_undo(UndoOp::Unplace {
+                task: t,
+                proc: p,
+                start,
+                finish,
+            });
         }
     }
 
@@ -210,15 +269,16 @@ impl<'a> ScheduleBuilder<'a> {
     ///
     /// Passing an empty vector makes the message local.
     pub fn set_route(&mut self, e: EdgeId, hops: Vec<MessageHop>) {
-        self.clear_route(e);
+        if self.routes[e.index()].is_empty() && hops.is_empty() {
+            return;
+        }
+        let old = self.detach_route(e);
         for (k, hop) in hops.iter().enumerate() {
-            self.link_timelines[hop.link.index()].insert(
-                hop.start,
-                hop.finish - hop.start,
-                (e, k as u32),
-            );
+            self.book_hop(e, k as u32, hop);
         }
         self.routes[e.index()] = hops;
+        self.mark_dirty(DirtyNode::Task(self.graph.edge(e).dst));
+        self.log_undo(UndoOp::Route { edge: e, hops: old });
     }
 
     /// Removes the route of edge `e` from the link timelines and makes the message local.
@@ -226,17 +286,105 @@ impl<'a> ScheduleBuilder<'a> {
         if self.routes[e.index()].is_empty() {
             return;
         }
-        for l in 0..self.link_timelines.len() {
-            self.link_timelines[l].remove_all_where(|iv| iv.payload.0 == e);
+        let old = self.detach_route(e);
+        self.mark_dirty(DirtyNode::Task(self.graph.edge(e).dst));
+        self.log_undo(UndoOp::Route { edge: e, hops: old });
+    }
+
+    /// Appends one hop to the route of edge `e`, booking its window on the hop's link
+    /// timeline.  This is the incremental-routing primitive: BSA extends a migrating
+    /// task's message routes one hop at a time, and the baselines' tentative routing
+    /// builds candidate routes with it under [`ScheduleBuilder::speculate`].
+    ///
+    /// # Panics
+    /// Panics (in debug builds) if the hop's window overlaps existing traffic on the
+    /// link; obtain `hop.start` from [`ScheduleBuilder::earliest_link_slot`].
+    pub fn push_hop(&mut self, e: EdgeId, hop: MessageHop) {
+        let k = self.routes[e.index()].len() as u32;
+        self.book_hop(e, k, &hop);
+        self.routes[e.index()].push(hop);
+        self.mark_dirty(DirtyNode::Task(self.graph.edge(e).dst));
+        self.log_undo(UndoOp::PopHop(e));
+    }
+
+    /// Books hop `k` of edge `e` on its link timeline and marks the affected
+    /// decision-graph nodes dirty (the hop itself and the transmission that now follows
+    /// it in link order).
+    fn book_hop(&mut self, e: EdgeId, k: u32, hop: &MessageHop) {
+        let tl = &mut self.link_timelines[hop.link.index()];
+        let pos = tl.insert(hop.start, hop.finish - hop.start, (e, k));
+        let follower = tl.intervals().get(pos + 1).map(|iv| iv.payload);
+        if let Some((fe, fk)) = follower {
+            self.mark_dirty(DirtyNode::Hop(fe, fk));
         }
-        self.routes[e.index()].clear();
+        self.mark_dirty(DirtyNode::Hop(e, k));
+    }
+
+    /// Unbooks every hop of edge `e` from the link timelines and returns the old hops,
+    /// marking the transmissions that followed them in link order dirty.  Does not log.
+    fn detach_route(&mut self, e: EdgeId) -> Vec<MessageHop> {
+        let old = std::mem::take(&mut self.routes[e.index()]);
+        for (k, hop) in old.iter().enumerate() {
+            let tl = &mut self.link_timelines[hop.link.index()];
+            let pos = tl
+                .position_at(hop.start, |pl| pl == (e, k as u32))
+                .expect("routed hop is on its link's timeline");
+            let follower = tl.intervals().get(pos + 1).map(|iv| iv.payload);
+            tl.remove_index(pos);
+            if let Some((fe, fk)) = follower {
+                self.mark_dirty(DirtyNode::Hop(fe, fk));
+            }
+        }
+        old
     }
 
     /// Recomputes every task and hop time from the current *decisions* (assignments,
     /// per-processor order, routes, per-link order), compacting any idle gaps while
     /// preserving all orderings.  See [`crate::recompute`].
+    ///
+    /// This is the full-relaxation oracle; the migration hot path uses
+    /// [`ScheduleBuilder::recompute_times_from`] instead.
     pub fn recompute_times(&mut self) -> Result<(), RecomputeError> {
         recompute(self)
+    }
+
+    /// Incrementally re-times only the *dirty cone*: the decision-graph nodes whose
+    /// predecessor set changed since the last re-timing (tracked automatically by every
+    /// mutation), the extra `seeds` given by the caller, and everything downstream of
+    /// them.  Produces times identical to [`ScheduleBuilder::recompute_times`] provided
+    /// the rest of the schedule was already compacted (which holds whenever every prior
+    /// mutation batch was followed by a successful re-timing).  See
+    /// [`crate::incremental`].
+    ///
+    /// On error nothing is modified (and the dirty set is kept), so a transaction
+    /// rollback restores the exact pre-transaction state.
+    pub fn recompute_times_from(
+        &mut self,
+        seeds: &[TaskId],
+    ) -> Result<RetimeStats, RecomputeError> {
+        recompute_from(self, seeds)
+    }
+
+    /// [`ScheduleBuilder::recompute_times_from`] with no extra seeds: relaxes the cone
+    /// of the mutations made since the last re-timing.
+    pub fn recompute_times_incremental(&mut self) -> Result<RetimeStats, RecomputeError> {
+        self.recompute_times_from(&[])
+    }
+
+    /// Exact structural equality of the *schedule state* — assignments, task times,
+    /// routes, hop times, and both timeline sets, compared bit-for-bit (`f64` included).
+    /// Transaction bookkeeping (undo log, dirty list) is ignored.
+    ///
+    /// This is the equality the rollback guarantee is stated in: after
+    /// [`ScheduleBuilder::rollback`], the builder is `same_schedule_state` with its
+    /// pre-transaction self.
+    pub fn same_schedule_state(&self, other: &Self) -> bool {
+        self.assignment == other.assignment
+            && self.task_start == other.task_start
+            && self.task_finish == other.task_finish
+            && self.routes == other.routes
+            && self.proc_timelines == other.proc_timelines
+            && self.link_timelines == other.link_timelines
     }
 
     /// Finalizes the builder into an immutable [`Schedule`].
@@ -308,7 +456,10 @@ mod tests {
         assert!(b.is_placed(TaskId(0)));
         assert_eq!(b.proc_of(TaskId(1)), Some(ProcId(0)));
         assert_eq!(b.finish_of(TaskId(1)), 30.0);
-        assert_eq!(b.tasks_on(ProcId(0)), vec![TaskId(0), TaskId(1)]);
+        assert_eq!(
+            b.tasks_on(ProcId(0)).collect::<Vec<_>>(),
+            vec![TaskId(0), TaskId(1)]
+        );
         assert_eq!(b.schedule_length(), 30.0);
         assert!(!b.all_placed());
         b.place_task(TaskId(2), ProcId(1), 35.0);

@@ -1,0 +1,539 @@
+//! Dirty-cone incremental re-timing (the fast path of the scheduling kernel).
+//!
+//! [`crate::recompute`] relaxes *every* task and message hop from scratch — O(schedule)
+//! per call.  After a single migration, though, almost all of the schedule is untouched:
+//! only the migrated task, the re-routed messages, and the nodes whose processor- or
+//! link-order predecessor changed can move, plus whatever is downstream of them.  This
+//! module relaxes exactly that set — the **dirty cone** — in the style of irregular
+//! wavefront propagation (see PAPERS.md, Gomes & Teodoro; DESIGN.md §7.2):
+//!
+//! 1. **Seeds.**  Every builder mutation records the decision-graph nodes whose
+//!    predecessor set it changed (see [`crate::txn`]); the caller may add extra task
+//!    seeds.  Stale entries (hops of a route that has since shrunk) are filtered out;
+//!    duplicates are deduplicated.
+//! 2. **Cone.**  The successor closure of the seeds under the *current* decision edges:
+//!    processor order, link order, route chains, and local-message precedence.  The cone
+//!    is successor-closed, so every node outside it has only outside predecessors — its
+//!    committed time is still the earliest-start fixpoint and can be used as-is.
+//! 3. **Relaxation.**  A Kahn pass over the cone only, reading committed finish times
+//!    for out-of-cone predecessors.  If the pass cannot consume the whole cone the
+//!    ordering decisions are cyclic ([`RecomputeError::CyclicDecisions`]); any new cycle
+//!    necessarily passes through a changed edge, hence through the cone, so cycle
+//!    detection is not weakened by looking at the cone alone.
+//! 4. **Write-back.**  Only nodes whose `(start, finish)` actually changed are touched.
+//!    Re-timing preserves every timeline's interval *order*, so each changed window is
+//!    overwritten in place at its (cached) position — no interval is ever removed or
+//!    reinserted.  Inside a transaction the old times are recorded for rollback.
+//!
+//! The result is bit-identical to a full [`crate::recompute`] pass **provided the
+//! schedule outside the cone is already compacted** — which BSA guarantees by
+//! re-timing after the serialization phase and after every accepted migration.  The
+//! property-based tests in `tests/property_based.rs` pin this equivalence down
+//! against the full-relaxation oracle.
+//!
+//! Errors are detected before anything is written, so a failed call leaves the builder
+//! (and its dirty list) untouched.
+
+use crate::builder::ScheduleBuilder;
+use crate::recompute::RecomputeError;
+use crate::txn::{DirtyNode, UndoOp};
+use bsa_taskgraph::{EdgeId, TaskId};
+use std::collections::VecDeque;
+
+/// What an incremental re-timing pass did, for diagnostics and benchmarks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetimeStats {
+    /// Nodes (tasks + hops) in the relaxed dirty cone.
+    pub cone_nodes: usize,
+    /// Cone nodes whose start or finish time actually changed.
+    pub changed_nodes: usize,
+    /// Whether the pass handed the whole job to the full Kahn relaxation because the
+    /// *seed set alone* already covered most of the schedule (see [`FALLBACK_NUM`] /
+    /// [`FALLBACK_DEN`]).
+    pub fell_back: bool,
+}
+
+/// When the (deduplicated) seeds alone exceed `FALLBACK_NUM / FALLBACK_DEN` of all
+/// decision-graph nodes, the incremental pass runs the full relaxation instead: the
+/// cone can only be larger still, and at that size the full pass's flat sweep beats the
+/// cone machinery's per-node bookkeeping.  Deciding on the seed count — *before* any
+/// cone construction — keeps the fallback free: no partially built cone is thrown
+/// away.  In BSA's steady state (a handful of seeds per migration) it never fires; it
+/// catches bulk-mutation batches such as re-timing a freshly built schedule.
+pub const FALLBACK_NUM: usize = 3;
+/// See [`FALLBACK_NUM`].
+pub const FALLBACK_DEN: usize = 4;
+
+/// Whether a dirty entry still refers to an existing decision-graph node.
+fn node_exists(b: &ScheduleBuilder<'_>, n: DirtyNode) -> bool {
+    match n {
+        DirtyNode::Task(_) => true,
+        DirtyNode::Hop(e, k) => (k as usize) < b.routes[e.index()].len(),
+    }
+}
+
+/// Duration of a node under the current decisions.
+fn duration_of(b: &ScheduleBuilder<'_>, n: DirtyNode) -> f64 {
+    match n {
+        DirtyNode::Task(t) => {
+            let p = b.assignment[t.index()].expect("cone tasks are placed");
+            b.system.exec_cost(t, p)
+        }
+        DirtyNode::Hop(e, k) => {
+            let hop = b.routes[e.index()][k as usize];
+            b.system
+                .transfer_time(hop.link, b.graph.edge(e).nominal_cost)
+        }
+    }
+}
+
+/// Sentinel for "not in the cone" in the flat slot maps.
+const NONE: u32 = u32::MAX;
+
+/// Flat node→cone-slot maps plus per-node bookkeeping.  Dense `Vec`s indexed by task id
+/// / global hop number — no hashing on the hot path.
+struct Cone {
+    /// Cone slot of every task (`NONE` = outside).
+    slot_task: Vec<u32>,
+    /// Prefix sums of route lengths: hop `(e, k)` has global number `hop_base[e] + k`.
+    hop_base: Vec<u32>,
+    /// Cone slot of every hop (`NONE` = outside).
+    slot_hop: Vec<u32>,
+    /// Cone nodes in discovery order.
+    nodes: Vec<DirtyNode>,
+    /// Position of each cone node's interval in its (processor or link) timeline.
+    /// Timelines are not mutated during the pass, so positions stay valid; re-timing
+    /// never reorders a timeline, so they remain valid through the write-back too.
+    tpos: Vec<u32>,
+}
+
+impl Cone {
+    fn slot(&self, n: DirtyNode) -> u32 {
+        match n {
+            DirtyNode::Task(t) => self.slot_task[t.index()],
+            DirtyNode::Hop(e, k) => self.slot_hop[(self.hop_base[e.index()] + k) as usize],
+        }
+    }
+
+    /// Adds `n` to the cone (no-op if present), computing its timeline position unless
+    /// the caller already knows it.  Returns the cone slot.
+    fn add(
+        &mut self,
+        b: &ScheduleBuilder<'_>,
+        n: DirtyNode,
+        pos_hint: Option<u32>,
+    ) -> Result<u32, RecomputeError> {
+        let slot = match n {
+            DirtyNode::Task(t) => &mut self.slot_task[t.index()],
+            DirtyNode::Hop(e, k) => &mut self.slot_hop[(self.hop_base[e.index()] + k) as usize],
+        };
+        if *slot != NONE {
+            return Ok(*slot);
+        }
+        let id = self.nodes.len() as u32;
+        *slot = id;
+        self.nodes.push(n);
+        let pos = match pos_hint {
+            Some(p) => p,
+            None => match n {
+                DirtyNode::Task(t) => {
+                    let p = b.assignment[t.index()].ok_or(RecomputeError::UnplacedTask(t))?;
+                    b.proc_timelines[p.index()]
+                        .position_at(b.task_start[t.index()], |x| x == t)
+                        .expect("placed task is on its processor's timeline")
+                        as u32
+                }
+                DirtyNode::Hop(e, k) => {
+                    let hop = b.routes[e.index()][k as usize];
+                    b.link_timelines[hop.link.index()]
+                        .position_at(hop.start, |pl| pl == (e, k))
+                        .expect("hop is on its link's timeline") as u32
+                }
+            },
+        };
+        self.tpos.push(pos);
+        Ok(id)
+    }
+}
+
+/// See the module documentation.  Called through
+/// [`ScheduleBuilder::recompute_times_from`].
+pub(crate) fn recompute_from(
+    b: &mut ScheduleBuilder<'_>,
+    extra_seeds: &[TaskId],
+) -> Result<RetimeStats, RecomputeError> {
+    if b.dirty.is_empty() && extra_seeds.is_empty() {
+        return Ok(RetimeStats {
+            cone_nodes: 0,
+            changed_nodes: 0,
+            fell_back: false,
+        });
+    }
+
+    // ---- flat hop numbering ------------------------------------------------------
+    let n_edges = b.graph.num_edges();
+    let mut hop_base = vec![0u32; n_edges + 1];
+    for e in 0..n_edges {
+        hop_base[e + 1] = hop_base[e] + b.routes[e].len() as u32;
+    }
+    let total_hops = hop_base[n_edges] as usize;
+    let mut cone = Cone {
+        slot_task: vec![NONE; b.graph.num_tasks()],
+        hop_base,
+        slot_hop: vec![NONE; total_hops],
+        nodes: Vec::new(),
+        tpos: Vec::new(),
+    };
+
+    // ---- seeds -------------------------------------------------------------------
+    let seeds: Vec<DirtyNode> = b
+        .dirty
+        .iter()
+        .copied()
+        .chain(extra_seeds.iter().map(|&t| DirtyNode::Task(t)))
+        .collect();
+    for s in seeds {
+        if node_exists(b, s) {
+            cone.add(b, s, None)?;
+        }
+    }
+
+    // ---- seed-count fallback -----------------------------------------------------
+    // Below ~64 nodes the cone machinery is cheap regardless; bailing out there would
+    // only reduce test coverage of the incremental path.
+    let total_nodes = b.graph.num_tasks() + total_hops;
+    if total_nodes >= 64 && cone.nodes.len() > total_nodes * FALLBACK_NUM / FALLBACK_DEN {
+        // Almost everything is dirty before the cone is even expanded: the oracle's
+        // flat sweep is cheaper.  `recompute` handles the undo log and clears the
+        // dirty list itself.
+        crate::recompute::recompute(b)?;
+        return Ok(RetimeStats {
+            cone_nodes: total_nodes,
+            changed_nodes: total_nodes,
+            fell_back: true,
+        });
+    }
+
+    // ---- cone: successor closure of the seeds ------------------------------------
+    let mut dep_edges: Vec<(u32, u32)> = Vec::new();
+    let mut cursor = 0usize;
+    while cursor < cone.nodes.len() {
+        let u = cursor as u32;
+        let pos = cone.tpos[cursor] as usize;
+        match cone.nodes[cursor] {
+            DirtyNode::Task(t) => {
+                let p = b.assignment[t.index()].expect("cone tasks are placed");
+                let next = b.proc_timelines[p.index()]
+                    .intervals()
+                    .get(pos + 1)
+                    .map(|iv| iv.payload);
+                if let Some(next) = next {
+                    let v = cone.add(b, DirtyNode::Task(next), Some(pos as u32 + 1))?;
+                    dep_edges.push((u, v));
+                }
+                for &eid in b.graph.out_edges(t) {
+                    if b.routes[eid.index()].is_empty() {
+                        let dst = b.graph.edge(eid).dst;
+                        let dp =
+                            b.assignment[dst.index()].ok_or(RecomputeError::UnplacedTask(dst))?;
+                        if dp != p {
+                            return Err(RecomputeError::MissingRoute(eid));
+                        }
+                        let v = cone.add(b, DirtyNode::Task(dst), None)?;
+                        dep_edges.push((u, v));
+                    } else {
+                        let v = cone.add(b, DirtyNode::Hop(eid, 0), None)?;
+                        dep_edges.push((u, v));
+                    }
+                }
+            }
+            DirtyNode::Hop(e, k) => {
+                let hop = b.routes[e.index()][k as usize];
+                let next = b.link_timelines[hop.link.index()]
+                    .intervals()
+                    .get(pos + 1)
+                    .map(|iv| iv.payload);
+                if let Some((ne, nk)) = next {
+                    let v = cone.add(b, DirtyNode::Hop(ne, nk), Some(pos as u32 + 1))?;
+                    dep_edges.push((u, v));
+                }
+                let v = if (k as usize) + 1 < b.routes[e.index()].len() {
+                    cone.add(b, DirtyNode::Hop(e, k + 1), None)?
+                } else {
+                    cone.add(b, DirtyNode::Task(b.graph.edge(e).dst), None)?
+                };
+                dep_edges.push((u, v));
+            }
+        }
+        cursor += 1;
+    }
+
+    // ---- initial starts: fold in the (fixed) finishes of out-of-cone predecessors --
+    let m = cone.nodes.len();
+    let mut start = Vec::with_capacity(m);
+    for (&node, &pos) in cone.nodes.iter().zip(cone.tpos.iter()) {
+        let pos = pos as usize;
+        let mut s = 0.0f64;
+        match node {
+            DirtyNode::Task(t) => {
+                let p = b.assignment[t.index()].expect("cone tasks are placed");
+                if pos > 0 {
+                    let prev = b.proc_timelines[p.index()].intervals()[pos - 1].payload;
+                    if cone.slot(DirtyNode::Task(prev)) == NONE {
+                        s = s.max(b.task_finish[prev.index()]);
+                    }
+                }
+                for &eid in b.graph.in_edges(t) {
+                    let route_len = b.routes[eid.index()].len();
+                    if route_len == 0 {
+                        let src = b.graph.edge(eid).src;
+                        let sp =
+                            b.assignment[src.index()].ok_or(RecomputeError::UnplacedTask(src))?;
+                        if sp != p {
+                            return Err(RecomputeError::MissingRoute(eid));
+                        }
+                        if cone.slot(DirtyNode::Task(src)) == NONE {
+                            s = s.max(b.task_finish[src.index()]);
+                        }
+                    } else {
+                        let k = (route_len - 1) as u32;
+                        if cone.slot(DirtyNode::Hop(eid, k)) == NONE {
+                            s = s.max(b.routes[eid.index()][k as usize].finish);
+                        }
+                    }
+                }
+            }
+            DirtyNode::Hop(e, k) => {
+                let hop = b.routes[e.index()][k as usize];
+                if pos > 0 {
+                    let (pe, pk) = b.link_timelines[hop.link.index()].intervals()[pos - 1].payload;
+                    if cone.slot(DirtyNode::Hop(pe, pk)) == NONE {
+                        s = s.max(b.routes[pe.index()][pk as usize].finish);
+                    }
+                }
+                if k == 0 {
+                    let src = b.graph.edge(e).src;
+                    if cone.slot(DirtyNode::Task(src)) == NONE {
+                        s = s.max(b.task_finish[src.index()]);
+                    }
+                } else if cone.slot(DirtyNode::Hop(e, k - 1)) == NONE {
+                    s = s.max(b.routes[e.index()][(k - 1) as usize].finish);
+                }
+            }
+        }
+        start.push(s);
+    }
+
+    // ---- Kahn relaxation restricted to the cone (CSR adjacency) -------------------
+    let mut indeg = vec![0u32; m];
+    let mut offsets = vec![0u32; m + 1];
+    for &(u, v) in &dep_edges {
+        indeg[v as usize] += 1;
+        offsets[u as usize + 1] += 1;
+    }
+    for i in 0..m {
+        offsets[i + 1] += offsets[i];
+    }
+    let mut csr = vec![0u32; dep_edges.len()];
+    let mut fill: Vec<u32> = offsets.clone();
+    for &(u, v) in &dep_edges {
+        csr[fill[u as usize] as usize] = v;
+        fill[u as usize] += 1;
+    }
+    let mut queue: VecDeque<u32> = (0..m as u32).filter(|&i| indeg[i as usize] == 0).collect();
+    let mut finish = vec![0.0f64; m];
+    let mut processed = 0usize;
+    while let Some(u) = queue.pop_front() {
+        let u = u as usize;
+        let f = start[u] + duration_of(b, cone.nodes[u]);
+        finish[u] = f;
+        processed += 1;
+        for &v in &csr[offsets[u] as usize..offsets[u + 1] as usize] {
+            let v = v as usize;
+            if f > start[v] {
+                start[v] = f;
+            }
+            indeg[v] -= 1;
+            if indeg[v] == 0 {
+                queue.push_back(v as u32);
+            }
+        }
+    }
+    if processed != m {
+        return Err(RecomputeError::CyclicDecisions);
+    }
+
+    // ---- in-place write-back of changed nodes only --------------------------------
+    // Re-timing preserves every timeline's interval order, so each changed window is
+    // overwritten in place at its known position — no remove/insert shifting.
+    let log = b.in_txn();
+    let mut old_tasks: Vec<(TaskId, f64, f64)> = Vec::new();
+    let mut old_hops: Vec<(EdgeId, u32, f64, f64)> = Vec::new();
+    let mut changed = 0usize;
+    for i in 0..m {
+        let pos = cone.tpos[i] as usize;
+        match cone.nodes[i] {
+            DirtyNode::Task(t) => {
+                if b.task_start[t.index()] != start[i] || b.task_finish[t.index()] != finish[i] {
+                    if log {
+                        old_tasks.push((t, b.task_start[t.index()], b.task_finish[t.index()]));
+                    }
+                    changed += 1;
+                    let p = b.assignment[t.index()].expect("cone tasks are placed");
+                    b.task_start[t.index()] = start[i];
+                    b.task_finish[t.index()] = finish[i];
+                    b.proc_timelines[p.index()].set_window(pos, start[i], finish[i]);
+                }
+            }
+            DirtyNode::Hop(e, k) => {
+                let hop = &mut b.routes[e.index()][k as usize];
+                if hop.start != start[i] || hop.finish != finish[i] {
+                    if log {
+                        old_hops.push((e, k, hop.start, hop.finish));
+                    }
+                    changed += 1;
+                    hop.start = start[i];
+                    hop.finish = finish[i];
+                    let link = hop.link;
+                    b.link_timelines[link.index()].set_window(pos, start[i], finish[i]);
+                }
+            }
+        }
+    }
+    #[cfg(debug_assertions)]
+    {
+        for tl in &b.proc_timelines {
+            debug_assert!(tl.is_consistent(), "processor timeline after write-back");
+        }
+        for tl in &b.link_timelines {
+            debug_assert!(tl.is_consistent(), "link timeline after write-back");
+        }
+    }
+
+    let stats = RetimeStats {
+        cone_nodes: m,
+        changed_nodes: changed,
+        fell_back: false,
+    };
+    if log {
+        b.log_undo(UndoOp::Retime {
+            tasks: old_tasks,
+            hops: old_hops,
+        });
+    }
+    b.dirty.clear();
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::MessageHop;
+    use bsa_network::builders::ring;
+    use bsa_network::{HeterogeneousSystem, LinkId, ProcId};
+    use bsa_taskgraph::{TaskGraph, TaskGraphBuilder};
+
+    fn chain_graph() -> TaskGraph {
+        let mut b = TaskGraphBuilder::new();
+        let t0 = b.add_task("T0", 10.0);
+        let t1 = b.add_task("T1", 20.0);
+        let t2 = b.add_task("T2", 30.0);
+        b.add_edge(t0, t1, 5.0).unwrap();
+        b.add_edge(t1, t2, 5.0).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn incremental_compacts_like_the_full_pass() {
+        let g = chain_graph();
+        let sys = HeterogeneousSystem::homogeneous(&g, ring(3).unwrap());
+        let mut b = ScheduleBuilder::new(&g, &sys).unwrap();
+        b.place_task(TaskId(0), ProcId(0), 100.0);
+        b.place_task(TaskId(1), ProcId(0), 200.0);
+        b.place_task(TaskId(2), ProcId(0), 300.0);
+        let mut oracle = b.clone();
+        let stats = b.recompute_times_incremental().unwrap();
+        oracle.recompute_times().unwrap();
+        assert!(b.same_schedule_state(&oracle));
+        assert_eq!(stats.cone_nodes, 3);
+        assert_eq!(stats.changed_nodes, 3);
+    }
+
+    #[test]
+    fn incremental_is_a_noop_on_a_compacted_schedule() {
+        let g = chain_graph();
+        let sys = HeterogeneousSystem::homogeneous(&g, ring(3).unwrap());
+        let mut b = ScheduleBuilder::new(&g, &sys).unwrap();
+        b.place_task(TaskId(0), ProcId(0), 0.0);
+        b.place_task(TaskId(1), ProcId(0), 10.0);
+        b.place_task(TaskId(2), ProcId(0), 30.0);
+        b.recompute_times_incremental().unwrap();
+        let stats = b.recompute_times_incremental().unwrap();
+        assert_eq!(stats.cone_nodes, 0);
+        assert_eq!(stats.changed_nodes, 0);
+        // Seeding a task relaxes its cone but changes nothing.
+        let stats = b.recompute_times_from(&[TaskId(0)]).unwrap();
+        assert_eq!(stats.cone_nodes, 3);
+        assert_eq!(stats.changed_nodes, 0);
+    }
+
+    #[test]
+    fn incremental_handles_routes_and_link_order() {
+        let g = chain_graph();
+        let sys = HeterogeneousSystem::homogeneous(&g, ring(3).unwrap());
+        let mut b = ScheduleBuilder::new(&g, &sys).unwrap();
+        b.place_task(TaskId(0), ProcId(0), 50.0);
+        b.place_task(TaskId(1), ProcId(1), 80.0);
+        b.place_task(TaskId(2), ProcId(1), 150.0);
+        b.set_route(
+            EdgeId(0),
+            vec![MessageHop {
+                link: LinkId(0),
+                from: ProcId(0),
+                to: ProcId(1),
+                start: 60.0,
+                finish: 65.0,
+            }],
+        );
+        let mut oracle = b.clone();
+        b.recompute_times_incremental().unwrap();
+        oracle.recompute_times().unwrap();
+        assert!(b.same_schedule_state(&oracle));
+        assert_eq!(b.start_of(TaskId(1)), 15.0);
+        assert_eq!(b.route(EdgeId(0))[0].start, 10.0);
+    }
+
+    #[test]
+    fn incremental_detects_cycles_without_mutating() {
+        use bsa_taskgraph::TaskGraphBuilder;
+        let mut gb = TaskGraphBuilder::new();
+        let a = gb.add_task("A", 10.0);
+        let c = gb.add_task("C", 10.0);
+        gb.add_edge(a, c, 1.0).unwrap();
+        let g = gb.build().unwrap();
+        let sys = HeterogeneousSystem::homogeneous(&g, ring(3).unwrap());
+        let mut b = ScheduleBuilder::new(&g, &sys).unwrap();
+        b.place_task(c, ProcId(0), 0.0);
+        b.place_task(a, ProcId(0), 10.0);
+        let snapshot = b.clone();
+        assert_eq!(
+            b.recompute_times_incremental(),
+            Err(RecomputeError::CyclicDecisions)
+        );
+        assert!(b.same_schedule_state(&snapshot));
+    }
+
+    #[test]
+    fn incremental_reports_missing_routes_in_the_cone() {
+        let g = chain_graph();
+        let sys = HeterogeneousSystem::homogeneous(&g, ring(3).unwrap());
+        let mut b = ScheduleBuilder::new(&g, &sys).unwrap();
+        b.place_task(TaskId(0), ProcId(0), 0.0);
+        b.place_task(TaskId(1), ProcId(1), 20.0);
+        b.place_task(TaskId(2), ProcId(1), 40.0);
+        assert_eq!(
+            b.recompute_times_incremental(),
+            Err(RecomputeError::MissingRoute(EdgeId(0)))
+        );
+    }
+}

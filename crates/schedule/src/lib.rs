@@ -12,26 +12,40 @@
 //!
 //! Algorithms manipulate a [`ScheduleBuilder`], which stores both, offers gap-search
 //! ("insertion scheduling") helpers on processor and link timelines, and can **recompute**
-//! all times from the decisions alone ([`ScheduleBuilder::recompute_times`]) — the
-//! operation BSA uses to let tasks "bubble up" after a migration frees a slot.  The
-//! finished, immutable [`Schedule`] can then be *validated* against the full contention
-//! model ([`validate::validate`]) and summarised ([`metrics::ScheduleMetrics`]).
+//! all times from the decisions alone — the operation BSA uses to let tasks "bubble up"
+//! after a migration frees a slot.  Two implementations share the contract:
+//!
+//! * [`ScheduleBuilder::recompute_times`] — full Kahn relaxation over every task and
+//!   hop (the oracle, see [`recompute`]);
+//! * [`ScheduleBuilder::recompute_times_from`] — dirty-cone incremental relaxation
+//!   over only the nodes affected by the mutations since the last re-timing (the hot
+//!   path, see [`incremental`]).
+//!
+//! Mutations are transactional ([`txn`]): [`ScheduleBuilder::begin_txn`] /
+//! [`ScheduleBuilder::commit`] / [`ScheduleBuilder::rollback`] give speculative
+//! algorithms an undo log instead of a whole-builder clone.  The finished, immutable
+//! [`Schedule`] can then be *validated* against the full contention model
+//! ([`validate::validate`]) and summarised ([`metrics::ScheduleMetrics`]).
 //!
 //! The crate also defines the [`Scheduler`] trait implemented by every algorithm crate.
 
 pub mod builder;
 pub mod gantt;
+pub mod incremental;
 pub mod metrics;
 pub mod recompute;
 pub mod schedule;
 pub mod timeline;
+pub mod txn;
 pub mod validate;
 
 pub use builder::ScheduleBuilder;
+pub use incremental::RetimeStats;
 pub use metrics::ScheduleMetrics;
 pub use recompute::RecomputeError;
 pub use schedule::{MessageHop, MessageRoute, Schedule, TaskPlacement};
 pub use timeline::Timeline;
+pub use txn::Txn;
 pub use validate::{validate, ValidationError};
 
 use bsa_network::HeterogeneousSystem;

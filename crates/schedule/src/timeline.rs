@@ -9,6 +9,14 @@
 //!   `duration` fits without moving anything else;
 //! * [`Timeline::earliest_append`] — the earliest start ≥ max(`ready`, end of last busy
 //!   interval), i.e. non-insertion scheduling.
+//!
+//! The sorted-by-start invariant makes every positional operation a
+//! `partition_point` binary search (see DESIGN.md §7.3): [`Timeline::earliest_gap`]
+//! skips all intervals that end before `ready`, [`Timeline::position_at`] finds the
+//! interval holding a known payload in O(log n), and [`Timeline::remove_at`] /
+//! [`Timeline::remove_index`] delete it without a scan.  Callers that know an
+//! interval's start time (schedulers always do — they booked it) should prefer these
+//! over the linear [`Timeline::remove_where`] escape hatch.
 
 use serde::{Deserialize, Serialize};
 
@@ -69,9 +77,16 @@ impl<P: Copy> Timeline<P> {
     /// Earliest start time `s >= ready` such that `[s, s + duration)` does not overlap any
     /// busy interval.  The gap between consecutive busy intervals is used if large enough
     /// ("insertion scheduling"); otherwise the item goes after the last interval.
+    ///
+    /// Intervals that finish before `ready` can neither host the item nor push the
+    /// candidate later, so the scan starts at the first interval still alive at `ready`
+    /// (binary search) instead of at the beginning of the timeline.
     pub fn earliest_gap(&self, ready: f64, duration: f64) -> f64 {
         let mut candidate = ready;
-        for iv in &self.intervals {
+        let first_alive = self
+            .intervals
+            .partition_point(|iv| iv.finish < ready - TIME_EPS);
+        for iv in &self.intervals[first_alive..] {
             if candidate + duration <= iv.start + TIME_EPS {
                 // Fits entirely before this busy interval.
                 return candidate;
@@ -88,13 +103,14 @@ impl<P: Copy> Timeline<P> {
         ready.max(self.last_finish())
     }
 
-    /// Inserts a busy interval `[start, start + duration)`.
+    /// Inserts a busy interval `[start, start + duration)`; returns the index at which it
+    /// now sits (its predecessor/successor intervals are at `idx - 1` / `idx + 1`).
     ///
     /// # Panics
     /// Panics (in debug builds) if the new interval overlaps an existing one by more than
     /// [`TIME_EPS`]; callers must have obtained `start` from [`Timeline::earliest_gap`] or
     /// an equivalent conflict-free computation.
-    pub fn insert(&mut self, start: f64, duration: f64, payload: P) {
+    pub fn insert(&mut self, start: f64, duration: f64, payload: P) -> usize {
         let finish = start + duration;
         let pos = self
             .intervals
@@ -115,9 +131,81 @@ impl<P: Copy> Timeline<P> {
                 payload,
             },
         );
+        pos
+    }
+
+    /// Index of the interval starting at `start` (within [`TIME_EPS`]) whose payload
+    /// satisfies `matches` — the payload→interval lookup used by the incremental
+    /// scheduling kernel.  Binary search, O(log n) plus the run of equal-start intervals.
+    pub fn position_at(&self, start: f64, mut matches: impl FnMut(P) -> bool) -> Option<usize> {
+        let mut i = self
+            .intervals
+            .partition_point(|iv| iv.start < start - TIME_EPS);
+        while i < self.intervals.len() && self.intervals[i].start <= start + TIME_EPS {
+            if matches(self.intervals[i].payload) {
+                return Some(i);
+            }
+            i += 1;
+        }
+        None
+    }
+
+    /// Removes and returns the interval starting at `start` whose payload satisfies
+    /// `matches` (binary search — the O(log n) replacement for [`Timeline::remove_where`]
+    /// when the caller knows where the interval was booked).
+    pub fn remove_at(&mut self, start: f64, matches: impl FnMut(P) -> bool) -> Option<Interval<P>> {
+        let pos = self.position_at(start, matches)?;
+        Some(self.intervals.remove(pos))
+    }
+
+    /// Removes and returns the interval at `index` (obtained from
+    /// [`Timeline::position_at`] or [`Timeline::insert`]).
+    ///
+    /// # Panics
+    /// Panics if `index` is out of bounds.
+    pub fn remove_index(&mut self, index: usize) -> Interval<P> {
+        self.intervals.remove(index)
+    }
+
+    /// Overwrites the window of the interval at `index` **without** re-sorting.
+    ///
+    /// Only valid when the caller guarantees the timeline's interval *order* is
+    /// unchanged — which re-timing passes do by construction (they preserve every
+    /// ordering decision).  No per-call invariant check: callers batch their updates
+    /// and verify [`Timeline::is_consistent`] once (debug builds).
+    pub(crate) fn set_window(&mut self, index: usize, start: f64, finish: f64) {
+        let iv = &mut self.intervals[index];
+        iv.start = start;
+        iv.finish = finish;
+    }
+
+    /// The busy interval covering `time`, if any (binary search).
+    pub fn interval_covering(&self, time: f64) -> Option<&Interval<P>> {
+        let pos = self
+            .intervals
+            .partition_point(|iv| iv.finish <= time + TIME_EPS);
+        self.intervals
+            .get(pos)
+            .filter(|iv| iv.start <= time + TIME_EPS)
+    }
+
+    /// Iterates the free `(start, end)` windows between busy intervals, including the
+    /// window before the first interval; the unbounded window after
+    /// [`Timeline::last_finish`] is not reported.  Windows shorter than [`TIME_EPS`] are
+    /// skipped.
+    pub fn gaps(&self) -> impl Iterator<Item = (f64, f64)> + '_ {
+        let mut cursor = 0.0f64;
+        self.intervals.iter().filter_map(move |iv| {
+            let gap = (cursor, iv.start);
+            cursor = cursor.max(iv.finish);
+            (gap.1 - gap.0 > TIME_EPS).then_some(gap)
+        })
     }
 
     /// Removes the first interval matching `pred`; returns the removed interval.
+    ///
+    /// Linear scan — kept for callers that genuinely do not know the interval's start
+    /// time; everything on the scheduling hot path uses [`Timeline::remove_at`].
     pub fn remove_where<F: FnMut(&Interval<P>) -> bool>(&mut self, pred: F) -> Option<Interval<P>> {
         let pos = self.intervals.iter().position(pred)?;
         Some(self.intervals.remove(pos))
@@ -244,6 +332,57 @@ mod tests {
             t.insert(start, duration, i);
             assert!(t.is_consistent(), "timeline inconsistent after insert {i}");
         }
+    }
+
+    #[test]
+    fn position_at_and_remove_at_find_intervals_by_start() {
+        let mut t = Timeline::new();
+        t.insert(0.0, 5.0, 'a');
+        assert_eq!(t.insert(10.0, 5.0, 'b'), 1);
+        assert_eq!(t.insert(5.0, 5.0, 'c'), 1);
+        assert_eq!(t.position_at(10.0, |p| p == 'b'), Some(2));
+        assert_eq!(t.position_at(10.0, |p| p == 'a'), None);
+        assert_eq!(t.position_at(7.5, |_| true), None);
+        let removed = t.remove_at(5.0, |p| p == 'c').unwrap();
+        assert_eq!(removed.payload, 'c');
+        assert_eq!(t.len(), 2);
+        assert!(t.remove_at(5.0, |p| p == 'c').is_none());
+        let removed = t.remove_index(0);
+        assert_eq!(removed.payload, 'a');
+        assert_eq!(t.payloads().collect::<Vec<_>>(), vec!['b']);
+    }
+
+    #[test]
+    fn interval_covering_uses_binary_search() {
+        let mut t = Timeline::new();
+        t.insert(0.0, 10.0, 'a');
+        t.insert(20.0, 10.0, 'b');
+        assert_eq!(t.interval_covering(5.0).unwrap().payload, 'a');
+        assert_eq!(t.interval_covering(20.0).unwrap().payload, 'b');
+        assert!(t.interval_covering(15.0).is_none());
+        assert!(t.interval_covering(40.0).is_none());
+    }
+
+    #[test]
+    fn gaps_reports_free_windows() {
+        let mut t = Timeline::new();
+        assert_eq!(t.gaps().count(), 0);
+        t.insert(5.0, 5.0, 'a');
+        t.insert(20.0, 10.0, 'b');
+        t.insert(30.0, 1.0, 'c');
+        let gaps: Vec<(f64, f64)> = t.gaps().collect();
+        assert_eq!(gaps, vec![(0.0, 5.0), (10.0, 20.0)]);
+    }
+
+    #[test]
+    fn earliest_gap_ignores_intervals_finished_before_ready() {
+        let mut t = Timeline::new();
+        t.insert(0.0, 10.0, 'a');
+        t.insert(20.0, 10.0, 'b');
+        // Ready after 'a' finished: the [10, 20) hole is still found.
+        assert_eq!(t.earliest_gap(12.0, 5.0), 12.0);
+        // Ready inside 'b': goes after it.
+        assert_eq!(t.earliest_gap(25.0, 5.0), 30.0);
     }
 
     #[test]

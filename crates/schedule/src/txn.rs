@@ -1,0 +1,388 @@
+//! Transactional mutations on a [`ScheduleBuilder`]: undo log, rollback, speculation.
+//!
+//! Every mutating operation of the builder ([`ScheduleBuilder::place_task`],
+//! [`ScheduleBuilder::unplace_task`], [`ScheduleBuilder::set_route`],
+//! [`ScheduleBuilder::clear_route`], [`ScheduleBuilder::push_hop`], and the two
+//! re-timing entry points) records a reverse operation in an undo log while a
+//! transaction is open.  [`ScheduleBuilder::rollback`] replays the log backwards and
+//! restores the builder to its exact pre-transaction state — byte for byte, including
+//! every `f64` instant — without ever cloning the builder.  This is the primitive the
+//! BSA migration loop uses for its "try a migration, keep it only if the re-timing
+//! succeeds" step, and the one the baselines use (via
+//! [`ScheduleBuilder::speculate`]) for tentative message bookings.  See DESIGN.md §7.1.
+//!
+//! Transactions nest LIFO: an inner [`Txn`] must be committed or rolled back before
+//! the outer one.  Committing the outermost transaction discards the log; committing
+//! an inner one keeps its entries so that an outer rollback still undoes them.
+//!
+//! The same mutation hooks also feed the *dirty-node* list consumed by the
+//! dirty-cone re-timing pass ([`ScheduleBuilder::recompute_times_from`]): every
+//! operation marks the decision-graph nodes whose predecessor set it changed, so the
+//! incremental pass knows exactly which cone to relax.  Rolling a transaction back
+//! restores the dirty list to its pre-transaction contents.
+
+use crate::builder::ScheduleBuilder;
+use crate::schedule::MessageHop;
+use bsa_network::ProcId;
+use bsa_taskgraph::{EdgeId, TaskId};
+
+/// A node of the decision graph: either a task or one hop of a message route.
+///
+/// The incremental re-timing pass relaxes over these nodes; the mutation layer marks
+/// them dirty whenever their predecessor set (processor order, link order, route
+/// shape) changes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) enum DirtyNode {
+    /// The execution of a task on its assigned processor.
+    Task(TaskId),
+    /// Hop `k` (0-based) of the route of an edge.
+    Hop(EdgeId, u32),
+}
+
+/// One reverse operation in the undo log.
+#[derive(Debug, Clone)]
+pub(crate) enum UndoOp {
+    /// Reverse of `place_task`: unplace the task again, restoring the (stale, but part
+    /// of the byte-equality guarantee) start/finish values it had while unplaced.
+    Place {
+        task: TaskId,
+        old_start: f64,
+        old_finish: f64,
+    },
+    /// Reverse of `unplace_task`: restore the placement with its exact old window.
+    Unplace {
+        task: TaskId,
+        proc: ProcId,
+        start: f64,
+        finish: f64,
+    },
+    /// Reverse of `set_route` / `clear_route`: restore the edge's previous hops.
+    Route { edge: EdgeId, hops: Vec<MessageHop> },
+    /// Reverse of `push_hop`: pop the last hop of the edge's route.
+    PopHop(EdgeId),
+    /// Reverse of a re-timing pass: restore the old `(start, finish)` of every node the
+    /// pass changed.
+    Retime {
+        tasks: Vec<(TaskId, f64, f64)>,
+        hops: Vec<(EdgeId, u32, f64, f64)>,
+    },
+}
+
+/// Handle for an open transaction on a [`ScheduleBuilder`].
+///
+/// Obtained from [`ScheduleBuilder::begin_txn`]; must be passed back to exactly one of
+/// [`ScheduleBuilder::commit`] or [`ScheduleBuilder::rollback`].  Transactions nest
+/// LIFO — the most recently begun transaction must be resolved first.
+#[derive(Debug)]
+#[must_use = "a transaction must be committed or rolled back"]
+pub struct Txn {
+    /// Undo-log length when the transaction began; rollback pops down to this.
+    watermark: usize,
+    /// Dirty-node list when the transaction began; rollback restores it.
+    dirty_snapshot: Vec<DirtyNode>,
+    /// Nesting depth of this transaction (1 = outermost), for LIFO enforcement.
+    depth: usize,
+}
+
+impl<'a> ScheduleBuilder<'a> {
+    /// Opens a transaction.  All mutations until the matching
+    /// [`ScheduleBuilder::commit`] / [`ScheduleBuilder::rollback`] are recorded in the
+    /// undo log.
+    pub fn begin_txn(&mut self) -> Txn {
+        self.txn_depth += 1;
+        Txn {
+            watermark: self.undo.len(),
+            dirty_snapshot: self.dirty.clone(),
+            depth: self.txn_depth,
+        }
+    }
+
+    /// Commits a transaction: the mutations made since [`ScheduleBuilder::begin_txn`]
+    /// become permanent.  Committing the outermost transaction discards the undo log.
+    ///
+    /// # Panics
+    /// Panics if `txn` is not the innermost open transaction.
+    pub fn commit(&mut self, txn: Txn) {
+        assert_eq!(
+            txn.depth, self.txn_depth,
+            "transactions must be committed/rolled back in LIFO order"
+        );
+        self.txn_depth -= 1;
+        if self.txn_depth == 0 {
+            self.undo.clear();
+        }
+    }
+
+    /// Rolls a transaction back, restoring the builder to its exact state at the
+    /// matching [`ScheduleBuilder::begin_txn`] (placements, routes, timelines, task and
+    /// hop times, and the dirty-node list).
+    ///
+    /// # Panics
+    /// Panics if `txn` is not the innermost open transaction.
+    pub fn rollback(&mut self, txn: Txn) {
+        assert_eq!(
+            txn.depth, self.txn_depth,
+            "transactions must be committed/rolled back in LIFO order"
+        );
+        while self.undo.len() > txn.watermark {
+            let op = self.undo.pop().expect("undo log is non-empty");
+            self.apply_undo(op);
+        }
+        self.dirty = txn.dirty_snapshot;
+        self.txn_depth -= 1;
+    }
+
+    /// Runs `f` inside a transaction that is always rolled back: the builder is free to
+    /// mutate (book link slots, place the task, …) and every change is undone before
+    /// this returns.  The closure's result — typically a finish-time or a tentative hop
+    /// schedule — is passed through.
+    ///
+    /// This is the "what if" primitive: BSA's neighbour evaluation and the baselines'
+    /// tentative message routing both use it instead of hand-rolled non-mutating
+    /// re-implementations of the booking logic.
+    pub fn speculate<R>(&mut self, f: impl FnOnce(&mut Self) -> R) -> R {
+        let txn = self.begin_txn();
+        let result = f(self);
+        self.rollback(txn);
+        result
+    }
+
+    /// Whether a transaction is currently open.
+    pub fn in_txn(&self) -> bool {
+        self.txn_depth > 0
+    }
+
+    /// Records `op` in the undo log if a transaction is open.
+    pub(crate) fn log_undo(&mut self, op: UndoOp) {
+        if self.txn_depth > 0 {
+            self.undo.push(op);
+        }
+    }
+
+    /// Marks a decision-graph node as needing re-timing.
+    pub(crate) fn mark_dirty(&mut self, node: DirtyNode) {
+        self.dirty.push(node);
+    }
+
+    /// Applies one reverse operation.  Bypasses logging and dirty tracking: rollback
+    /// restores the pre-transaction state (including the dirty snapshot) wholesale.
+    fn apply_undo(&mut self, op: UndoOp) {
+        match op {
+            UndoOp::Place {
+                task: t,
+                old_start,
+                old_finish,
+            } => {
+                let p = self.assignment[t.index()]
+                    .take()
+                    .expect("undo Place: task is placed");
+                let start = self.task_start[t.index()];
+                let removed = self.proc_timelines[p.index()].remove_at(start, |x| x == t);
+                debug_assert!(removed.is_some(), "undo Place: interval found");
+                self.task_start[t.index()] = old_start;
+                self.task_finish[t.index()] = old_finish;
+            }
+            UndoOp::Unplace {
+                task,
+                proc,
+                start,
+                finish,
+            } => {
+                debug_assert!(self.assignment[task.index()].is_none());
+                self.assignment[task.index()] = Some(proc);
+                self.task_start[task.index()] = start;
+                self.task_finish[task.index()] = finish;
+                self.proc_timelines[proc.index()].insert(start, finish - start, task);
+            }
+            UndoOp::Route { edge, hops } => {
+                // Remove whatever the edge is currently routed over …
+                let current = std::mem::take(&mut self.routes[edge.index()]);
+                for (k, hop) in current.iter().enumerate() {
+                    let removed = self.link_timelines[hop.link.index()]
+                        .remove_at(hop.start, |pl| pl == (edge, k as u32));
+                    debug_assert!(removed.is_some(), "undo Route: hop interval found");
+                }
+                // … and restore the old hops.
+                for (k, hop) in hops.iter().enumerate() {
+                    self.link_timelines[hop.link.index()].insert(
+                        hop.start,
+                        hop.finish - hop.start,
+                        (edge, k as u32),
+                    );
+                }
+                self.routes[edge.index()] = hops;
+            }
+            UndoOp::PopHop(edge) => {
+                let hop = self.routes[edge.index()]
+                    .pop()
+                    .expect("undo PopHop: route is non-empty");
+                let k = self.routes[edge.index()].len() as u32;
+                let removed = self.link_timelines[hop.link.index()]
+                    .remove_at(hop.start, |pl| pl == (edge, k));
+                debug_assert!(removed.is_some(), "undo PopHop: hop interval found");
+            }
+            UndoOp::Retime { tasks, hops } => {
+                // Two phases — remove every touched interval first, then reinsert at the
+                // old instants — so intermediate states never trip the timeline overlap
+                // assertions.
+                for &(t, _, _) in &tasks {
+                    let p = self.assignment[t.index()].expect("undo Retime: task placed");
+                    let start = self.task_start[t.index()];
+                    let removed = self.proc_timelines[p.index()].remove_at(start, |x| x == t);
+                    debug_assert!(removed.is_some(), "undo Retime: task interval found");
+                }
+                for &(e, k, _, _) in &hops {
+                    let hop = self.routes[e.index()][k as usize];
+                    let removed = self.link_timelines[hop.link.index()]
+                        .remove_at(hop.start, |pl| pl == (e, k));
+                    debug_assert!(removed.is_some(), "undo Retime: hop interval found");
+                }
+                for (t, start, finish) in tasks {
+                    let p = self.assignment[t.index()].expect("undo Retime: task placed");
+                    self.task_start[t.index()] = start;
+                    self.task_finish[t.index()] = finish;
+                    self.proc_timelines[p.index()].insert(start, finish - start, t);
+                }
+                for (e, k, start, finish) in hops {
+                    let hop = &mut self.routes[e.index()][k as usize];
+                    hop.start = start;
+                    hop.finish = finish;
+                    let link = hop.link;
+                    self.link_timelines[link.index()].insert(start, finish - start, (e, k));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::builder::ScheduleBuilder;
+    use crate::schedule::MessageHop;
+    use bsa_network::builders::ring;
+    use bsa_network::{HeterogeneousSystem, LinkId, ProcId};
+    use bsa_taskgraph::{EdgeId, TaskGraph, TaskGraphBuilder, TaskId};
+
+    fn chain_graph() -> TaskGraph {
+        let mut b = TaskGraphBuilder::new();
+        let t0 = b.add_task("T0", 10.0);
+        let t1 = b.add_task("T1", 20.0);
+        let t2 = b.add_task("T2", 30.0);
+        b.add_edge(t0, t1, 5.0).unwrap();
+        b.add_edge(t1, t2, 5.0).unwrap();
+        b.build().unwrap()
+    }
+
+    fn hop(link: u32, from: u32, to: u32, start: f64, finish: f64) -> MessageHop {
+        MessageHop {
+            link: LinkId(link),
+            from: ProcId(from),
+            to: ProcId(to),
+            start,
+            finish,
+        }
+    }
+
+    #[test]
+    fn rollback_restores_placements_routes_and_times() {
+        let g = chain_graph();
+        let sys = HeterogeneousSystem::homogeneous(&g, ring(3).unwrap());
+        let mut b = ScheduleBuilder::new(&g, &sys).unwrap();
+        b.place_task(TaskId(0), ProcId(0), 0.0);
+        b.place_task(TaskId(1), ProcId(0), 10.0);
+        b.place_task(TaskId(2), ProcId(1), 40.0);
+        b.set_route(EdgeId(1), vec![hop(0, 0, 1, 30.0, 35.0)]);
+        let reference = b.clone();
+
+        let txn = b.begin_txn();
+        b.unplace_task(TaskId(1));
+        b.place_task(TaskId(1), ProcId(2), 12.5);
+        b.set_route(EdgeId(0), vec![hop(2, 0, 2, 10.0, 15.0)]);
+        b.clear_route(EdgeId(1));
+        b.push_hop(EdgeId(1), hop(1, 2, 1, 50.0, 55.0));
+        b.recompute_times_incremental().unwrap();
+        assert!(!b.same_schedule_state(&reference));
+        b.rollback(txn);
+        assert!(b.same_schedule_state(&reference));
+        assert!(!b.in_txn());
+    }
+
+    #[test]
+    fn commit_keeps_the_mutations() {
+        let g = chain_graph();
+        let sys = HeterogeneousSystem::homogeneous(&g, ring(3).unwrap());
+        let mut b = ScheduleBuilder::new(&g, &sys).unwrap();
+        b.place_task(TaskId(0), ProcId(0), 0.0);
+        let txn = b.begin_txn();
+        b.place_task(TaskId(1), ProcId(0), 10.0);
+        b.commit(txn);
+        assert!(b.is_placed(TaskId(1)));
+        assert!(!b.in_txn());
+    }
+
+    #[test]
+    fn nested_transactions_roll_back_lifo() {
+        let g = chain_graph();
+        let sys = HeterogeneousSystem::homogeneous(&g, ring(3).unwrap());
+        let mut b = ScheduleBuilder::new(&g, &sys).unwrap();
+        b.place_task(TaskId(0), ProcId(0), 0.0);
+        let reference = b.clone();
+
+        let outer = b.begin_txn();
+        b.place_task(TaskId(1), ProcId(1), 20.0);
+        let after_outer_op = b.clone();
+        let inner = b.begin_txn();
+        b.place_task(TaskId(2), ProcId(2), 40.0);
+        b.rollback(inner);
+        assert!(b.same_schedule_state(&after_outer_op));
+        // An inner *commit* must still be undone by the outer rollback.
+        let inner = b.begin_txn();
+        b.place_task(TaskId(2), ProcId(2), 40.0);
+        b.commit(inner);
+        b.rollback(outer);
+        assert!(b.same_schedule_state(&reference));
+    }
+
+    #[test]
+    fn speculate_always_rolls_back_and_passes_the_result_through() {
+        let g = chain_graph();
+        let sys = HeterogeneousSystem::homogeneous(&g, ring(3).unwrap());
+        let mut b = ScheduleBuilder::new(&g, &sys).unwrap();
+        b.place_task(TaskId(0), ProcId(0), 0.0);
+        let reference = b.clone();
+        let finish = b.speculate(|s| {
+            s.place_task(TaskId(1), ProcId(1), 11.0);
+            s.finish_of(TaskId(1))
+        });
+        assert_eq!(finish, 31.0);
+        assert!(b.same_schedule_state(&reference));
+    }
+
+    #[test]
+    fn rollback_restores_the_dirty_list_for_the_next_incremental_pass() {
+        let g = chain_graph();
+        let sys = HeterogeneousSystem::homogeneous(&g, ring(3).unwrap());
+        let mut b = ScheduleBuilder::new(&g, &sys).unwrap();
+        b.place_task(TaskId(0), ProcId(0), 5.0);
+        b.place_task(TaskId(1), ProcId(0), 20.0);
+        b.place_task(TaskId(2), ProcId(0), 50.0);
+        // Speculation must not lose the pending dirt from the placements above …
+        b.speculate(|s| s.unplace_task(TaskId(2)));
+        // … so the incremental pass still compacts everything.
+        b.recompute_times_incremental().unwrap();
+        assert_eq!(b.start_of(TaskId(0)), 0.0);
+        assert_eq!(b.start_of(TaskId(1)), 10.0);
+        assert_eq!(b.start_of(TaskId(2)), 30.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "LIFO")]
+    fn out_of_order_commit_panics() {
+        let g = chain_graph();
+        let sys = HeterogeneousSystem::homogeneous(&g, ring(3).unwrap());
+        let mut b = ScheduleBuilder::new(&g, &sys).unwrap();
+        let outer = b.begin_txn();
+        let _inner = b.begin_txn();
+        b.commit(outer);
+    }
+}

@@ -50,7 +50,7 @@ pub use bsa_workloads as workloads;
 /// The most commonly used items from every sub-crate.
 pub mod prelude {
     pub use bsa_baselines::{ContentionObliviousHeft, Dls, Heft, SerialScheduler};
-    pub use bsa_core::{Bsa, BsaConfig, PivotStrategy};
+    pub use bsa_core::{Bsa, BsaConfig, PivotStrategy, RetimingMode};
     pub use bsa_network::builders::TopologyKind;
     pub use bsa_network::{
         CommCostModel, ExecutionCostMatrix, HeterogeneityRange, HeterogeneousSystem, LinkId,

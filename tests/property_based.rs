@@ -140,3 +140,155 @@ proptest! {
         prop_assert_eq!(scaled.num_edges(), graph.num_edges());
     }
 }
+
+// ---------------------------------------------------------------------------------
+// Incremental scheduling kernel: dirty-cone re-timing vs the full Kahn oracle, and
+// transaction rollback byte-equality.  See docs/DESIGN.md §7.
+// ---------------------------------------------------------------------------------
+
+use bsa::baselines::message_router::{commit_route, route_message};
+use bsa::schedule::ScheduleBuilder;
+use rand::Rng;
+
+/// Builds a valid partial schedule by placing every task in topological order on a
+/// seed-derived processor, routing incoming messages over the shortest-path table.
+fn build_routed_schedule<'a>(
+    graph: &'a TaskGraph,
+    system: &'a HeterogeneousSystem,
+    table: &RoutingTable,
+    seed: u64,
+) -> ScheduleBuilder<'a> {
+    let mut builder = ScheduleBuilder::new(graph, system).unwrap();
+    let m = system.num_processors();
+    let topo = bsa::taskgraph::TopologicalOrder::compute(graph);
+    for (i, t) in topo.iter().enumerate() {
+        let p = ProcId(((seed as usize + i * 7) % m) as u32);
+        let mut da = 0.0f64;
+        for &eid in graph.in_edges(t) {
+            let e = graph.edge(eid);
+            let sp = builder.proc_of(e.src).unwrap();
+            let ready = builder.finish_of(e.src);
+            let (hops, arrival) = route_message(&mut builder, table, eid, sp, p, ready);
+            commit_route(&mut builder, eid, hops);
+            da = da.max(arrival);
+        }
+        let exec = builder.exec_cost(t, p);
+        let start = builder.earliest_proc_slot(p, da, exec);
+        builder.place_task(t, p, start);
+    }
+    builder
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// After any random sequence of migrations (a full BSA run *is* one), the
+    /// incremental dirty-cone kernel produces timings identical — bit for bit — to the
+    /// full Kahn relaxation oracle.
+    #[test]
+    fn incremental_retiming_matches_the_full_kahn_oracle((n, gran, seed) in dag_params()) {
+        let graph = build_graph(n, gran, seed);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x17C4);
+        let kind = if seed % 2 == 0 { TopologyKind::Hypercube } else { TopologyKind::Ring };
+        let topology = kind.build(8, &mut rng).unwrap();
+        let system = HeterogeneousSystem::generate(
+            &graph,
+            topology,
+            HeterogeneityRange::DEFAULT,
+            HeterogeneityRange::homogeneous(),
+            &mut rng,
+        );
+        let incremental = Bsa::default().schedule(&graph, &system).unwrap();
+        let oracle = Bsa::new(BsaConfig::full_retiming()).schedule(&graph, &system).unwrap();
+        prop_assert_eq!(incremental.schedule_length(), oracle.schedule_length());
+        for t in graph.task_ids() {
+            prop_assert_eq!(incremental.proc_of(t), oracle.proc_of(t));
+            prop_assert_eq!(incremental.start_of(t), oracle.start_of(t));
+            prop_assert_eq!(incremental.finish_of(t), oracle.finish_of(t));
+        }
+    }
+
+    /// Rolling back a transaction restores the builder to its exact pre-transaction
+    /// state after an arbitrary storm of placements, un-placements, re-routings and
+    /// re-timing passes.
+    #[test]
+    fn txn_rollback_restores_the_builder_byte_for_byte((n, gran, seed) in dag_params()) {
+        let graph = build_graph(n, gran, seed);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xB0B);
+        let topology = TopologyKind::Ring.build(5, &mut rng).unwrap();
+        let system = HeterogeneousSystem::generate(
+            &graph,
+            topology,
+            HeterogeneityRange::DEFAULT,
+            HeterogeneityRange::homogeneous(),
+            &mut rng,
+        );
+        let table = RoutingTable::shortest_paths(&system.topology);
+        let mut builder = build_routed_schedule(&graph, &system, &table, seed);
+        let reference = builder.clone();
+
+        let txn = builder.begin_txn();
+        for _ in 0..8 {
+            match rng.gen_range(0..4) {
+                0 => {
+                    // Move a task to the front-most free slot of its own processor.
+                    let t = TaskId(rng.gen_range(0..graph.num_tasks()) as u32);
+                    let p = builder.proc_of(t).unwrap();
+                    builder.unplace_task(t);
+                    let exec = builder.exec_cost(t, p);
+                    let start = builder.earliest_proc_slot(p, 0.0, exec);
+                    builder.place_task(t, p, start);
+                }
+                1 => {
+                    // Drop the route of a random routed edge.
+                    let eid = EdgeId(rng.gen_range(0..graph.num_edges()) as u32);
+                    builder.clear_route(eid);
+                }
+                2 => {
+                    // Re-route a random crossing edge from scratch.
+                    let eid = EdgeId(rng.gen_range(0..graph.num_edges()) as u32);
+                    let e = graph.edge(eid);
+                    let (sp, dp) = (builder.proc_of(e.src).unwrap(), builder.proc_of(e.dst).unwrap());
+                    if sp != dp {
+                        let ready = builder.finish_of(e.src);
+                        let (hops, _) = route_message(&mut builder, &table, eid, sp, dp, ready);
+                        commit_route(&mut builder, eid, hops);
+                    }
+                }
+                _ => {
+                    // Re-time whatever is dirty; failures (missing route after a clear,
+                    // cyclic order after a move) must leave the state untouched.
+                    let _ = builder.recompute_times_incremental();
+                }
+            }
+        }
+        builder.rollback(txn);
+        prop_assert!(builder.same_schedule_state(&reference));
+
+        // The restored builder is live, not wreckage: a full re-timing still works on a
+        // fully-routed clone once every crossing edge is routed.
+        prop_assert!(builder.graph().num_tasks() == graph.num_tasks());
+    }
+
+    /// Seeded incremental re-timing equals the oracle on a freshly gapped placement.
+    #[test]
+    fn seeded_incremental_recompute_equals_the_oracle(
+        (n, _gran, seed) in dag_params(),
+    ) {
+        let graph = build_graph(n, 1.0, seed);
+        let system = HeterogeneousSystem::homogeneous(&graph, bsa::network::builders::ring(1).unwrap());
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x6A95);
+        let mut builder = ScheduleBuilder::new(&graph, &system).unwrap();
+        let topo = bsa::taskgraph::TopologicalOrder::compute(&graph);
+        let mut cursor = 0.0;
+        for t in topo.iter() {
+            cursor += rng.gen_range(0.0..25.0);
+            builder.place_task(t, ProcId(0), cursor);
+            cursor = builder.finish_of(t);
+        }
+        let mut oracle = builder.clone();
+        builder.recompute_times_incremental().unwrap();
+        oracle.recompute_times().unwrap();
+        prop_assert!(builder.same_schedule_state(&oracle));
+    }
+}
