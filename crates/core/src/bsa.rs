@@ -30,13 +30,27 @@
 use crate::config::{BsaConfig, RetimingMode};
 use crate::pivot::select_pivot;
 use crate::serialization::serialize;
-use crate::trace::{BsaTrace, MigrationRecord};
+use crate::trace::{BsaTrace, MigrationRecord, RetimeTotals};
 use bsa_network::{HeterogeneousSystem, ProcId};
 use bsa_schedule::schedule::MessageHop;
 use bsa_schedule::{Schedule, ScheduleBuilder, ScheduleError, Scheduler};
 use bsa_taskgraph::{EdgeId, TaskGraph, TaskId};
 
 const EPS: f64 = 1e-9;
+
+/// Reusable buffers of the migration loop.  One instance lives for a whole run and is
+/// shared by every neighbour speculation and accepted migration, mirroring the
+/// scheduling kernel's scratch arenas (DESIGN.md §7.5): the loop's own per-candidate
+/// `Vec`s would otherwise be the last per-migration allocations left on the hot path.
+#[derive(Default)]
+struct MigrateScratch {
+    /// Remote incoming messages of the migrating task, sorted by readiness.
+    remote: Vec<(EdgeId, f64)>,
+    /// Snapshot of the pivot's tasks at phase start.
+    tasks: Vec<TaskId>,
+    /// Finish time of every task at phase start (see `compare_against_phase_start`).
+    phase_ft: Vec<f64>,
+}
 
 /// The BSA scheduler.  Construct with [`Bsa::new`] or use [`Bsa::default`] for the paper's
 /// configuration.
@@ -89,25 +103,31 @@ impl Bsa {
             migrations: Vec::new(),
             serialized_length,
             final_length: serialized_length,
+            retime: RetimeTotals::default(),
         };
 
+        let mut scratch = MigrateScratch::default();
         for sweep in 0..cfg.sweeps.max(1) {
             let mut sweep_migrations = 0usize;
             for &pivot in &processor_order {
-                let tasks_snapshot: Vec<TaskId> = builder.tasks_on(pivot).collect();
+                scratch.tasks.clear();
+                scratch.tasks.extend(builder.tasks_on(pivot));
                 // Finish times as they stand when the pivot phase begins.  Migration decisions
                 // compare candidate finish times against these phase-start values (the finish
                 // time the task would keep if the pivot's schedule were left as is), which is
                 // what lets a heavily loaded pivot shed most of its load in one phase.
-                let phase_start_ft: Vec<f64> =
-                    graph.task_ids().map(|x| builder.finish_of(x)).collect();
-                for t in tasks_snapshot {
+                scratch.phase_ft.clear();
+                scratch
+                    .phase_ft
+                    .extend(graph.task_ids().map(|x| builder.finish_of(x)));
+                for ti in 0..scratch.tasks.len() {
+                    let t = scratch.tasks[ti];
                     if builder.proc_of(t) != Some(pivot) {
                         continue;
                     }
                     let (drt_pivot, vip) = builder.current_drt(t);
                     let ft_pivot = if cfg.compare_against_phase_start {
-                        phase_start_ft[t.index()]
+                        scratch.phase_ft[t.index()]
                     } else {
                         builder.finish_of(t)
                     };
@@ -125,8 +145,15 @@ impl Bsa {
                     let mut best: Option<(ProcId, f64)> = None;
                     let mut vip_equal: Option<(ProcId, f64)> = None;
                     for &(py, _link) in system.topology.neighbors(pivot) {
-                        let ft_y =
-                            estimate_finish_on_neighbor(&mut builder, graph, t, pivot, py, cfg);
+                        let ft_y = estimate_finish_on_neighbor(
+                            &mut builder,
+                            graph,
+                            t,
+                            pivot,
+                            py,
+                            cfg,
+                            &mut scratch.remote,
+                        );
                         if ft_y < ft_pivot - EPS {
                             let better = best.map_or(true, |(bp, bf)| {
                                 ft_y < bf - EPS || ((ft_y - bf).abs() <= EPS && py < bp)
@@ -156,18 +183,33 @@ impl Bsa {
                     // produces ordering decisions that cannot be timed consistently (rare —
                     // see DESIGN.md §5.2), roll back and keep the task where it was.
                     let txn = builder.begin_txn();
-                    migrate(&mut builder, graph, t, pivot, py, cfg, true);
+                    migrate(
+                        &mut builder,
+                        graph,
+                        t,
+                        pivot,
+                        py,
+                        cfg,
+                        true,
+                        &mut scratch.remote,
+                    );
                     let retimed = match cfg.retiming {
                         RetimingMode::Incremental => {
-                            builder.recompute_times_incremental().map(|_| ())
+                            builder.recompute_times_incremental().map(Some)
                         }
-                        RetimingMode::Full => builder.recompute_times(),
+                        RetimingMode::Full => builder.recompute_times().map(|()| None),
                     };
-                    if retimed.is_err() {
-                        builder.rollback(txn);
-                        continue;
-                    }
+                    let stats = match retimed {
+                        Err(_) => {
+                            builder.rollback(txn);
+                            continue;
+                        }
+                        Ok(stats) => stats,
+                    };
                     builder.commit(txn);
+                    if let Some(stats) = stats {
+                        trace.retime.absorb(&stats);
+                    }
                     sweep_migrations += 1;
                     if cfg.record_trace {
                         trace.migrations.push(MigrationRecord {
@@ -218,6 +260,7 @@ impl Scheduler for Bsa {
 /// the task's own incoming messages (the previous hand-rolled estimator was optimistic
 /// when several messages competed for the joining link).  Outgoing messages are skipped:
 /// they do not influence `t`'s own finish time.
+#[allow(clippy::too_many_arguments)]
 fn estimate_finish_on_neighbor(
     builder: &mut ScheduleBuilder<'_>,
     graph: &TaskGraph,
@@ -225,9 +268,10 @@ fn estimate_finish_on_neighbor(
     pivot: ProcId,
     py: ProcId,
     cfg: &BsaConfig,
+    remote: &mut Vec<(EdgeId, f64)>,
 ) -> f64 {
     builder.speculate(|b| {
-        migrate(b, graph, t, pivot, py, cfg, false);
+        migrate(b, graph, t, pivot, py, cfg, false, remote);
         b.finish_of(t)
     })
 }
@@ -240,6 +284,7 @@ fn estimate_finish_on_neighbor(
 /// (or [`ScheduleBuilder::speculate`]) can undo the whole move.
 ///
 /// [`Txn`]: bsa_schedule::Txn
+#[allow(clippy::too_many_arguments)]
 fn migrate(
     builder: &mut ScheduleBuilder<'_>,
     graph: &TaskGraph,
@@ -248,6 +293,7 @@ fn migrate(
     py: ProcId,
     cfg: &BsaConfig,
     route_outgoing: bool,
+    remote: &mut Vec<(EdgeId, f64)>,
 ) {
     let link = builder
         .system()
@@ -262,7 +308,7 @@ fn migrate(
     // terminates at the pivot) by one hop, or — when the producer's processor happens to be
     // directly connected to `py` and that is faster — get rescheduled on the direct link
     // (the paper's "optimized routes" property of incremental message scheduling).
-    let mut remote: Vec<(EdgeId, f64)> = Vec::new();
+    remote.clear();
     let mut drt = 0.0f64;
     for &eid in graph.in_edges(t) {
         let e = graph.edge(eid);
@@ -277,7 +323,7 @@ fn migrate(
     }
     // Book the earliest-ready messages first for tighter packing on the shared link.
     remote.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
-    for (eid, src_finish) in remote {
+    for &(eid, src_finish) in remote.iter() {
         let e = graph.edge(eid);
         let src_proc = builder.proc_of(e.src).expect("all tasks are placed");
         let dur = builder.transfer_time(link, eid);

@@ -50,7 +50,7 @@ pub use bsa::Bsa;
 pub use config::{BsaConfig, PivotStrategy, RetimingMode};
 pub use pivot::{cp_length_on, select_pivot};
 pub use serialization::{serialize, TaskClass};
-pub use trace::{BsaTrace, MigrationRecord};
+pub use trace::{BsaTrace, MigrationRecord, RetimeTotals};
 
 /// Convenient glob-import.
 pub mod prelude {

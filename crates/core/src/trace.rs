@@ -2,6 +2,7 @@
 //! assert on the algorithm's intermediate behaviour, not just its final schedule).
 
 use bsa_network::ProcId;
+use bsa_schedule::RetimeStats;
 use bsa_taskgraph::TaskId;
 use serde::{Deserialize, Serialize};
 
@@ -25,6 +26,48 @@ pub struct MigrationRecord {
     pub vip_rule: bool,
 }
 
+/// Aggregated phase counters of every re-timing pass in a run (setup → cone → relax →
+/// write-back; see [`RetimeStats`]).  Surfaced here so benches and the worked-example
+/// binaries can report how much decision-graph work the incremental kernel actually
+/// did, instead of inferring it from wall time alone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct RetimeTotals {
+    /// Re-timing passes performed after accepted migrations.
+    pub passes: usize,
+    /// Passes that fell back to the full relaxation (seed set covered most of the
+    /// schedule — never in BSA's steady state).
+    pub fallbacks: usize,
+    /// Setup phase: live, deduplicated seed nodes across all passes.
+    pub seed_nodes: usize,
+    /// Cone phase: decision-graph nodes pulled into dirty cones.
+    pub cone_nodes: usize,
+    /// Relax phase: cone-local dependency edges relaxed by the Kahn passes.
+    pub cone_edges: usize,
+    /// Write-back phase: nodes whose start/finish actually moved.
+    pub changed_nodes: usize,
+}
+
+impl RetimeTotals {
+    /// Folds one pass's stats into the totals.
+    pub fn absorb(&mut self, s: &RetimeStats) {
+        self.passes += 1;
+        self.fallbacks += usize::from(s.fell_back);
+        self.seed_nodes += s.seed_nodes;
+        self.cone_nodes += s.cone_nodes;
+        self.cone_edges += s.cone_edges;
+        self.changed_nodes += s.changed_nodes;
+    }
+
+    /// Mean cone size per pass (0 when no pass ran).
+    pub fn mean_cone(&self) -> f64 {
+        if self.passes == 0 {
+            0.0
+        } else {
+            self.cone_nodes as f64 / self.passes as f64
+        }
+    }
+}
+
 /// Complete record of one BSA run.
 #[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct BsaTrace {
@@ -42,6 +85,8 @@ pub struct BsaTrace {
     pub serialized_length: f64,
     /// Final schedule length.
     pub final_length: f64,
+    /// Aggregated re-timing phase counters (incremental kernel diagnostics).
+    pub retime: RetimeTotals,
 }
 
 impl BsaTrace {
@@ -84,6 +129,19 @@ impl BsaTrace {
             self.final_length,
             self.migrations.len()
         ));
+        if self.retime.passes > 0 {
+            s.push_str(&format!(
+                "re-timing: {} passes ({} fallbacks), {} seeds -> {} cone nodes / {} cone edges, \
+                 {} changed (mean cone {:.1})\n",
+                self.retime.passes,
+                self.retime.fallbacks,
+                self.retime.seed_nodes,
+                self.retime.cone_nodes,
+                self.retime.cone_edges,
+                self.retime.changed_nodes,
+                self.retime.mean_cone()
+            ));
+        }
         for m in &self.migrations {
             s.push_str(&format!(
                 "  [pivot P{}] T{} : P{} -> P{}  (FT {:.1} -> {:.1}{})\n",
@@ -122,12 +180,22 @@ mod tests {
             }],
             serialized_length: 100.0,
             final_length: 80.0,
+            retime: RetimeTotals {
+                passes: 1,
+                fallbacks: 0,
+                seed_nodes: 2,
+                cone_nodes: 5,
+                cone_edges: 6,
+                changed_nodes: 3,
+            },
         };
         let s = trace.summary();
         assert!(s.contains("first pivot: P2"));
         assert!(s.contains("T1 T2"));
         assert!(s.contains("T2 : P2 -> P1"));
         assert!(s.contains("100.00 -> final length: 80.00"));
+        assert!(s.contains("re-timing: 1 passes (0 fallbacks)"));
+        assert!(s.contains("mean cone 5.0"));
         assert_eq!(trace.num_migrations(), 1);
         assert_eq!(trace.migrations_of_pivot(ProcId(1)).len(), 1);
         assert_eq!(trace.migrations_of_pivot(ProcId(0)).len(), 0);

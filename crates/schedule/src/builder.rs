@@ -24,6 +24,7 @@
 
 use crate::incremental::{recompute_from, RetimeStats};
 use crate::recompute::{recompute, RecomputeError};
+use crate::scaffold::RetimeScaffold;
 use crate::schedule::{MessageHop, MessageRoute, Schedule, TaskPlacement};
 use crate::timeline::Timeline;
 use crate::txn::{DirtyNode, UndoOp};
@@ -52,6 +53,22 @@ pub struct ScheduleBuilder<'a> {
     /// the seeds of the next dirty-cone pass.  May contain duplicates and stale hop
     /// indices; the incremental pass dedups and filters.
     pub(crate) dirty: Vec<DirtyNode>,
+    /// Number of currently placed tasks (maintained by place/unplace and their undos),
+    /// so the re-timing pass can decide in O(1) whether the flat relaxation — which
+    /// needs every task placed — is an eligible routing target.
+    pub(crate) placed_count: usize,
+    /// Persistent decision-graph scaffolding + scratch arenas for the dirty-cone pass
+    /// (see [`crate::scaffold`]).  Kept in lockstep by the route mutations below and by
+    /// the undo interpreter; never rebuilt from scratch.
+    pub(crate) scaffold: RetimeScaffold,
+    /// Old `(task, start, finish)` windows saved by re-timing passes inside open
+    /// transactions.  [`UndoOp::Retime`] records watermarks into this stack instead of
+    /// owning a fresh vector, so steady-state re-timing allocates nothing; the stack is
+    /// truncated by rollback and cleared when the outermost transaction commits.
+    pub(crate) retime_undo_tasks: Vec<(TaskId, f64, f64)>,
+    /// Hop counterpart of [`ScheduleBuilder::retime_undo_tasks`]:
+    /// `(edge, hop index, start, finish)`.
+    pub(crate) retime_undo_hops: Vec<(EdgeId, u32, f64, f64)>,
 }
 
 impl<'a> ScheduleBuilder<'a> {
@@ -75,6 +92,10 @@ impl<'a> ScheduleBuilder<'a> {
             undo: Vec::new(),
             txn_depth: 0,
             dirty: Vec::new(),
+            placed_count: 0,
+            scaffold: RetimeScaffold::for_problem(graph.num_tasks(), graph.num_edges()),
+            retime_undo_tasks: Vec::new(),
+            retime_undo_hops: Vec::new(),
         })
     }
 
@@ -97,7 +118,7 @@ impl<'a> ScheduleBuilder<'a> {
 
     /// Whether every task has been placed.
     pub fn all_placed(&self) -> bool {
-        self.assignment.iter().all(Option::is_some)
+        self.placed_count == self.graph.num_tasks()
     }
 
     /// The processor of task `t` (`None` if unplaced).
@@ -217,6 +238,7 @@ impl<'a> ScheduleBuilder<'a> {
         let old_start = self.task_start[t.index()];
         let old_finish = self.task_finish[t.index()];
         self.assignment[t.index()] = Some(p);
+        self.placed_count += 1;
         self.task_start[t.index()] = start;
         self.task_finish[t.index()] = start + duration;
         let pos = self.proc_timelines[p.index()].insert(start, duration, t);
@@ -243,6 +265,7 @@ impl<'a> ScheduleBuilder<'a> {
     /// affected edges right after.
     pub fn unplace_task(&mut self, t: TaskId) {
         if let Some(p) = self.assignment[t.index()].take() {
+            self.placed_count -= 1;
             let start = self.task_start[t.index()];
             let finish = self.task_finish[t.index()];
             let tl = &mut self.proc_timelines[p.index()];
@@ -276,6 +299,7 @@ impl<'a> ScheduleBuilder<'a> {
         for (k, hop) in hops.iter().enumerate() {
             self.book_hop(e, k as u32, hop);
         }
+        self.scaffold.set_route_len(e.index(), hops.len());
         self.routes[e.index()] = hops;
         self.mark_dirty(DirtyNode::Task(self.graph.edge(e).dst));
         self.log_undo(UndoOp::Route { edge: e, hops: old });
@@ -303,6 +327,8 @@ impl<'a> ScheduleBuilder<'a> {
         let k = self.routes[e.index()].len() as u32;
         self.book_hop(e, k, &hop);
         self.routes[e.index()].push(hop);
+        self.scaffold
+            .set_route_len(e.index(), self.routes[e.index()].len());
         self.mark_dirty(DirtyNode::Task(self.graph.edge(e).dst));
         self.log_undo(UndoOp::PopHop(e));
     }
@@ -324,6 +350,7 @@ impl<'a> ScheduleBuilder<'a> {
     /// marking the transmissions that followed them in link order dirty.  Does not log.
     fn detach_route(&mut self, e: EdgeId) -> Vec<MessageHop> {
         let old = std::mem::take(&mut self.routes[e.index()]);
+        self.scaffold.set_route_len(e.index(), 0);
         for (k, hop) in old.iter().enumerate() {
             let tl = &mut self.link_timelines[hop.link.index()];
             let pos = tl
@@ -369,6 +396,23 @@ impl<'a> ScheduleBuilder<'a> {
     /// of the mutations made since the last re-timing.
     pub fn recompute_times_incremental(&mut self) -> Result<RetimeStats, RecomputeError> {
         self.recompute_times_from(&[])
+    }
+
+    /// Whether the incrementally maintained re-timing scaffold (per-edge route-length
+    /// mirror, total-hop count, slot-map sizing) is byte-equal to one rebuilt from
+    /// scratch off the current routes.  Always true by construction; exposed so the
+    /// property suite can pin the incremental maintenance (including its interaction
+    /// with rollback) against the rebuild.
+    pub fn scaffold_matches_rebuild(&self) -> bool {
+        self.scaffold
+            .matches_rebuild(self.graph.num_tasks(), &self.routes)
+    }
+
+    /// Number of re-timing passes (beyond the first) in which a scratch arena had to
+    /// grow.  Zero once the run reaches steady state — the release-build observable
+    /// counterpart of the counting-allocator test in `tests/zero_alloc.rs`.
+    pub fn scaffold_realloc_events(&self) -> u64 {
+        self.scaffold.realloc_events()
     }
 
     /// Exact structural equality of the *schedule state* — assignments, task times,

@@ -25,6 +25,24 @@
 //!    overwritten in place at its (cached) position — no interval is ever removed or
 //!    reinserted.  Inside a transaction the old times are recorded for rollback.
 //!
+//! Since PR 3 the pass runs on the builder's persistent scaffold (`crate::scaffold`): epoch-
+//! stamped slot maps instead of per-call `vec![NONE; …]` fills, `clear()`-reused arenas
+//! for the cone/CSR/queue, an O(1) `total_hops` mirror instead of the O(E) `hop_base`
+//! prefix scan, and watermark-based undo records backed by persistent stacks.  The cost
+//! of one migration is proportional to its cone; in steady state (once the arenas reach
+//! their high-water capacity) the pass performs **zero heap allocations** — asserted by
+//! the counting-allocator test in `tests/zero_alloc.rs`.
+//!
+//! Cone-proportional is only a win while the cone is small.  A migration of an
+//! early-schedule task dirties nearly everything downstream — at 1000+ tasks the mean
+//! cone covers ~90% of the schedule and per-node cone bookkeeping *loses* to a flat
+//! sweep.  The pass therefore routes between two same-result kernels: the cone-local
+//! Kahn above, and `flat_relax` — a whole-schedule relaxation on the same arenas
+//! (CSR via two counting sweeps, in-place write-back, zero steady-state allocations)
+//! that replaces the much costlier [`crate::recompute`] oracle on the big-cone path.
+//! Routing is decided before any cone work from the seed count ([`FALLBACK_NUM`]) and
+//! a seed-horizon estimate ([`FLAT_EST_NUM`]), with a mid-discovery cap as backstop.
+//!
 //! The result is bit-identical to a full [`crate::recompute`] pass **provided the
 //! schedule outside the cone is already compacted** — which BSA guarantees by
 //! re-timing after the serialization phase and after every accepted migration.  The
@@ -36,33 +54,66 @@
 
 use crate::builder::ScheduleBuilder;
 use crate::recompute::RecomputeError;
+use crate::scaffold::{slot_lookup, RetimeScaffold, NONE};
 use crate::txn::{DirtyNode, UndoOp};
-use bsa_taskgraph::{EdgeId, TaskId};
-use std::collections::VecDeque;
+use bsa_taskgraph::TaskId;
 
-/// What an incremental re-timing pass did, for diagnostics and benchmarks.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// What an incremental re-timing pass did, for diagnostics, the BSA trace's phase
+/// counters, and the scaling benchmark.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct RetimeStats {
-    /// Nodes (tasks + hops) in the relaxed dirty cone.
+    /// Live, deduplicated seeds the pass started from (setup phase).
+    pub seed_nodes: usize,
+    /// Nodes (tasks + hops) in the relaxed dirty cone (cone phase).
     pub cone_nodes: usize,
-    /// Cone nodes whose start or finish time actually changed.
+    /// Cone-local dependency edges relaxed by the Kahn pass (relax phase).
+    pub cone_edges: usize,
+    /// Cone nodes whose start or finish time actually changed (write-back phase).
     pub changed_nodes: usize,
-    /// Whether the pass handed the whole job to the full Kahn relaxation because the
-    /// *seed set alone* already covered most of the schedule (see [`FALLBACK_NUM`] /
-    /// [`FALLBACK_DEN`]).
+    /// Whether the pass ran the arena-backed **flat relaxation** instead of the
+    /// cone-local one — because the seed set alone covered most of the schedule
+    /// ([`FALLBACK_NUM`] / [`FALLBACK_DEN`]), because the seed-horizon estimate said
+    /// the cone would ([`FLAT_EST_NUM`] / [`FLAT_EST_DEN`]), or because cone discovery
+    /// outgrew its cap.  Identical results either way; `cone_nodes` then counts the
+    /// whole decision graph.
     pub fell_back: bool,
 }
 
 /// When the (deduplicated) seeds alone exceed `FALLBACK_NUM / FALLBACK_DEN` of all
-/// decision-graph nodes, the incremental pass runs the full relaxation instead: the
-/// cone can only be larger still, and at that size the full pass's flat sweep beats the
-/// cone machinery's per-node bookkeeping.  Deciding on the seed count — *before* any
-/// cone construction — keeps the fallback free: no partially built cone is thrown
+/// decision-graph nodes, the incremental pass runs the arena-backed flat relaxation
+/// instead: the cone can only be larger still, and at that size the flat sweep beats
+/// the cone machinery's per-node bookkeeping.  Deciding on the seed count — *before*
+/// any cone construction — keeps the fallback free: no partially built cone is thrown
 /// away.  In BSA's steady state (a handful of seeds per migration) it never fires; it
-/// catches bulk-mutation batches such as re-timing a freshly built schedule.
+/// catches bulk-mutation batches such as re-timing a freshly built schedule.  The same
+/// ratio caps cone *construction*: a cone that grows past it mid-discovery abandons and
+/// re-routes to the flat pass (cheap since the arenas are reused either way).
 pub const FALLBACK_NUM: usize = 3;
 /// See [`FALLBACK_NUM`].
 pub const FALLBACK_DEN: usize = 4;
+
+/// Below this many decision-graph nodes the flat re-routes never fire: the cone
+/// machinery is cheap regardless, and bailing out would only reduce test coverage of
+/// the incremental path.
+pub const FALLBACK_FLOOR: usize = 64;
+
+/// Horizon estimate threshold.  Decision-graph edges (processor order, link order,
+/// route chains) essentially always point forward in committed time, so the dirty cone
+/// is — up to the stale windows of the mutation itself — contained in the set of nodes
+/// scheduled at or after the earliest seed.  That set is countable in
+/// O((procs + links) · log n) by one `partition_point` per timeline, *before* paying
+/// for any cone discovery.  When it exceeds `FLAT_EST_NUM / FLAT_EST_DEN` of the
+/// decision graph, the pass goes straight to the flat relaxation: at that size the
+/// cone's discovery overhead (per-node slot claims, timeline position lookups,
+/// explicit dependency-edge list) costs more than it saves.  This is the routing rule
+/// that keeps the kernel from *losing* to the oracle on migrations of early-schedule
+/// tasks, whose cones cover nearly the whole schedule (`BENCH_scaling.json`, 1000+
+/// tasks).  The estimate is a heuristic for *routing only* — both targets compute the
+/// identical fixpoint — and the mid-discovery cap above backstops the rare cone that
+/// outgrows its estimate.
+pub const FLAT_EST_NUM: usize = 1;
+/// See [`FLAT_EST_NUM`].
+pub const FLAT_EST_DEN: usize = 2;
 
 /// Whether a dirty entry still refers to an existing decision-graph node.
 fn node_exists(b: &ScheduleBuilder<'_>, n: DirtyNode) -> bool {
@@ -87,73 +138,293 @@ fn duration_of(b: &ScheduleBuilder<'_>, n: DirtyNode) -> f64 {
     }
 }
 
-/// Sentinel for "not in the cone" in the flat slot maps.
-const NONE: u32 = u32::MAX;
-
-/// Flat node→cone-slot maps plus per-node bookkeeping.  Dense `Vec`s indexed by task id
-/// / global hop number — no hashing on the hot path.
-struct Cone {
-    /// Cone slot of every task (`NONE` = outside).
-    slot_task: Vec<u32>,
-    /// Prefix sums of route lengths: hop `(e, k)` has global number `hop_base[e] + k`.
-    hop_base: Vec<u32>,
-    /// Cone slot of every hop (`NONE` = outside).
-    slot_hop: Vec<u32>,
-    /// Cone nodes in discovery order.
-    nodes: Vec<DirtyNode>,
-    /// Position of each cone node's interval in its (processor or link) timeline.
-    /// Timelines are not mutated during the pass, so positions stay valid; re-timing
-    /// never reorders a timeline, so they remain valid through the write-back too.
-    tpos: Vec<u32>,
+/// Adds `n` to the cone (no-op if present), computing its timeline position unless the
+/// caller already knows it.  Returns the cone slot.
+fn add_to_cone(
+    b: &ScheduleBuilder<'_>,
+    sc: &mut RetimeScaffold,
+    n: DirtyNode,
+    pos_hint: Option<u32>,
+) -> Result<u32, RecomputeError> {
+    let (slot, fresh) = sc.claim_slot(n);
+    if !fresh {
+        return Ok(slot);
+    }
+    let pos = match pos_hint {
+        Some(p) => p,
+        None => match n {
+            DirtyNode::Task(t) => {
+                let p = b.assignment[t.index()].ok_or(RecomputeError::UnplacedTask(t))?;
+                b.proc_timelines[p.index()]
+                    .position_at(b.task_start[t.index()], |x| x == t)
+                    .expect("placed task is on its processor's timeline") as u32
+            }
+            DirtyNode::Hop(e, k) => {
+                let hop = b.routes[e.index()][k as usize];
+                b.link_timelines[hop.link.index()]
+                    .position_at(hop.start, |pl| pl == (e, k))
+                    .expect("hop is on its link's timeline") as u32
+            }
+        },
+    };
+    sc.push_node_pos(pos);
+    Ok(slot)
 }
 
-impl Cone {
-    fn slot(&self, n: DirtyNode) -> u32 {
-        match n {
-            DirtyNode::Task(t) => self.slot_task[t.index()],
-            DirtyNode::Hop(e, k) => self.slot_hop[(self.hop_base[e.index()] + k) as usize],
+/// Committed start instant of a live decision-graph node (seed-horizon computation).
+fn start_of_node(b: &ScheduleBuilder<'_>, n: DirtyNode) -> f64 {
+    match n {
+        DirtyNode::Task(t) => b.task_start[t.index()],
+        DirtyNode::Hop(e, k) => b.routes[e.index()][k as usize].start,
+    }
+}
+
+/// Enumerates every decision-graph dependency edge `(u, v)` in flat numbering (tasks
+/// first, then hops via `hop_base` prefix sums): processor order, link order, and
+/// message chains.  Called twice per flat pass (CSR count + CSR fill), so the adjacency
+/// never needs an intermediate edge list.
+fn for_each_dep(
+    b: &ScheduleBuilder<'_>,
+    hop_base: &[u32],
+    mut f: impl FnMut(u32, u32),
+) -> Result<(), RecomputeError> {
+    let n_tasks = b.graph.num_tasks() as u32;
+    let hop_node = |e: usize, k: usize| n_tasks + hop_base[e] + k as u32;
+    for tl in &b.proc_timelines {
+        for w in tl.intervals().windows(2) {
+            f(w[0].payload.index() as u32, w[1].payload.index() as u32);
+        }
+    }
+    for tl in &b.link_timelines {
+        for w in tl.intervals().windows(2) {
+            let (e0, k0) = w[0].payload;
+            let (e1, k1) = w[1].payload;
+            f(
+                hop_node(e0.index(), k0 as usize),
+                hop_node(e1.index(), k1 as usize),
+            );
+        }
+    }
+    for e in b.graph.edge_ids() {
+        let edge = b.graph.edge(e);
+        let route = &b.routes[e.index()];
+        if route.is_empty() {
+            let src_p = b.assignment[edge.src.index()].expect("flat pass: all tasks placed");
+            let dst_p = b.assignment[edge.dst.index()].expect("flat pass: all tasks placed");
+            if src_p != dst_p {
+                return Err(RecomputeError::MissingRoute(e));
+            }
+            f(edge.src.index() as u32, edge.dst.index() as u32);
+        } else {
+            f(edge.src.index() as u32, hop_node(e.index(), 0));
+            for k in 1..route.len() {
+                f(hop_node(e.index(), k - 1), hop_node(e.index(), k));
+            }
+            f(
+                hop_node(e.index(), route.len() - 1),
+                edge.dst.index() as u32,
+            );
+        }
+    }
+    Ok(())
+}
+
+/// Full-schedule Kahn relaxation on the scaffold's arenas — the big-cone sibling of the
+/// cone-local pass.  Computes exactly the [`crate::recompute`] fixpoint, but with the
+/// kernel's cost profile: CSR adjacency in reused arenas (two counting/filling sweeps,
+/// no per-node `Vec`s), durations and hop numbering in arenas, in-place window
+/// write-back (re-timing preserves interval order, so no timeline is ever rebuilt),
+/// and watermark undo records.  Zero steady-state heap allocations, like the cone path.
+///
+/// Returns `(num_nodes, dep_edges, changed)` for the caller's [`RetimeStats`].
+fn flat_relax(
+    b: &mut ScheduleBuilder<'_>,
+    sc: &mut RetimeScaffold,
+) -> Result<(usize, usize, usize), RecomputeError> {
+    let graph = b.graph;
+    let n_tasks = graph.num_tasks();
+    for t in graph.task_ids() {
+        if b.assignment[t.index()].is_none() {
+            return Err(RecomputeError::UnplacedTask(t));
+        }
+    }
+    let n_edges = graph.num_edges();
+    sc.hop_base.resize(n_edges + 1, 0);
+    let mut acc = 0u32;
+    for e in 0..n_edges {
+        sc.hop_base[e] = acc;
+        acc += b.routes[e].len() as u32;
+    }
+    sc.hop_base[n_edges] = acc;
+    debug_assert_eq!(acc as usize, sc.total_hops);
+    let num_nodes = n_tasks + sc.total_hops;
+
+    // Durations.
+    sc.dur.resize(num_nodes, 0.0);
+    for t in graph.task_ids() {
+        let p = b.assignment[t.index()].expect("checked above");
+        sc.dur[t.index()] = b.system.exec_cost(t, p);
+    }
+    for e in graph.edge_ids() {
+        let nominal = graph.edge(e).nominal_cost;
+        let base = n_tasks + sc.hop_base[e.index()] as usize;
+        for (k, hop) in b.routes[e.index()].iter().enumerate() {
+            sc.dur[base + k] = b.system.transfer_time(hop.link, nominal);
         }
     }
 
-    /// Adds `n` to the cone (no-op if present), computing its timeline position unless
-    /// the caller already knows it.  Returns the cone slot.
-    fn add(
-        &mut self,
-        b: &ScheduleBuilder<'_>,
-        n: DirtyNode,
-        pos_hint: Option<u32>,
-    ) -> Result<u32, RecomputeError> {
-        let slot = match n {
-            DirtyNode::Task(t) => &mut self.slot_task[t.index()],
-            DirtyNode::Hop(e, k) => &mut self.slot_hop[(self.hop_base[e.index()] + k) as usize],
-        };
-        if *slot != NONE {
-            return Ok(*slot);
-        }
-        let id = self.nodes.len() as u32;
-        *slot = id;
-        self.nodes.push(n);
-        let pos = match pos_hint {
-            Some(p) => p,
-            None => match n {
-                DirtyNode::Task(t) => {
-                    let p = b.assignment[t.index()].ok_or(RecomputeError::UnplacedTask(t))?;
-                    b.proc_timelines[p.index()]
-                        .position_at(b.task_start[t.index()], |x| x == t)
-                        .expect("placed task is on its processor's timeline")
-                        as u32
-                }
-                DirtyNode::Hop(e, k) => {
-                    let hop = b.routes[e.index()][k as usize];
-                    b.link_timelines[hop.link.index()]
-                        .position_at(hop.start, |pl| pl == (e, k))
-                        .expect("hop is on its link's timeline") as u32
-                }
-            },
-        };
-        self.tpos.push(pos);
-        Ok(id)
+    // CSR adjacency: count, prefix, fill.
+    sc.indeg.resize(num_nodes, 0);
+    sc.offsets.resize(num_nodes + 1, 0);
+    {
+        let hop_base = &sc.hop_base;
+        let indeg = &mut sc.indeg;
+        let offsets = &mut sc.offsets;
+        for_each_dep(b, hop_base, |u, v| {
+            offsets[u as usize + 1] += 1;
+            indeg[v as usize] += 1;
+        })?;
     }
+    for i in 0..num_nodes {
+        sc.offsets[i + 1] += sc.offsets[i];
+    }
+    sc.csr.resize(sc.offsets[num_nodes] as usize, 0);
+    sc.fill.extend_from_slice(&sc.offsets);
+    {
+        let hop_base = &sc.hop_base;
+        let fill = &mut sc.fill;
+        let csr = &mut sc.csr;
+        for_each_dep(b, hop_base, |u, v| {
+            let c = &mut fill[u as usize];
+            csr[*c as usize] = v;
+            *c += 1;
+        })?;
+    }
+
+    // Kahn relaxation from scratch (initial starts all zero).
+    sc.start.resize(num_nodes, 0.0);
+    sc.finish.resize(num_nodes, 0.0);
+    {
+        let RetimeScaffold {
+            ref mut queue,
+            ref mut start,
+            ref mut finish,
+            ref mut indeg,
+            ref offsets,
+            ref csr,
+            ref dur,
+            ..
+        } = *sc;
+        queue.extend((0..num_nodes as u32).filter(|&i| indeg[i as usize] == 0));
+        let mut processed = 0usize;
+        while let Some(u) = queue.pop_front() {
+            let u = u as usize;
+            let f = start[u] + dur[u];
+            finish[u] = f;
+            processed += 1;
+            for &v in &csr[offsets[u] as usize..offsets[u + 1] as usize] {
+                let v = v as usize;
+                if f > start[v] {
+                    start[v] = f;
+                }
+                indeg[v] -= 1;
+                if indeg[v] == 0 {
+                    queue.push_back(v as u32);
+                }
+            }
+        }
+        if processed != num_nodes {
+            return Err(RecomputeError::CyclicDecisions);
+        }
+    }
+
+    // In-place write-back, walking each timeline so positions are implicit.
+    let log = b.in_txn();
+    let tasks_from = b.retime_undo_tasks.len();
+    let hops_from = b.retime_undo_hops.len();
+    let mut changed = 0usize;
+    {
+        let ScheduleBuilder {
+            ref mut task_start,
+            ref mut task_finish,
+            ref mut proc_timelines,
+            ref mut link_timelines,
+            ref mut routes,
+            ref mut retime_undo_tasks,
+            ref mut retime_undo_hops,
+            ..
+        } = *b;
+        let start = &sc.start;
+        let finish = &sc.finish;
+        for tl in proc_timelines.iter_mut() {
+            for pos in 0..tl.len() {
+                let t = tl.intervals()[pos].payload;
+                let (ns, nf) = (start[t.index()], finish[t.index()]);
+                if task_start[t.index()] != ns || task_finish[t.index()] != nf {
+                    if log {
+                        retime_undo_tasks.push((t, task_start[t.index()], task_finish[t.index()]));
+                    }
+                    changed += 1;
+                    task_start[t.index()] = ns;
+                    task_finish[t.index()] = nf;
+                    tl.set_window(pos, ns, nf);
+                }
+            }
+        }
+        for tl in link_timelines.iter_mut() {
+            for pos in 0..tl.len() {
+                let (e, k) = tl.intervals()[pos].payload;
+                let id = n_tasks + sc.hop_base[e.index()] as usize + k as usize;
+                let (ns, nf) = (start[id], finish[id]);
+                let hop = &mut routes[e.index()][k as usize];
+                if hop.start != ns || hop.finish != nf {
+                    if log {
+                        retime_undo_hops.push((e, k, hop.start, hop.finish));
+                    }
+                    changed += 1;
+                    hop.start = ns;
+                    hop.finish = nf;
+                    tl.set_window(pos, ns, nf);
+                }
+            }
+        }
+    }
+    #[cfg(debug_assertions)]
+    {
+        for tl in &b.proc_timelines {
+            debug_assert!(
+                tl.is_consistent(),
+                "processor timeline after flat write-back"
+            );
+        }
+        for tl in &b.link_timelines {
+            debug_assert!(tl.is_consistent(), "link timeline after flat write-back");
+        }
+    }
+    if log {
+        b.log_undo(UndoOp::Retime {
+            tasks_from,
+            hops_from,
+        });
+    }
+    b.dirty.clear();
+    Ok((num_nodes, sc.csr.len(), changed))
+}
+
+/// Wraps [`flat_relax`] into the pass result (`fell_back` marks the flat route).
+fn flat_pass(
+    b: &mut ScheduleBuilder<'_>,
+    sc: &mut RetimeScaffold,
+    seed_nodes: usize,
+) -> Result<RetimeStats, RecomputeError> {
+    let (num_nodes, dep_edges, changed) = flat_relax(b, sc)?;
+    Ok(RetimeStats {
+        seed_nodes,
+        cone_nodes: num_nodes,
+        cone_edges: dep_edges,
+        changed_nodes: changed,
+        fell_back: true,
+    })
 }
 
 /// See the module documentation.  Called through
@@ -163,64 +434,86 @@ pub(crate) fn recompute_from(
     extra_seeds: &[TaskId],
 ) -> Result<RetimeStats, RecomputeError> {
     if b.dirty.is_empty() && extra_seeds.is_empty() {
-        return Ok(RetimeStats {
-            cone_nodes: 0,
-            changed_nodes: 0,
-            fell_back: false,
-        });
+        return Ok(RetimeStats::default());
     }
+    // The scaffold is moved out for the duration of the pass so the pass can hold it
+    // mutably alongside shared borrows of the builder.  No mutation primitive runs
+    // while it is out (re-timing only overwrites windows in place), so the persistent
+    // mirrors cannot go stale.  Restored on every path, including errors.
+    let mut sc = std::mem::take(&mut b.scaffold);
+    let result = run_pass(b, &mut sc, extra_seeds);
+    sc.end_pass();
+    b.scaffold = sc;
+    result
+}
 
-    // ---- flat hop numbering ------------------------------------------------------
-    let n_edges = b.graph.num_edges();
-    let mut hop_base = vec![0u32; n_edges + 1];
-    for e in 0..n_edges {
-        hop_base[e + 1] = hop_base[e] + b.routes[e].len() as u32;
-    }
-    let total_hops = hop_base[n_edges] as usize;
-    let mut cone = Cone {
-        slot_task: vec![NONE; b.graph.num_tasks()],
-        hop_base,
-        slot_hop: vec![NONE; total_hops],
-        nodes: Vec::new(),
-        tpos: Vec::new(),
-    };
+fn run_pass(
+    b: &mut ScheduleBuilder<'_>,
+    sc: &mut RetimeScaffold,
+    extra_seeds: &[TaskId],
+) -> Result<RetimeStats, RecomputeError> {
+    sc.begin_pass();
+    debug_assert_eq!(
+        sc.total_hops,
+        b.routes.iter().map(Vec::len).sum::<usize>(),
+        "scaffold total_hops mirror out of sync with the routes"
+    );
 
-    // ---- seeds -------------------------------------------------------------------
-    let seeds: Vec<DirtyNode> = b
-        .dirty
-        .iter()
-        .copied()
-        .chain(extra_seeds.iter().map(|&t| DirtyNode::Task(t)))
-        .collect();
-    for s in seeds {
+    // ---- seeds (tracking the earliest seed instant for the horizon estimate) ------
+    let mut t_min = f64::INFINITY;
+    for i in 0..b.dirty.len() {
+        let s = b.dirty[i];
         if node_exists(b, s) {
-            cone.add(b, s, None)?;
+            add_to_cone(b, sc, s, None)?;
+            t_min = t_min.min(start_of_node(b, s));
         }
     }
-
-    // ---- seed-count fallback -----------------------------------------------------
-    // Below ~64 nodes the cone machinery is cheap regardless; bailing out there would
-    // only reduce test coverage of the incremental path.
-    let total_nodes = b.graph.num_tasks() + total_hops;
-    if total_nodes >= 64 && cone.nodes.len() > total_nodes * FALLBACK_NUM / FALLBACK_DEN {
-        // Almost everything is dirty before the cone is even expanded: the oracle's
-        // flat sweep is cheaper.  `recompute` handles the undo log and clears the
-        // dirty list itself.
-        crate::recompute::recompute(b)?;
-        return Ok(RetimeStats {
-            cone_nodes: total_nodes,
-            changed_nodes: total_nodes,
-            fell_back: true,
-        });
+    for &t in extra_seeds {
+        add_to_cone(b, sc, DirtyNode::Task(t), None)?;
+        t_min = t_min.min(b.task_start[t.index()]);
     }
+    let seed_nodes = sc.nodes.len();
+
+    // ---- flat-relaxation routing (see FALLBACK_NUM / FLAT_EST_NUM) -----------------
+    let total_nodes = b.graph.num_tasks() + sc.total_hops;
+    let big = total_nodes >= FALLBACK_FLOOR;
+    if big && seed_nodes > total_nodes * FALLBACK_NUM / FALLBACK_DEN {
+        // Almost everything is dirty before the cone is even expanded.
+        return flat_pass(b, sc, seed_nodes);
+    }
+    if big && b.all_placed() {
+        // Count the nodes scheduled at or after the earliest seed — an O((P+L) log n)
+        // upper-bound proxy for the cone.
+        let mut est = 0usize;
+        for tl in &b.proc_timelines {
+            est += tl.len() - tl.intervals().partition_point(|iv| iv.start < t_min);
+        }
+        for tl in &b.link_timelines {
+            est += tl.len() - tl.intervals().partition_point(|iv| iv.start < t_min);
+        }
+        if est * FLAT_EST_DEN > total_nodes * FLAT_EST_NUM {
+            return flat_pass(b, sc, seed_nodes);
+        }
+    }
+    // Backstop for cones that outgrow their estimate: abandon discovery and go flat.
+    // Only available when every task is placed (the flat pass needs the whole graph);
+    // partial schedules always finish the cone, as before.
+    let cone_cap = if big && b.all_placed() {
+        total_nodes * FALLBACK_NUM / FALLBACK_DEN
+    } else {
+        usize::MAX
+    };
 
     // ---- cone: successor closure of the seeds ------------------------------------
-    let mut dep_edges: Vec<(u32, u32)> = Vec::new();
     let mut cursor = 0usize;
-    while cursor < cone.nodes.len() {
+    while cursor < sc.nodes.len() {
+        if sc.nodes.len() > cone_cap {
+            return flat_pass(b, sc, seed_nodes);
+        }
         let u = cursor as u32;
-        let pos = cone.tpos[cursor] as usize;
-        match cone.nodes[cursor] {
+        let node = sc.nodes[cursor];
+        let pos = sc.tpos[cursor] as usize;
+        match node {
             DirtyNode::Task(t) => {
                 let p = b.assignment[t.index()].expect("cone tasks are placed");
                 let next = b.proc_timelines[p.index()]
@@ -228,8 +521,8 @@ pub(crate) fn recompute_from(
                     .get(pos + 1)
                     .map(|iv| iv.payload);
                 if let Some(next) = next {
-                    let v = cone.add(b, DirtyNode::Task(next), Some(pos as u32 + 1))?;
-                    dep_edges.push((u, v));
+                    let v = add_to_cone(b, sc, DirtyNode::Task(next), Some(pos as u32 + 1))?;
+                    sc.dep_edges.push((u, v));
                 }
                 for &eid in b.graph.out_edges(t) {
                     if b.routes[eid.index()].is_empty() {
@@ -239,11 +532,11 @@ pub(crate) fn recompute_from(
                         if dp != p {
                             return Err(RecomputeError::MissingRoute(eid));
                         }
-                        let v = cone.add(b, DirtyNode::Task(dst), None)?;
-                        dep_edges.push((u, v));
+                        let v = add_to_cone(b, sc, DirtyNode::Task(dst), None)?;
+                        sc.dep_edges.push((u, v));
                     } else {
-                        let v = cone.add(b, DirtyNode::Hop(eid, 0), None)?;
-                        dep_edges.push((u, v));
+                        let v = add_to_cone(b, sc, DirtyNode::Hop(eid, 0), None)?;
+                        sc.dep_edges.push((u, v));
                     }
                 }
             }
@@ -254,32 +547,51 @@ pub(crate) fn recompute_from(
                     .get(pos + 1)
                     .map(|iv| iv.payload);
                 if let Some((ne, nk)) = next {
-                    let v = cone.add(b, DirtyNode::Hop(ne, nk), Some(pos as u32 + 1))?;
-                    dep_edges.push((u, v));
+                    let v = add_to_cone(b, sc, DirtyNode::Hop(ne, nk), Some(pos as u32 + 1))?;
+                    sc.dep_edges.push((u, v));
                 }
                 let v = if (k as usize) + 1 < b.routes[e.index()].len() {
-                    cone.add(b, DirtyNode::Hop(e, k + 1), None)?
+                    add_to_cone(b, sc, DirtyNode::Hop(e, k + 1), None)?
                 } else {
-                    cone.add(b, DirtyNode::Task(b.graph.edge(e).dst), None)?
+                    add_to_cone(b, sc, DirtyNode::Task(b.graph.edge(e).dst), None)?
                 };
-                dep_edges.push((u, v));
+                sc.dep_edges.push((u, v));
             }
         }
         cursor += 1;
     }
 
+    // From here on the cone tables (`nodes`, `tpos`, `dep_edges`, slot maps) are
+    // read-only; split-borrow them around the mutable relaxation arenas.
+    let RetimeScaffold {
+        ref nodes,
+        ref tpos,
+        ref dep_edges,
+        epoch,
+        ref task_mark,
+        ref hop_mark,
+        ref mut start,
+        ref mut finish,
+        ref mut indeg,
+        ref mut offsets,
+        ref mut fill,
+        ref mut csr,
+        ref mut queue,
+        ..
+    } = *sc;
+    let slot = |n: DirtyNode| slot_lookup(epoch, task_mark, hop_mark, n);
+    let m = nodes.len();
+
     // ---- initial starts: fold in the (fixed) finishes of out-of-cone predecessors --
-    let m = cone.nodes.len();
-    let mut start = Vec::with_capacity(m);
-    for (&node, &pos) in cone.nodes.iter().zip(cone.tpos.iter()) {
-        let pos = pos as usize;
+    for i in 0..m {
+        let pos = tpos[i] as usize;
         let mut s = 0.0f64;
-        match node {
+        match nodes[i] {
             DirtyNode::Task(t) => {
                 let p = b.assignment[t.index()].expect("cone tasks are placed");
                 if pos > 0 {
                     let prev = b.proc_timelines[p.index()].intervals()[pos - 1].payload;
-                    if cone.slot(DirtyNode::Task(prev)) == NONE {
+                    if slot(DirtyNode::Task(prev)) == NONE {
                         s = s.max(b.task_finish[prev.index()]);
                     }
                 }
@@ -292,12 +604,12 @@ pub(crate) fn recompute_from(
                         if sp != p {
                             return Err(RecomputeError::MissingRoute(eid));
                         }
-                        if cone.slot(DirtyNode::Task(src)) == NONE {
+                        if slot(DirtyNode::Task(src)) == NONE {
                             s = s.max(b.task_finish[src.index()]);
                         }
                     } else {
                         let k = (route_len - 1) as u32;
-                        if cone.slot(DirtyNode::Hop(eid, k)) == NONE {
+                        if slot(DirtyNode::Hop(eid, k)) == NONE {
                             s = s.max(b.routes[eid.index()][k as usize].finish);
                         }
                     }
@@ -307,16 +619,16 @@ pub(crate) fn recompute_from(
                 let hop = b.routes[e.index()][k as usize];
                 if pos > 0 {
                     let (pe, pk) = b.link_timelines[hop.link.index()].intervals()[pos - 1].payload;
-                    if cone.slot(DirtyNode::Hop(pe, pk)) == NONE {
+                    if slot(DirtyNode::Hop(pe, pk)) == NONE {
                         s = s.max(b.routes[pe.index()][pk as usize].finish);
                     }
                 }
                 if k == 0 {
                     let src = b.graph.edge(e).src;
-                    if cone.slot(DirtyNode::Task(src)) == NONE {
+                    if slot(DirtyNode::Task(src)) == NONE {
                         s = s.max(b.task_finish[src.index()]);
                     }
-                } else if cone.slot(DirtyNode::Hop(e, k - 1)) == NONE {
+                } else if slot(DirtyNode::Hop(e, k - 1)) == NONE {
                     s = s.max(b.routes[e.index()][(k - 1) as usize].finish);
                 }
             }
@@ -324,28 +636,29 @@ pub(crate) fn recompute_from(
         start.push(s);
     }
 
-    // ---- Kahn relaxation restricted to the cone (CSR adjacency) -------------------
-    let mut indeg = vec![0u32; m];
-    let mut offsets = vec![0u32; m + 1];
-    for &(u, v) in &dep_edges {
+    // ---- Kahn relaxation restricted to the cone (CSR adjacency in the arenas) ------
+    indeg.resize(m, 0);
+    offsets.resize(m + 1, 0);
+    for &(u, v) in dep_edges {
         indeg[v as usize] += 1;
         offsets[u as usize + 1] += 1;
     }
     for i in 0..m {
         offsets[i + 1] += offsets[i];
     }
-    let mut csr = vec![0u32; dep_edges.len()];
-    let mut fill: Vec<u32> = offsets.clone();
-    for &(u, v) in &dep_edges {
-        csr[fill[u as usize] as usize] = v;
-        fill[u as usize] += 1;
+    csr.resize(dep_edges.len(), 0);
+    fill.extend_from_slice(offsets);
+    for &(u, v) in dep_edges {
+        let f = &mut fill[u as usize];
+        csr[*f as usize] = v;
+        *f += 1;
     }
-    let mut queue: VecDeque<u32> = (0..m as u32).filter(|&i| indeg[i as usize] == 0).collect();
-    let mut finish = vec![0.0f64; m];
+    queue.extend((0..m as u32).filter(|&i| indeg[i as usize] == 0));
+    finish.resize(m, 0.0);
     let mut processed = 0usize;
     while let Some(u) = queue.pop_front() {
         let u = u as usize;
-        let f = start[u] + duration_of(b, cone.nodes[u]);
+        let f = start[u] + duration_of(b, nodes[u]);
         finish[u] = f;
         processed += 1;
         for &v in &csr[offsets[u] as usize..offsets[u + 1] as usize] {
@@ -365,18 +678,24 @@ pub(crate) fn recompute_from(
 
     // ---- in-place write-back of changed nodes only --------------------------------
     // Re-timing preserves every timeline's interval order, so each changed window is
-    // overwritten in place at its known position — no remove/insert shifting.
+    // overwritten in place at its known position — no remove/insert shifting.  Old
+    // times of moved nodes go onto the builder's persistent undo stacks; the logged
+    // `UndoOp::Retime` only records the watermarks (see `crate::txn`).
     let log = b.in_txn();
-    let mut old_tasks: Vec<(TaskId, f64, f64)> = Vec::new();
-    let mut old_hops: Vec<(EdgeId, u32, f64, f64)> = Vec::new();
+    let tasks_from = b.retime_undo_tasks.len();
+    let hops_from = b.retime_undo_hops.len();
     let mut changed = 0usize;
     for i in 0..m {
-        let pos = cone.tpos[i] as usize;
-        match cone.nodes[i] {
+        let pos = tpos[i] as usize;
+        match nodes[i] {
             DirtyNode::Task(t) => {
                 if b.task_start[t.index()] != start[i] || b.task_finish[t.index()] != finish[i] {
                     if log {
-                        old_tasks.push((t, b.task_start[t.index()], b.task_finish[t.index()]));
+                        b.retime_undo_tasks.push((
+                            t,
+                            b.task_start[t.index()],
+                            b.task_finish[t.index()],
+                        ));
                     }
                     changed += 1;
                     let p = b.assignment[t.index()].expect("cone tasks are placed");
@@ -389,7 +708,7 @@ pub(crate) fn recompute_from(
                 let hop = &mut b.routes[e.index()][k as usize];
                 if hop.start != start[i] || hop.finish != finish[i] {
                     if log {
-                        old_hops.push((e, k, hop.start, hop.finish));
+                        b.retime_undo_hops.push((e, k, hop.start, hop.finish));
                     }
                     changed += 1;
                     hop.start = start[i];
@@ -411,14 +730,16 @@ pub(crate) fn recompute_from(
     }
 
     let stats = RetimeStats {
+        seed_nodes,
         cone_nodes: m,
+        cone_edges: dep_edges.len(),
         changed_nodes: changed,
         fell_back: false,
     };
     if log {
         b.log_undo(UndoOp::Retime {
-            tasks: old_tasks,
-            hops: old_hops,
+            tasks_from,
+            hops_from,
         });
     }
     b.dirty.clear();
@@ -431,7 +752,7 @@ mod tests {
     use crate::schedule::MessageHop;
     use bsa_network::builders::ring;
     use bsa_network::{HeterogeneousSystem, LinkId, ProcId};
-    use bsa_taskgraph::{TaskGraph, TaskGraphBuilder};
+    use bsa_taskgraph::{EdgeId, TaskGraph, TaskGraphBuilder};
 
     fn chain_graph() -> TaskGraph {
         let mut b = TaskGraphBuilder::new();
@@ -441,6 +762,21 @@ mod tests {
         b.add_edge(t0, t1, 5.0).unwrap();
         b.add_edge(t1, t2, 5.0).unwrap();
         b.build().unwrap()
+    }
+
+    /// A chain of `n` tasks with no edges between non-consecutive tasks, all placed
+    /// compactly on processor 0.
+    fn placed_chain(n: usize) -> (TaskGraph, HeterogeneousSystem) {
+        let mut gb = TaskGraphBuilder::new();
+        let mut prev = gb.add_task("t0", 10.0);
+        for i in 1..n {
+            let t = gb.add_task(format!("t{i}"), 10.0);
+            gb.add_edge(prev, t, 1.0).unwrap();
+            prev = t;
+        }
+        let g = gb.build().unwrap();
+        let sys = HeterogeneousSystem::homogeneous(&g, ring(2).unwrap());
+        (g, sys)
     }
 
     #[test]
@@ -457,6 +793,7 @@ mod tests {
         assert!(b.same_schedule_state(&oracle));
         assert_eq!(stats.cone_nodes, 3);
         assert_eq!(stats.changed_nodes, 3);
+        assert!(stats.seed_nodes >= 1 && stats.seed_nodes <= 3);
     }
 
     #[test]
@@ -473,7 +810,10 @@ mod tests {
         assert_eq!(stats.changed_nodes, 0);
         // Seeding a task relaxes its cone but changes nothing.
         let stats = b.recompute_times_from(&[TaskId(0)]).unwrap();
+        assert_eq!(stats.seed_nodes, 1);
         assert_eq!(stats.cone_nodes, 3);
+        // Consecutive chain tasks are linked twice: processor order + local message.
+        assert_eq!(stats.cone_edges, 4);
         assert_eq!(stats.changed_nodes, 0);
     }
 
@@ -535,5 +875,106 @@ mod tests {
             b.recompute_times_incremental(),
             Err(RecomputeError::MissingRoute(EdgeId(0)))
         );
+    }
+
+    // ---- seed-count fallback boundary (FALLBACK_NUM/FALLBACK_DEN, FALLBACK_FLOOR) ---
+
+    #[test]
+    fn below_the_node_floor_the_fallback_never_fires() {
+        // 40 nodes < FALLBACK_FLOOR: even 100%-dirty seeds stay on the cone path and
+        // still match the oracle exactly.
+        let (g, sys) = placed_chain(40);
+        let mut b = ScheduleBuilder::new(&g, &sys).unwrap();
+        let mut cursor = 100.0;
+        for t in g.task_ids() {
+            b.place_task(t, ProcId(0), cursor);
+            cursor = b.finish_of(t) + 7.0;
+        }
+        let mut oracle = b.clone();
+        let stats = b.recompute_times_incremental().unwrap();
+        oracle.recompute_times().unwrap();
+        assert!(!stats.fell_back);
+        assert_eq!(stats.cone_nodes, 40);
+        assert!(b.same_schedule_state(&oracle));
+    }
+
+    #[test]
+    fn seed_counts_on_both_sides_of_the_fallback_threshold_match_the_oracle() {
+        // 80 placed tasks, no routes: 80 decision-graph nodes, seed threshold at
+        // seeds > 80 * 3/4 = 60.  61 seeds trip the seed-count route before any other
+        // check; 60 stay under it (this bulk case then flat-routes via the horizon
+        // estimate instead — the seeds reach back to t = 0).  Either trigger must be
+        // invisible in the results: both sides bit-identical to the full relaxation.
+        let (g, sys) = placed_chain(80);
+        assert_eq!(g.num_tasks() * FALLBACK_NUM / FALLBACK_DEN, 60);
+        let mut b = ScheduleBuilder::new(&g, &sys).unwrap();
+        let mut cursor = 0.0;
+        for t in g.task_ids() {
+            b.place_task(t, ProcId(0), cursor);
+            cursor = b.finish_of(t);
+        }
+        b.recompute_times_incremental().unwrap();
+
+        let at_threshold: Vec<TaskId> = g.task_ids().take(60).collect();
+        let mut oracle = b.clone();
+        let stats = b.recompute_times_from(&at_threshold).unwrap();
+        oracle.recompute_times().unwrap();
+        assert_eq!(stats.seed_nodes, 60);
+        assert!(
+            stats.fell_back,
+            "60 early seeds flat-route via the estimate"
+        );
+        assert!(b.same_schedule_state(&oracle));
+
+        let over_threshold: Vec<TaskId> = g.task_ids().take(61).collect();
+        let mut oracle = b.clone();
+        let stats = b.recompute_times_from(&over_threshold).unwrap();
+        oracle.recompute_times().unwrap();
+        assert!(stats.fell_back, "seeds > threshold must flat-route");
+        assert_eq!(stats.seed_nodes, 61);
+        assert!(b.same_schedule_state(&oracle));
+    }
+
+    #[test]
+    fn late_seeds_above_the_floor_stay_on_the_cone_path() {
+        // Same 80-node schedule, but the seeds sit in the last five slots: the horizon
+        // estimate sees a five-node suffix and keeps the pass cone-local.
+        let (g, sys) = placed_chain(80);
+        let mut b = ScheduleBuilder::new(&g, &sys).unwrap();
+        let mut cursor = 0.0;
+        for t in g.task_ids() {
+            b.place_task(t, ProcId(0), cursor);
+            cursor = b.finish_of(t);
+        }
+        b.recompute_times_incremental().unwrap();
+        let late: Vec<TaskId> = g.task_ids().skip(75).collect();
+        let mut oracle = b.clone();
+        let stats = b.recompute_times_from(&late).unwrap();
+        oracle.recompute_times().unwrap();
+        assert!(!stats.fell_back, "a five-node suffix must stay cone-local");
+        assert_eq!(stats.seed_nodes, 5);
+        assert_eq!(stats.cone_nodes, 5);
+        assert!(b.same_schedule_state(&oracle));
+    }
+
+    #[test]
+    fn bulk_placement_above_the_floor_falls_back_and_matches_the_oracle() {
+        // Freshly placing every task marks them all dirty: 80/80 seeds > 3/4 — the
+        // classic bulk-mutation batch the fallback exists for.
+        let (g, sys) = placed_chain(80);
+        let mut b = ScheduleBuilder::new(&g, &sys).unwrap();
+        let mut cursor = 50.0;
+        for t in g.task_ids() {
+            b.place_task(t, ProcId(0), cursor);
+            cursor = b.finish_of(t) + 3.0;
+        }
+        let mut oracle = b.clone();
+        let stats = b.recompute_times_incremental().unwrap();
+        oracle.recompute_times().unwrap();
+        assert!(stats.fell_back);
+        assert!(b.same_schedule_state(&oracle));
+        // The fallback cleared the dirty list like a normal pass would.
+        let stats = b.recompute_times_incremental().unwrap();
+        assert_eq!(stats.cone_nodes, 0);
     }
 }

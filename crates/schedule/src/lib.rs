@@ -34,6 +34,7 @@ pub mod gantt;
 pub mod incremental;
 pub mod metrics;
 pub mod recompute;
+pub(crate) mod scaffold;
 pub mod schedule;
 pub mod timeline;
 pub mod txn;

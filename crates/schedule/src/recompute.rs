@@ -175,26 +175,28 @@ pub(crate) fn recompute(b: &mut ScheduleBuilder<'_>) -> Result<(), RecomputeErro
     // rollback can restore them (the full pass is the oracle; it participates in the
     // same undo machinery as the incremental pass).
     if b.in_txn() {
-        let mut old_tasks = Vec::new();
-        let mut old_hops = Vec::new();
+        let tasks_from = b.retime_undo_tasks.len();
+        let hops_from = b.retime_undo_hops.len();
         for t in graph.task_ids() {
             if b.task_start[t.index()] != start[t.index()]
                 || b.task_finish[t.index()] != finish[t.index()]
             {
-                old_tasks.push((t, b.task_start[t.index()], b.task_finish[t.index()]));
+                b.retime_undo_tasks
+                    .push((t, b.task_start[t.index()], b.task_finish[t.index()]));
             }
         }
         for e in graph.edge_ids() {
             for (k, hop) in b.routes[e.index()].iter().enumerate() {
                 let node = hop_node(e.index(), k);
                 if hop.start != start[node] || hop.finish != finish[node] {
-                    old_hops.push((e, k as u32, hop.start, hop.finish));
+                    b.retime_undo_hops
+                        .push((e, k as u32, hop.start, hop.finish));
                 }
             }
         }
         b.log_undo(UndoOp::Retime {
-            tasks: old_tasks,
-            hops: old_hops,
+            tasks_from,
+            hops_from,
         });
     }
 

@@ -61,11 +61,12 @@ pub(crate) enum UndoOp {
     /// Reverse of `push_hop`: pop the last hop of the edge's route.
     PopHop(EdgeId),
     /// Reverse of a re-timing pass: restore the old `(start, finish)` of every node the
-    /// pass changed.
-    Retime {
-        tasks: Vec<(TaskId, f64, f64)>,
-        hops: Vec<(EdgeId, u32, f64, f64)>,
-    },
+    /// pass changed.  The old windows live on the builder's persistent
+    /// `retime_undo_tasks` / `retime_undo_hops` stacks; this op only records the stack
+    /// watermarks the pass started from, so logging a re-timing allocates nothing in
+    /// steady state.  LIFO rollback guarantees the suffixes above the watermarks belong
+    /// to exactly this pass.
+    Retime { tasks_from: usize, hops_from: usize },
 }
 
 /// Handle for an open transaction on a [`ScheduleBuilder`].
@@ -110,6 +111,10 @@ impl<'a> ScheduleBuilder<'a> {
         self.txn_depth -= 1;
         if self.txn_depth == 0 {
             self.undo.clear();
+            // No `Retime` op can reference the stacks any more; reclaim them (capacity
+            // is kept, so steady-state migrations never reallocate here).
+            self.retime_undo_tasks.clear();
+            self.retime_undo_hops.clear();
         }
     }
 
@@ -176,6 +181,7 @@ impl<'a> ScheduleBuilder<'a> {
                 let p = self.assignment[t.index()]
                     .take()
                     .expect("undo Place: task is placed");
+                self.placed_count -= 1;
                 let start = self.task_start[t.index()];
                 let removed = self.proc_timelines[p.index()].remove_at(start, |x| x == t);
                 debug_assert!(removed.is_some(), "undo Place: interval found");
@@ -190,6 +196,7 @@ impl<'a> ScheduleBuilder<'a> {
             } => {
                 debug_assert!(self.assignment[task.index()].is_none());
                 self.assignment[task.index()] = Some(proc);
+                self.placed_count += 1;
                 self.task_start[task.index()] = start;
                 self.task_finish[task.index()] = finish;
                 self.proc_timelines[proc.index()].insert(start, finish - start, task);
@@ -210,6 +217,9 @@ impl<'a> ScheduleBuilder<'a> {
                         (edge, k as u32),
                     );
                 }
+                // Same maintenance hook the forward mutations use: rollback restores
+                // the scaffold's route-length mirror through it.
+                self.scaffold.set_route_len(edge.index(), hops.len());
                 self.routes[edge.index()] = hops;
             }
             UndoOp::PopHop(edge) => {
@@ -217,39 +227,52 @@ impl<'a> ScheduleBuilder<'a> {
                     .pop()
                     .expect("undo PopHop: route is non-empty");
                 let k = self.routes[edge.index()].len() as u32;
+                self.scaffold.set_route_len(edge.index(), k as usize);
                 let removed = self.link_timelines[hop.link.index()]
                     .remove_at(hop.start, |pl| pl == (edge, k));
                 debug_assert!(removed.is_some(), "undo PopHop: hop interval found");
             }
-            UndoOp::Retime { tasks, hops } => {
-                // Two phases — remove every touched interval first, then reinsert at the
+            UndoOp::Retime {
+                tasks_from,
+                hops_from,
+            } => {
+                // The pass pushed its old windows above the recorded watermarks; LIFO
+                // rollback means everything above them belongs to this pass.  Two
+                // phases — remove every touched interval first, then reinsert at the
                 // old instants — so intermediate states never trip the timeline overlap
-                // assertions.
-                for &(t, _, _) in &tasks {
+                // assertions.  Index loops (the tuples are `Copy`) keep the stacks
+                // borrow-disjoint from the timelines.
+                for i in tasks_from..self.retime_undo_tasks.len() {
+                    let (t, _, _) = self.retime_undo_tasks[i];
                     let p = self.assignment[t.index()].expect("undo Retime: task placed");
                     let start = self.task_start[t.index()];
                     let removed = self.proc_timelines[p.index()].remove_at(start, |x| x == t);
                     debug_assert!(removed.is_some(), "undo Retime: task interval found");
                 }
-                for &(e, k, _, _) in &hops {
+                for i in hops_from..self.retime_undo_hops.len() {
+                    let (e, k, _, _) = self.retime_undo_hops[i];
                     let hop = self.routes[e.index()][k as usize];
                     let removed = self.link_timelines[hop.link.index()]
                         .remove_at(hop.start, |pl| pl == (e, k));
                     debug_assert!(removed.is_some(), "undo Retime: hop interval found");
                 }
-                for (t, start, finish) in tasks {
+                for i in tasks_from..self.retime_undo_tasks.len() {
+                    let (t, start, finish) = self.retime_undo_tasks[i];
                     let p = self.assignment[t.index()].expect("undo Retime: task placed");
                     self.task_start[t.index()] = start;
                     self.task_finish[t.index()] = finish;
                     self.proc_timelines[p.index()].insert(start, finish - start, t);
                 }
-                for (e, k, start, finish) in hops {
+                for i in hops_from..self.retime_undo_hops.len() {
+                    let (e, k, start, finish) = self.retime_undo_hops[i];
                     let hop = &mut self.routes[e.index()][k as usize];
                     hop.start = start;
                     hop.finish = finish;
                     let link = hop.link;
                     self.link_timelines[link.index()].insert(start, finish - start, (e, k));
                 }
+                self.retime_undo_tasks.truncate(tasks_from);
+                self.retime_undo_hops.truncate(hops_from);
             }
         }
     }

@@ -270,6 +270,74 @@ proptest! {
         prop_assert!(builder.graph().num_tasks() == graph.num_tasks());
     }
 
+    /// After a random mutation storm with interleaved transactions — commits, rollbacks,
+    /// nested speculation, successful and failed re-timings — the incrementally
+    /// maintained `RetimeScaffold` (per-edge route-length mirror, total-hop count, slot
+    /// map sizing) is byte-equal to one rebuilt from scratch off the surviving routes.
+    #[test]
+    fn retime_scaffold_matches_a_rebuild_after_mutation_storms(
+        (n, gran, seed) in dag_params(),
+    ) {
+        let graph = build_graph(n, gran, seed);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5CAF_F01D);
+        let topology = TopologyKind::Ring.build(5, &mut rng).unwrap();
+        let system = HeterogeneousSystem::generate(
+            &graph,
+            topology,
+            HeterogeneityRange::DEFAULT,
+            HeterogeneityRange::homogeneous(),
+            &mut rng,
+        );
+        let table = RoutingTable::shortest_paths(&system.topology);
+        let mut builder = build_routed_schedule(&graph, &system, &table, seed);
+        prop_assert!(builder.scaffold_matches_rebuild());
+
+        for round in 0..4 {
+            let txn = builder.begin_txn();
+            for _ in 0..6 {
+                match rng.gen_range(0..4) {
+                    0 => {
+                        let t = TaskId(rng.gen_range(0..graph.num_tasks()) as u32);
+                        let p = builder.proc_of(t).unwrap();
+                        builder.unplace_task(t);
+                        let exec = builder.exec_cost(t, p);
+                        let start = builder.earliest_proc_slot(p, 0.0, exec);
+                        builder.place_task(t, p, start);
+                    }
+                    1 => {
+                        let eid = EdgeId(rng.gen_range(0..graph.num_edges()) as u32);
+                        builder.clear_route(eid);
+                    }
+                    2 => {
+                        let eid = EdgeId(rng.gen_range(0..graph.num_edges()) as u32);
+                        let e = graph.edge(eid);
+                        let (sp, dp) =
+                            (builder.proc_of(e.src).unwrap(), builder.proc_of(e.dst).unwrap());
+                        if sp != dp {
+                            let ready = builder.finish_of(e.src);
+                            let (hops, _) =
+                                route_message(&mut builder, &table, eid, sp, dp, ready);
+                            commit_route(&mut builder, eid, hops);
+                        }
+                    }
+                    _ => {
+                        let _ = builder.recompute_times_incremental();
+                    }
+                }
+            }
+            // Alternate commit / rollback; the mirror must match the rebuild either way.
+            if round % 2 == 0 {
+                builder.rollback(txn);
+            } else {
+                builder.commit(txn);
+            }
+            prop_assert!(
+                builder.scaffold_matches_rebuild(),
+                "scaffold diverged from rebuild after round {round}"
+            );
+        }
+    }
+
     /// Seeded incremental re-timing equals the oracle on a freshly gapped placement.
     #[test]
     fn seeded_incremental_recompute_equals_the_oracle(

@@ -1,0 +1,169 @@
+//! Steady-state allocation audit of the incremental re-timing kernel.
+//!
+//! The dirty-cone pass runs on persistent scaffolding (epoch-stamped slot maps,
+//! `clear()`-reused arenas, watermark-based undo stacks — DESIGN.md §7.5), so once a
+//! run's arenas reach their high-water capacity, `recompute_times_incremental` must not
+//! touch the heap at all.  This test pins that down with a counting global allocator:
+//! after a warm-up storm, every further pass — inside and outside transactions, with
+//! task and hop cones — must report **zero** allocations and zero frees.
+//!
+//! The file deliberately contains a single `#[test]`: the counter is process-global, and
+//! a sibling test running on another thread would pollute the window.
+
+use bsa::network::builders::ring;
+use bsa::network::{HeterogeneousSystem, LinkId, ProcId};
+use bsa::schedule::schedule::MessageHop;
+use bsa::schedule::ScheduleBuilder;
+use bsa::taskgraph::{EdgeId, TaskGraphBuilder, TaskId};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counts every allocator entry point; forwards to the system allocator.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static FREES: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        FREES.fetch_add(1, Ordering::Relaxed);
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static COUNTER: CountingAlloc = CountingAlloc;
+
+fn heap_events() -> (u64, u64) {
+    (
+        ALLOCS.load(Ordering::Relaxed),
+        FREES.load(Ordering::Relaxed),
+    )
+}
+
+#[test]
+fn steady_state_incremental_retiming_does_not_allocate() {
+    // 100 tasks: two independent 49-task chains pinned to P0/P1 plus a routed producer/
+    // consumer pair, so cones cover processor order, local messages, and link hops.
+    // Big enough that the fallback floor (64 nodes) is irrelevant and seed counts stay
+    // far below the fallback threshold.
+    let mut gb = TaskGraphBuilder::new();
+    let producer = gb.add_task("producer", 8.0);
+    let consumer = gb.add_task("consumer", 8.0);
+    gb.add_edge(producer, consumer, 4.0).unwrap();
+    let mut chain_heads = Vec::new();
+    for c in 0..2 {
+        let mut prev = gb.add_task(format!("c{c}_0"), 10.0);
+        chain_heads.push(prev);
+        for i in 1..49 {
+            let t = gb.add_task(format!("c{c}_{i}"), 10.0);
+            gb.add_edge(prev, t, 1.0).unwrap();
+            prev = t;
+        }
+    }
+    let graph = gb.build().unwrap();
+    let system = HeterogeneousSystem::homogeneous(&graph, ring(2).unwrap());
+    let mut b = ScheduleBuilder::new(&graph, &system).unwrap();
+
+    // Producer on P0, consumer on P1 over link 0; chain c on processor c.
+    b.place_task(producer, ProcId(0), 0.0);
+    b.place_task(consumer, ProcId(1), 20.0);
+    b.set_route(
+        EdgeId(0),
+        vec![MessageHop {
+            link: LinkId(0),
+            from: ProcId(0),
+            to: ProcId(1),
+            start: 8.0,
+            finish: 12.0,
+        }],
+    );
+    let mut starts = [100.0, 100.0];
+    for t in graph.task_ids().skip(2) {
+        let p = usize::from(t >= TaskId(51));
+        b.place_task(t, ProcId(p as u32), starts[p]);
+        starts[p] = b.finish_of(t);
+    }
+    b.recompute_times().unwrap();
+
+    // One "migration-shaped" iteration: bounce the *last* task of chain 0 (no
+    // successors, so the reorder stays acyclic) to a far-future slot inside a
+    // transaction, re-time (small cone — the cone-local path), commit; then re-book the
+    // producer's message and re-time outside any transaction (early seed — the flat
+    // path).  Same shape every time, so capacity high-water marks stop moving after
+    // the warm-up, and both kernels get audited.
+    let victim = TaskId(50);
+    let iteration = |b: &mut ScheduleBuilder<'_>, audit: bool| {
+        let txn = b.begin_txn();
+        let p = b.proc_of(victim).unwrap();
+        b.unplace_task(victim);
+        let exec = b.exec_cost(victim, p);
+        let start = b.earliest_proc_slot(p, 1e7, exec);
+        b.place_task(victim, p, start);
+        let before = heap_events();
+        let stats = b.recompute_times_incremental().unwrap();
+        let after = heap_events();
+        if audit {
+            assert!(stats.cone_nodes > 0, "the storm must exercise real cones");
+            assert!(
+                !stats.fell_back,
+                "a one-task suffix cone must stay cone-local"
+            );
+            assert_eq!(
+                (after.0 - before.0, after.1 - before.1),
+                (0, 0),
+                "in-txn incremental re-timing allocated in steady state"
+            );
+        }
+        b.commit(txn);
+
+        let hop_start = b.link_timeline(LinkId(0)).last_finish() + 50.0;
+        b.set_route(
+            EdgeId(0),
+            vec![MessageHop {
+                link: LinkId(0),
+                from: ProcId(0),
+                to: ProcId(1),
+                start: hop_start,
+                finish: hop_start + 4.0,
+            }],
+        );
+        let before = heap_events();
+        let stats = b.recompute_times_incremental().unwrap();
+        let after = heap_events();
+        if audit {
+            assert!(
+                stats.fell_back,
+                "an early seed (the consumer) must flat-route"
+            );
+            assert!(stats.cone_nodes >= 2, "flat pass covers the whole graph");
+            assert_eq!(
+                (after.0 - before.0, after.1 - before.1),
+                (0, 0),
+                "flat-routed incremental re-timing allocated in steady state"
+            );
+        }
+    };
+
+    for _ in 0..5 {
+        iteration(&mut b, false);
+    }
+    assert!(b.scaffold_matches_rebuild());
+    for _ in 0..10 {
+        iteration(&mut b, true);
+    }
+    // The release-build observable counter agrees: no arena grew after warm-up.
+    let grown_before = b.scaffold_realloc_events();
+    iteration(&mut b, true);
+    assert_eq!(b.scaffold_realloc_events(), grown_before);
+}
