@@ -20,9 +20,12 @@
 //! start time is the earliest" with "the largest b-level".
 
 use crate::message_router::{commit_route, data_available_time, route_message};
+use crate::session::{assemble, check_budget, emit, observer_outcome};
 use bsa_network::{HeterogeneousSystem, ProcId, RoutingTable};
-use bsa_schedule::{Schedule, ScheduleBuilder, ScheduleError, Scheduler};
-use bsa_taskgraph::{GraphLevels, TaskGraph, TaskId};
+use bsa_schedule::solver::{
+    BudgetMeter, Problem, Progress, Solution, SolveError, SolveEvent, SolveOptions, Solver,
+};
+use bsa_taskgraph::{GraphLevels, TaskId};
 
 /// The DLS scheduler.
 #[derive(Debug, Clone, Default)]
@@ -52,17 +55,21 @@ impl Dls {
     }
 }
 
-impl Scheduler for Dls {
+impl Solver for Dls {
     fn name(&self) -> &str {
         "DLS"
     }
 
-    fn schedule(
+    fn solve(
         &self,
-        graph: &TaskGraph,
-        system: &HeterogeneousSystem,
-    ) -> Result<Schedule, ScheduleError> {
-        let mut builder = ScheduleBuilder::new(graph, system)?;
+        problem: &Problem<'_>,
+        options: &SolveOptions,
+        progress: &mut dyn Progress,
+    ) -> Result<Solution, SolveError> {
+        let meter = BudgetMeter::start(options);
+        let graph = problem.graph();
+        let system = problem.system();
+        let mut builder = problem.builder();
         let table = self.routing_table(system);
         let n = graph.num_tasks();
 
@@ -82,7 +89,9 @@ impl Scheduler for Dls {
             .filter(|&t| unscheduled_preds[t.index()] == 0)
             .collect();
 
+        let mut observer_stopped = false;
         for _step in 0..n {
+            check_budget(&meter)?;
             debug_assert!(!ready.is_empty(), "acyclic graph always has a ready task");
             // Pick the (task, processor) pair with the largest dynamic level.
             let mut best: Option<(TaskId, ProcId, f64)> = None;
@@ -123,6 +132,17 @@ impl Scheduler for Dls {
             }
             let start = builder.earliest_proc_append(p, da);
             builder.place_task(t, p, start);
+            if !emit(
+                progress,
+                SolveEvent::TaskPlaced {
+                    task: t,
+                    proc: p,
+                    finish: builder.finish_of(t),
+                },
+            ) {
+                observer_stopped = true;
+                break;
+            }
 
             // Update the ready set.
             ready.retain(|&x| x != t);
@@ -134,7 +154,21 @@ impl Scheduler for Dls {
             }
         }
 
-        builder.build(self.name())
+        let stop = if observer_stopped {
+            observer_outcome(builder.all_placed())?
+        } else {
+            bsa_schedule::StopReason::Converged
+        };
+        let schedule = builder.finish(Solver::name(self))?;
+        Ok(assemble(
+            schedule,
+            problem,
+            options,
+            &meter,
+            Solver::name(self),
+            format!("{self:?}"),
+            stop,
+        ))
     }
 }
 
@@ -144,10 +178,18 @@ mod tests {
     use bsa_network::builders::{clique, hypercube_for, ring};
     use bsa_network::{CommCostModel, ExecutionCostMatrix, HeterogeneityRange};
     use bsa_schedule::validate::assert_valid;
-    use bsa_taskgraph::TaskGraphBuilder;
+    use bsa_schedule::Schedule;
+    use bsa_taskgraph::{TaskGraph, TaskGraphBuilder};
     use bsa_workloads::paper_example;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
+
+    /// Unbudgeted solve through the session API, unwrapped to the bare schedule.
+    fn solve(dls: &Dls, g: &TaskGraph, sys: &bsa_network::HeterogeneousSystem) -> Schedule {
+        dls.solve_unbounded(&Problem::new(g, sys).unwrap())
+            .unwrap()
+            .schedule
+    }
 
     #[test]
     fn dls_handles_the_paper_example_and_produces_a_valid_schedule() {
@@ -156,7 +198,7 @@ mod tests {
         let topo = ring(4).unwrap();
         let comm = CommCostModel::homogeneous(&topo);
         let sys = HeterogeneousSystem::new(topo, exec, comm);
-        let s = Dls::new().schedule(&g, &sys).unwrap();
+        let s = solve(&Dls::new(), &g, &sys);
         assert_valid(&s, &g, &sys);
         // Must beat the serial schedule on the fastest single processor (238 on P2).
         assert!(s.schedule_length() < 238.0);
@@ -171,7 +213,7 @@ mod tests {
         let topo = ring(3).unwrap();
         let comm = CommCostModel::homogeneous(&topo);
         let sys = HeterogeneousSystem::new(topo, exec, comm);
-        let s = Dls::new().schedule(&g, &sys).unwrap();
+        let s = solve(&Dls::new(), &g, &sys);
         assert_valid(&s, &g, &sys);
         assert_eq!(s.proc_of(bsa_taskgraph::TaskId(0)), ProcId(1));
         assert_eq!(s.schedule_length(), 2.0);
@@ -188,7 +230,7 @@ mod tests {
         }
         let g = b.build().unwrap();
         let sys = HeterogeneousSystem::homogeneous(&g, hypercube_for(4).unwrap());
-        let s = Dls::new().schedule(&g, &sys).unwrap();
+        let s = solve(&Dls::new(), &g, &sys);
         assert_valid(&s, &g, &sys);
         // A homogeneous chain gains nothing from spreading; the length must not exceed the
         // serial time plus all communication.
@@ -209,7 +251,7 @@ mod tests {
         }
         let g = b.build().unwrap();
         let sys = HeterogeneousSystem::homogeneous(&g, clique(6).unwrap());
-        let s = Dls::new().schedule(&g, &sys).unwrap();
+        let s = solve(&Dls::new(), &g, &sys);
         assert_valid(&s, &g, &sys);
         assert!(s.processors_used() >= 4);
         assert!(s.schedule_length() < 12.0 * 50.0);
@@ -231,8 +273,8 @@ mod tests {
                 HeterogeneityRange::homogeneous(),
                 &mut rng,
             );
-            let a = Dls::new().schedule(&g, &sys).unwrap();
-            let b = Dls::new().schedule(&g, &sys).unwrap();
+            let a = solve(&Dls::new(), &g, &sys);
+            let b = solve(&Dls::new(), &g, &sys);
             assert_valid(&a, &g, &sys);
             assert_eq!(a.schedule_length(), b.schedule_length());
         }
@@ -252,7 +294,7 @@ mod tests {
         let dls = Dls {
             use_ecube_on_hypercubes: true,
         };
-        let s = dls.schedule(&g, &sys).unwrap();
+        let s = solve(&dls, &g, &sys);
         assert_valid(&s, &g, &sys);
     }
 }

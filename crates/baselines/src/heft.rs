@@ -15,8 +15,11 @@
 //!   link contention costs — the paper's core motivation (ablation A3 in DESIGN.md).
 
 use crate::message_router::{commit_route, route_message};
+use crate::session::{assemble, check_budget, emit, observer_outcome};
 use bsa_network::{HeterogeneousSystem, ProcId, RoutingTable};
-use bsa_schedule::{Schedule, ScheduleBuilder, ScheduleError, Scheduler};
+use bsa_schedule::solver::{
+    BudgetMeter, Problem, Progress, Solution, SolveError, SolveEvent, SolveOptions, Solver,
+};
 use bsa_taskgraph::{TaskGraph, TaskId, TopologicalOrder};
 
 /// Upward rank of every task: `rank(t) = mean_cost(t) + max over successors of
@@ -62,23 +65,29 @@ impl Heft {
     }
 }
 
-impl Scheduler for Heft {
+impl Solver for Heft {
     fn name(&self) -> &str {
         "HEFT-CA"
     }
 
-    fn schedule(
+    fn solve(
         &self,
-        graph: &TaskGraph,
-        system: &HeterogeneousSystem,
-    ) -> Result<Schedule, ScheduleError> {
-        let mut builder = ScheduleBuilder::new(graph, system)?;
+        problem: &Problem<'_>,
+        options: &SolveOptions,
+        progress: &mut dyn Progress,
+    ) -> Result<Solution, SolveError> {
+        let meter = BudgetMeter::start(options);
+        let graph = problem.graph();
+        let system = problem.system();
+        let mut builder = problem.builder();
         let table = RoutingTable::shortest_paths(&system.topology);
         let order = priority_order(graph, system);
 
         // HEFT's rank order is a valid topological order (rank strictly decreases along
         // edges), so every predecessor is scheduled before its successors.
+        let mut observer_stopped = false;
         for t in order {
+            check_budget(&meter)?;
             let mut best: Option<(ProcId, f64, f64)> = None; // (proc, start, finish)
             for p in system.topology.proc_ids() {
                 let mut da = 0.0f64;
@@ -111,8 +120,33 @@ impl Scheduler for Heft {
             let exec = builder.exec_cost(t, p);
             let start = builder.earliest_proc_slot(p, da, exec);
             builder.place_task(t, p, start);
+            if !emit(
+                progress,
+                SolveEvent::TaskPlaced {
+                    task: t,
+                    proc: p,
+                    finish: builder.finish_of(t),
+                },
+            ) {
+                observer_stopped = true;
+                break;
+            }
         }
-        builder.build(self.name())
+        let stop = if observer_stopped {
+            observer_outcome(builder.all_placed())?
+        } else {
+            bsa_schedule::StopReason::Converged
+        };
+        let schedule = builder.finish(Solver::name(self))?;
+        Ok(assemble(
+            schedule,
+            problem,
+            options,
+            &meter,
+            Solver::name(self),
+            format!("{self:?}"),
+            stop,
+        ))
     }
 }
 
@@ -185,19 +219,23 @@ fn earliest_gap(intervals: &[(f64, f64)], ready: f64, duration: f64) -> f64 {
     candidate
 }
 
-impl Scheduler for ContentionObliviousHeft {
+impl Solver for ContentionObliviousHeft {
     fn name(&self) -> &str {
         "HEFT-CO"
     }
 
-    fn schedule(
+    fn solve(
         &self,
-        graph: &TaskGraph,
-        system: &HeterogeneousSystem,
-    ) -> Result<Schedule, ScheduleError> {
+        problem: &Problem<'_>,
+        options: &SolveOptions,
+        progress: &mut dyn Progress,
+    ) -> Result<Solution, SolveError> {
+        let meter = BudgetMeter::start(options);
+        let graph = problem.graph();
+        let system = problem.system();
         let (assignment, ideal_start) = self.decide(graph, system);
         let table = RoutingTable::shortest_paths(&system.topology);
-        let mut builder = ScheduleBuilder::new(graph, system)?;
+        let mut builder = problem.builder();
 
         // Re-simulate under the contention model: keep the assignment and the per-processor
         // order implied by the idealised start times, then replay the tasks in a
@@ -236,7 +274,9 @@ impl Scheduler for ContentionObliviousHeft {
             .collect();
         ready.sort();
         let mut placed = 0usize;
+        let mut observer_stopped = false;
         while let Some(t) = ready.pop() {
+            check_budget(&meter)?;
             let p = assignment[t.index()];
             let mut da = 0.0f64;
             for &eid in graph.in_edges(t) {
@@ -250,6 +290,17 @@ impl Scheduler for ContentionObliviousHeft {
             let start = builder.earliest_proc_append(p, da);
             builder.place_task(t, p, start);
             placed += 1;
+            if !emit(
+                progress,
+                SolveEvent::TaskPlaced {
+                    task: t,
+                    proc: p,
+                    finish: builder.finish_of(t),
+                },
+            ) {
+                observer_stopped = true;
+                break;
+            }
             let unlock = |x: TaskId, pending: &mut Vec<usize>, ready: &mut Vec<TaskId>| {
                 pending[x.index()] -= 1;
                 if pending[x.index()] == 0 {
@@ -264,12 +315,26 @@ impl Scheduler for ContentionObliviousHeft {
                 unlock(s, &mut pending, &mut ready);
             }
         }
+        let stop = if observer_stopped {
+            observer_outcome(placed == n)?
+        } else {
+            bsa_schedule::StopReason::Converged
+        };
         if placed != n {
-            return Err(ScheduleError::Internal(
-                "contention re-simulation deadlocked (inconsistent processor order)".into(),
-            ));
+            return Err(SolveError::CyclicDecisions {
+                context: "HEFT-CO contention re-simulation (inconsistent processor order)",
+            });
         }
-        builder.build(self.name())
+        let schedule = builder.finish(Solver::name(self))?;
+        Ok(assemble(
+            schedule,
+            problem,
+            options,
+            &meter,
+            Solver::name(self),
+            format!("{self:?}"),
+            stop,
+        ))
     }
 }
 
@@ -279,9 +344,17 @@ mod tests {
     use bsa_network::builders::{clique, hypercube_for, ring};
     use bsa_network::{CommCostModel, ExecutionCostMatrix, HeterogeneityRange};
     use bsa_schedule::validate::assert_valid;
+    use bsa_schedule::Schedule;
     use bsa_workloads::paper_example;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
+
+    /// Unbudgeted solve through the session API, unwrapped to the bare schedule.
+    fn solve(s: &dyn Solver, g: &TaskGraph, sys: &HeterogeneousSystem) -> Schedule {
+        s.solve_unbounded(&Problem::new(g, sys).unwrap())
+            .unwrap()
+            .schedule
+    }
 
     fn paper_setup() -> (TaskGraph, HeterogeneousSystem) {
         let g = paper_example::figure1_graph();
@@ -303,7 +376,7 @@ mod tests {
     #[test]
     fn contention_aware_heft_is_valid_on_the_paper_example() {
         let (g, sys) = paper_setup();
-        let s = Heft::new().schedule(&g, &sys).unwrap();
+        let s = solve(&Heft::new(), &g, &sys);
         assert_valid(&s, &g, &sys);
         assert!(s.schedule_length() < 238.0);
     }
@@ -311,7 +384,7 @@ mod tests {
     #[test]
     fn contention_oblivious_heft_is_still_a_valid_contention_schedule() {
         let (g, sys) = paper_setup();
-        let s = ContentionObliviousHeft::new().schedule(&g, &sys).unwrap();
+        let s = solve(&ContentionObliviousHeft::new(), &g, &sys);
         assert_valid(&s, &g, &sys);
     }
 
@@ -330,8 +403,8 @@ mod tests {
             HeterogeneityRange::homogeneous(),
             &mut rng,
         );
-        let aware = Heft::new().schedule(&g, &sys).unwrap();
-        let oblivious = ContentionObliviousHeft::new().schedule(&g, &sys).unwrap();
+        let aware = solve(&Heft::new(), &g, &sys);
+        let oblivious = solve(&ContentionObliviousHeft::new(), &g, &sys);
         assert_valid(&aware, &g, &sys);
         assert_valid(&oblivious, &g, &sys);
         assert!(aware.schedule_length().is_finite());
@@ -354,12 +427,9 @@ mod tests {
                 HeterogeneityRange::homogeneous(),
                 &mut rng,
             );
-            for scheduler in [
-                &Heft::new() as &dyn Scheduler,
-                &ContentionObliviousHeft::new(),
-            ] {
-                let a = scheduler.schedule(&g, &sys).unwrap();
-                let b = scheduler.schedule(&g, &sys).unwrap();
+            for solver in [&Heft::new() as &dyn Solver, &ContentionObliviousHeft::new()] {
+                let a = solve(solver, &g, &sys);
+                let b = solve(solver, &g, &sys);
                 assert_valid(&a, &g, &sys);
                 assert_eq!(a.schedule_length(), b.schedule_length());
             }

@@ -17,13 +17,19 @@
 //! * [`reference::SerialScheduler`] — everything on the single fastest processor (sanity
 //!   lower bound on resource usage, upper bound most schedulers should beat).
 //!
-//! All baselines implement [`bsa_schedule::Scheduler`] and produce schedules that pass
-//! `bsa_schedule::validate`.
+//! All baselines implement the session-based [`bsa_schedule::Solver`] trait (and,
+//! through its deprecated shim, the legacy `Scheduler`) and produce schedules that pass
+//! `bsa_schedule::validate`.  Because they are *constructive* — no feasible schedule
+//! exists until the last task is placed — a deadline, migration budget, cancellation or
+//! observer break that fires mid-build aborts the solve with
+//! [`bsa_schedule::SolveError::BudgetExhaustedBeforeFeasible`] instead of returning an
+//! incumbent the way anytime BSA does.
 
 pub mod dls;
 pub mod heft;
 pub mod message_router;
 pub mod reference;
+pub(crate) mod session;
 
 pub use dls::Dls;
 pub use heft::{ContentionObliviousHeft, Heft};

@@ -1,7 +1,10 @@
 //! Reference schedulers used as sanity bounds in tests and experiments.
 
+use crate::session::{assemble, check_budget, emit, observer_outcome};
 use bsa_network::{HeterogeneousSystem, ProcId};
-use bsa_schedule::{Schedule, ScheduleBuilder, ScheduleError, Scheduler};
+use bsa_schedule::solver::{
+    BudgetMeter, Problem, Progress, Solution, SolveError, SolveEvent, SolveOptions, Solver,
+};
 use bsa_taskgraph::{TaskGraph, TopologicalOrder};
 
 /// Runs every task on the single processor whose total execution time is smallest, in
@@ -33,25 +36,55 @@ impl SerialScheduler {
     }
 }
 
-impl Scheduler for SerialScheduler {
+impl Solver for SerialScheduler {
     fn name(&self) -> &str {
         "SERIAL"
     }
 
-    fn schedule(
+    fn solve(
         &self,
-        graph: &TaskGraph,
-        system: &HeterogeneousSystem,
-    ) -> Result<Schedule, ScheduleError> {
-        let p = Self::best_processor(graph, system);
-        let mut builder = ScheduleBuilder::new(graph, system)?;
+        problem: &Problem<'_>,
+        options: &SolveOptions,
+        progress: &mut dyn Progress,
+    ) -> Result<Solution, SolveError> {
+        let meter = BudgetMeter::start(options);
+        let graph = problem.graph();
+        let p = Self::best_processor(graph, problem.system());
+        let mut builder = problem.builder();
         let topo = TopologicalOrder::compute(graph);
         let mut cursor = 0.0;
+        let mut observer_stopped = false;
         for t in topo.iter() {
+            check_budget(&meter)?;
             builder.place_task(t, p, cursor);
             cursor = builder.finish_of(t);
+            if !emit(
+                progress,
+                SolveEvent::TaskPlaced {
+                    task: t,
+                    proc: p,
+                    finish: cursor,
+                },
+            ) {
+                observer_stopped = true;
+                break;
+            }
         }
-        builder.build(self.name())
+        let stop = if observer_stopped {
+            observer_outcome(builder.all_placed())?
+        } else {
+            bsa_schedule::StopReason::Converged
+        };
+        let schedule = builder.finish(Solver::name(self))?;
+        Ok(assemble(
+            schedule,
+            problem,
+            options,
+            &meter,
+            Solver::name(self),
+            format!("{self:?}"),
+            stop,
+        ))
     }
 }
 
@@ -70,7 +103,10 @@ mod tests {
         let topo = ring(4).unwrap();
         let comm = CommCostModel::homogeneous(&topo);
         let sys = HeterogeneousSystem::new(topo, exec, comm);
-        let s = SerialScheduler::new().schedule(&g, &sys).unwrap();
+        let s = SerialScheduler::new()
+            .solve_unbounded(&Problem::new(&g, &sys).unwrap())
+            .unwrap()
+            .schedule;
         assert_valid(&s, &g, &sys);
         assert_eq!(s.schedule_length(), sys.best_serial_length(&g));
         assert_eq!(s.processors_used(), 1);

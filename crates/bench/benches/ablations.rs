@@ -7,7 +7,7 @@ use bsa_bench::{random_graph, system};
 use bsa_core::{Bsa, BsaConfig, PivotStrategy};
 use bsa_network::builders::TopologyKind;
 use bsa_network::ProcId;
-use bsa_schedule::Scheduler;
+use bsa_schedule::{Problem, Solver};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::time::Duration;
 
@@ -56,6 +56,7 @@ fn variants() -> Vec<(&'static str, BsaConfig)> {
 fn bench_ablations(c: &mut Criterion) {
     let graph = random_graph(80, 1.0, 11);
     let sys = system(&graph, TopologyKind::Ring, 50.0, 11);
+    let problem = Problem::new(&graph, &sys).unwrap();
 
     let mut group = c.benchmark_group("bsa_ablations");
     group
@@ -64,15 +65,17 @@ fn bench_ablations(c: &mut Criterion) {
         .measurement_time(Duration::from_secs(1));
     for (name, config) in variants() {
         let len = Bsa::new(config)
-            .schedule(&graph, &sys)
+            .solve_unbounded(&problem)
             .unwrap()
+            .schedule
             .schedule_length();
         println!("[ablation] {name}: schedule length = {len:.0}");
         group.bench_with_input(BenchmarkId::from_parameter(name), &config, |b, cfg| {
             b.iter(|| {
                 Bsa::new(*cfg)
-                    .schedule(&graph, &sys)
+                    .solve_unbounded(&problem)
                     .unwrap()
+                    .schedule
                     .schedule_length()
             })
         });

@@ -7,7 +7,7 @@ use bsa_baselines::Dls;
 use bsa_bench::{regular_graph, system};
 use bsa_core::Bsa;
 use bsa_network::builders::TopologyKind;
-use bsa_schedule::Scheduler;
+use bsa_schedule::{Problem, Solver};
 use bsa_workloads::RegularApp;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::time::Duration;
@@ -23,23 +23,36 @@ fn bench_regular(c: &mut Criterion) {
         for granularity in [0.1, 10.0] {
             let graph = regular_graph(RegularApp::GaussianElimination, 100, granularity);
             let sys = system(&graph, kind, 50.0, 42);
+            let problem = Problem::new(&graph, &sys).unwrap();
             let label = format!("{}_g{granularity}", kind.label());
-            let bsa_len = Bsa::default()
-                .schedule(&graph, &sys)
-                .unwrap()
-                .schedule_length();
-            let dls_len = Dls::new().schedule(&graph, &sys).unwrap().schedule_length();
+            let solve = |solver: &dyn Solver| {
+                solver
+                    .solve_unbounded(&problem)
+                    .unwrap()
+                    .schedule
+                    .schedule_length()
+            };
+            let bsa_len = solve(&Bsa::default());
+            let dls_len = solve(&Dls::new());
             println!("[fig3/fig5] gauss-100 {label}: BSA = {bsa_len:.0}, DLS = {dls_len:.0}");
-            group.bench_with_input(
-                BenchmarkId::new("bsa", &label),
-                &(&graph, &sys),
-                |b, (g, s)| b.iter(|| Bsa::default().schedule(g, s).unwrap().schedule_length()),
-            );
-            group.bench_with_input(
-                BenchmarkId::new("dls", &label),
-                &(&graph, &sys),
-                |b, (g, s)| b.iter(|| Dls::new().schedule(g, s).unwrap().schedule_length()),
-            );
+            group.bench_with_input(BenchmarkId::new("bsa", &label), &problem, |b, problem| {
+                b.iter(|| {
+                    Bsa::default()
+                        .solve_unbounded(problem)
+                        .unwrap()
+                        .schedule
+                        .schedule_length()
+                })
+            });
+            group.bench_with_input(BenchmarkId::new("dls", &label), &problem, |b, problem| {
+                b.iter(|| {
+                    Dls::new()
+                        .solve_unbounded(problem)
+                        .unwrap()
+                        .schedule
+                        .schedule_length()
+                })
+            });
         }
     }
     group.finish();

@@ -5,7 +5,7 @@ use bsa_baselines::Dls;
 use bsa_bench::{random_graph, system};
 use bsa_core::Bsa;
 use bsa_network::builders::TopologyKind;
-use bsa_schedule::Scheduler;
+use bsa_schedule::{Problem, Solver};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::time::Duration;
 
@@ -19,23 +19,36 @@ fn bench_heterogeneity(c: &mut Criterion) {
     let graph = random_graph(100, 1.0, 7);
     for &range in &[10.0f64, 200.0] {
         let sys = system(&graph, TopologyKind::Hypercube, range, 7);
+        let problem = Problem::new(&graph, &sys).unwrap();
         let label = format!("range_{range}");
-        let bsa_len = Bsa::default()
-            .schedule(&graph, &sys)
-            .unwrap()
-            .schedule_length();
-        let dls_len = Dls::new().schedule(&graph, &sys).unwrap().schedule_length();
+        let solve = |solver: &dyn Solver| {
+            solver
+                .solve_unbounded(&problem)
+                .unwrap()
+                .schedule
+                .schedule_length()
+        };
+        let bsa_len = solve(&Bsa::default());
+        let dls_len = solve(&Dls::new());
         println!("[fig7] heterogeneity [1,{range}]: BSA = {bsa_len:.0}, DLS = {dls_len:.0}");
-        group.bench_with_input(
-            BenchmarkId::new("bsa", &label),
-            &(&graph, &sys),
-            |b, (g, s)| b.iter(|| Bsa::default().schedule(g, s).unwrap().schedule_length()),
-        );
-        group.bench_with_input(
-            BenchmarkId::new("dls", &label),
-            &(&graph, &sys),
-            |b, (g, s)| b.iter(|| Dls::new().schedule(g, s).unwrap().schedule_length()),
-        );
+        group.bench_with_input(BenchmarkId::new("bsa", &label), &problem, |b, problem| {
+            b.iter(|| {
+                Bsa::default()
+                    .solve_unbounded(problem)
+                    .unwrap()
+                    .schedule
+                    .schedule_length()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("dls", &label), &problem, |b, problem| {
+            b.iter(|| {
+                Dls::new()
+                    .solve_unbounded(problem)
+                    .unwrap()
+                    .schedule
+                    .schedule_length()
+            })
+        });
     }
     group.finish();
 }

@@ -1,13 +1,13 @@
 //! Benchmark of the worked example (Figure 1 / Table 1): BSA and DLS scheduling the
-//! 9-task graph on the 4-processor heterogeneous ring.
+//! 9-task graph on the 4-processor heterogeneous ring, driven through the shared
+//! [`Algo`] roster and the solver-session API.
 
-use bsa_baselines::Dls;
-use bsa_core::Bsa;
+use bsa::algorithms::Algo;
 use bsa_network::builders::ring;
 use bsa_network::{CommCostModel, ExecutionCostMatrix, HeterogeneousSystem};
-use bsa_schedule::Scheduler;
+use bsa_schedule::Problem;
 use bsa_workloads::paper_example;
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::time::Duration;
 
 fn bench_paper_example(c: &mut Criterion) {
@@ -16,28 +16,29 @@ fn bench_paper_example(c: &mut Criterion) {
     let topology = ring(4).unwrap();
     let comm = CommCostModel::homogeneous(&topology);
     let system = HeterogeneousSystem::new(topology, exec, comm);
+    let problem = Problem::new(&graph, &system).unwrap();
 
     let mut group = c.benchmark_group("paper_example");
     group
         .sample_size(30)
         .warm_up_time(Duration::from_millis(300))
         .measurement_time(Duration::from_secs(1));
-    group.bench_function("bsa", |b| {
-        b.iter(|| {
-            Bsa::default()
-                .schedule(&graph, &system)
-                .unwrap()
-                .schedule_length()
-        })
-    });
-    group.bench_function("dls", |b| {
-        b.iter(|| {
-            Dls::new()
-                .schedule(&graph, &system)
-                .unwrap()
-                .schedule_length()
-        })
-    });
+    for algo in Algo::PAPER_PAIR {
+        let solver = algo.solver();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(algo.label()),
+            &problem,
+            |b, problem| {
+                b.iter(|| {
+                    solver
+                        .solve_unbounded(problem)
+                        .unwrap()
+                        .schedule
+                        .schedule_length()
+                })
+            },
+        );
+    }
     group.finish();
 }
 

@@ -33,7 +33,11 @@ use crate::serialization::serialize;
 use crate::trace::{BsaTrace, MigrationRecord, RetimeTotals};
 use bsa_network::{HeterogeneousSystem, ProcId};
 use bsa_schedule::schedule::MessageHop;
-use bsa_schedule::{Schedule, ScheduleBuilder, ScheduleError, Scheduler};
+use bsa_schedule::solver::{
+    BudgetMeter, IncumbentRecord, NoProgress, Problem, Progress, Provenance, Solution, SolveError,
+    SolveEvent, SolveOptions, SolveTrace, Solver, StopReason,
+};
+use bsa_schedule::{Schedule, ScheduleBuilder, ScheduleError, ScheduleMetrics};
 use bsa_taskgraph::{EdgeId, TaskGraph, TaskId};
 
 const EPS: f64 = 1e-9;
@@ -71,16 +75,44 @@ impl Bsa {
     }
 
     /// Runs the algorithm and returns both the schedule and the decision trace.
+    ///
+    /// Legacy blocking entry point: equivalent to an unbudgeted [`Solver::solve`] with
+    /// no observer, returning the trace in its BSA-shaped [`BsaTrace`] form.
     pub fn schedule_with_trace(
         &self,
         graph: &TaskGraph,
         system: &HeterogeneousSystem,
     ) -> Result<(Schedule, BsaTrace), ScheduleError> {
+        let problem = Problem::new(graph, system).map_err(ScheduleError::from)?;
+        let (schedule, trace) = self
+            .run(&problem, &SolveOptions::default(), &mut NoProgress)
+            .map_err(ScheduleError::from)?;
+        Ok((schedule, trace.into()))
+    }
+
+    /// The migration engine behind both [`Solver::solve`] and the legacy entry points.
+    ///
+    /// Serializes onto the first pivot, then bubbles tasks up under the budgets of
+    /// `options`: between steps the [`BudgetMeter`] is polled and `progress` observes
+    /// every phase.  When a budget fires (or the observer breaks) the loop stops and the
+    /// **current committed schedule** — always valid, since every accepted migration
+    /// commits only after a successful re-timing — is returned as the incumbent, with
+    /// the trace recording why the solve stopped.  With unlimited options the path is
+    /// bit-identical to the pre-session blocking behaviour.
+    fn run(
+        &self,
+        problem: &Problem<'_>,
+        options: &SolveOptions,
+        progress: &mut dyn Progress,
+    ) -> Result<(Schedule, SolveTrace), SolveError> {
+        let graph = problem.graph();
+        let system = problem.system();
         let cfg = &self.config;
+        let mut meter = BudgetMeter::start(options);
         let (pivot0, cp_lengths) = select_pivot(graph, system, cfg.pivot_strategy);
         let serialization = serialize(graph, &system.exec_costs.column(pivot0));
 
-        let mut builder = ScheduleBuilder::new(graph, system)?;
+        let mut builder = problem.builder();
         let mut cursor = 0.0;
         for &t in &serialization.order {
             builder.place_task(t, pivot0, cursor);
@@ -91,163 +123,240 @@ impl Bsa {
         // re-timing passes extend from.
         builder
             .recompute_times()
-            .map_err(|e| ScheduleError::Internal(format!("serialized schedule: {e}")))?;
+            .map_err(|e| SolveError::retiming("serialized schedule", e))?;
         let serialized_length = builder.schedule_length();
 
         let processor_order = system.topology.bfs_order(pivot0);
-        let mut trace = BsaTrace {
+        let mut trace = SolveTrace {
+            solver: Solver::name(self).to_string(),
+            stop: StopReason::Converged,
             cp_lengths,
             first_pivot: Some(pivot0),
             serial_order: serialization.order.clone(),
             processor_order: processor_order.clone(),
             migrations: Vec::new(),
-            serialized_length,
+            serialized_length: Some(serialized_length),
             final_length: serialized_length,
             retime: RetimeTotals::default(),
+            incumbents: Vec::new(),
         };
 
-        let mut scratch = MigrateScratch::default();
-        for sweep in 0..cfg.sweeps.max(1) {
-            let mut sweep_migrations = 0usize;
-            for &pivot in &processor_order {
-                scratch.tasks.clear();
-                scratch.tasks.extend(builder.tasks_on(pivot));
-                // Finish times as they stand when the pivot phase begins.  Migration decisions
-                // compare candidate finish times against these phase-start values (the finish
-                // time the task would keep if the pivot's schedule were left as is), which is
-                // what lets a heavily loaded pivot shed most of its load in one phase.
-                scratch.phase_ft.clear();
-                scratch
-                    .phase_ft
-                    .extend(graph.task_ids().map(|x| builder.finish_of(x)));
-                for ti in 0..scratch.tasks.len() {
-                    let t = scratch.tasks[ti];
-                    if builder.proc_of(t) != Some(pivot) {
-                        continue;
-                    }
-                    let (drt_pivot, vip) = builder.current_drt(t);
-                    let ft_pivot = if cfg.compare_against_phase_start {
-                        scratch.phase_ft[t.index()]
-                    } else {
-                        builder.finish_of(t)
-                    };
-                    let vip_on_pivot = vip.map_or(true, |v| builder.proc_of(v) == Some(pivot));
-                    // Paper line 7: "if FT(Ti, Pivot) > DRT(Ti, Pivot) or VIP of Ti is not
-                    // scheduled to Pivot".  Since FT = ST + w ≥ DRT + w, the condition holds for
-                    // every task with positive execution cost — i.e. every task is considered
-                    // for migration in every pivot phase; only zero-cost tasks that start right
-                    // at their data-ready time next to their VIP are skipped.
-                    if ft_pivot <= drt_pivot + EPS && vip_on_pivot {
-                        continue;
-                    }
+        // From here on a valid incumbent exists: every early stop below returns the
+        // current committed schedule instead of failing.
+        let mut stop = StopReason::Converged;
+        if progress
+            .on_event(&SolveEvent::Serialized {
+                length: serialized_length,
+            })
+            .is_break()
+        {
+            stop = StopReason::ObserverStopped;
+        } else if let Some(s) = meter.check() {
+            stop = s;
+        }
+        let mut incumbent = serialized_length;
 
-                    // Evaluate every neighbour of the pivot.
-                    let mut best: Option<(ProcId, f64)> = None;
-                    let mut vip_equal: Option<(ProcId, f64)> = None;
-                    for &(py, _link) in system.topology.neighbors(pivot) {
-                        let ft_y = estimate_finish_on_neighbor(
+        let mut scratch = MigrateScratch::default();
+        if stop == StopReason::Converged {
+            'run: for sweep in 0..cfg.sweeps.max(1) {
+                let mut sweep_migrations = 0usize;
+                for &pivot in &processor_order {
+                    if progress
+                        .on_event(&SolveEvent::PivotStarted { pivot, sweep })
+                        .is_break()
+                    {
+                        stop = StopReason::ObserverStopped;
+                        break 'run;
+                    }
+                    scratch.tasks.clear();
+                    scratch.tasks.extend(builder.tasks_on(pivot));
+                    // Finish times as they stand when the pivot phase begins.  Migration decisions
+                    // compare candidate finish times against these phase-start values (the finish
+                    // time the task would keep if the pivot's schedule were left as is), which is
+                    // what lets a heavily loaded pivot shed most of its load in one phase.
+                    scratch.phase_ft.clear();
+                    scratch
+                        .phase_ft
+                        .extend(graph.task_ids().map(|x| builder.finish_of(x)));
+                    for ti in 0..scratch.tasks.len() {
+                        if let Some(s) = meter.check() {
+                            stop = s;
+                            break 'run;
+                        }
+                        let t = scratch.tasks[ti];
+                        if builder.proc_of(t) != Some(pivot) {
+                            continue;
+                        }
+                        let (drt_pivot, vip) = builder.current_drt(t);
+                        let ft_pivot = if cfg.compare_against_phase_start {
+                            scratch.phase_ft[t.index()]
+                        } else {
+                            builder.finish_of(t)
+                        };
+                        let vip_on_pivot = vip.map_or(true, |v| builder.proc_of(v) == Some(pivot));
+                        // Paper line 7: "if FT(Ti, Pivot) > DRT(Ti, Pivot) or VIP of Ti is not
+                        // scheduled to Pivot".  Since FT = ST + w ≥ DRT + w, the condition holds for
+                        // every task with positive execution cost — i.e. every task is considered
+                        // for migration in every pivot phase; only zero-cost tasks that start right
+                        // at their data-ready time next to their VIP are skipped.
+                        if ft_pivot <= drt_pivot + EPS && vip_on_pivot {
+                            continue;
+                        }
+
+                        // Evaluate every neighbour of the pivot.
+                        let mut best: Option<(ProcId, f64)> = None;
+                        let mut vip_equal: Option<(ProcId, f64)> = None;
+                        for &(py, _link) in system.topology.neighbors(pivot) {
+                            let ft_y = estimate_finish_on_neighbor(
+                                &mut builder,
+                                graph,
+                                t,
+                                pivot,
+                                py,
+                                cfg,
+                                &mut scratch.remote,
+                            );
+                            if ft_y < ft_pivot - EPS {
+                                let better = best.map_or(true, |(bp, bf)| {
+                                    ft_y < bf - EPS || ((ft_y - bf).abs() <= EPS && py < bp)
+                                });
+                                if better {
+                                    best = Some((py, ft_y));
+                                }
+                            } else if cfg.use_vip_rule
+                                && (ft_y - ft_pivot).abs() <= EPS
+                                && vip.is_some_and(|v| builder.proc_of(v) == Some(py))
+                                && vip_equal.is_none()
+                            {
+                                vip_equal = Some((py, ft_y));
+                            }
+                        }
+
+                        let decision = match (best, vip_equal) {
+                            (Some(b), _) => Some((b, false)),
+                            (None, Some(v)) => Some((v, true)),
+                            (None, None) => None,
+                        };
+                        let Some(((py, ft_estimate), via_vip)) = decision else {
+                            continue;
+                        };
+
+                        // Perform the migration transactionally; if the incremental re-routing
+                        // produces ordering decisions that cannot be timed consistently (rare —
+                        // see DESIGN.md §5.2), roll back and keep the task where it was.
+                        let txn = builder.begin_txn();
+                        migrate(
                             &mut builder,
                             graph,
                             t,
                             pivot,
                             py,
                             cfg,
+                            true,
                             &mut scratch.remote,
                         );
-                        if ft_y < ft_pivot - EPS {
-                            let better = best.map_or(true, |(bp, bf)| {
-                                ft_y < bf - EPS || ((ft_y - bf).abs() <= EPS && py < bp)
-                            });
-                            if better {
-                                best = Some((py, ft_y));
+                        let retimed = match cfg.retiming {
+                            RetimingMode::Incremental => {
+                                builder.recompute_times_incremental().map(Some)
                             }
-                        } else if cfg.use_vip_rule
-                            && (ft_y - ft_pivot).abs() <= EPS
-                            && vip.is_some_and(|v| builder.proc_of(v) == Some(py))
-                            && vip_equal.is_none()
+                            RetimingMode::Full => builder.recompute_times().map(|()| None),
+                        };
+                        let stats = match retimed {
+                            Err(_) => {
+                                builder.rollback(txn);
+                                continue;
+                            }
+                            Ok(stats) => stats,
+                        };
+                        builder.commit(txn);
+                        if let Some(stats) = stats {
+                            trace.retime.absorb(&stats);
+                        }
+                        sweep_migrations += 1;
+                        meter.record_migration();
+                        if cfg.record_trace {
+                            trace.migrations.push(MigrationRecord {
+                                pivot,
+                                task: t,
+                                from: pivot,
+                                to: py,
+                                old_finish: ft_pivot,
+                                new_finish_estimate: ft_estimate,
+                                vip_rule: via_vip,
+                            });
+                        }
+                        let length_now = builder.schedule_length();
+                        if progress
+                            .on_event(&SolveEvent::MigrationAccepted {
+                                task: t,
+                                from: pivot,
+                                to: py,
+                                incumbent: length_now,
+                            })
+                            .is_break()
                         {
-                            vip_equal = Some((py, ft_y));
+                            stop = StopReason::ObserverStopped;
+                            break 'run;
                         }
-                    }
-
-                    let decision = match (best, vip_equal) {
-                        (Some(b), _) => Some((b, false)),
-                        (None, Some(v)) => Some((v, true)),
-                        (None, None) => None,
-                    };
-                    let Some(((py, ft_estimate), via_vip)) = decision else {
-                        continue;
-                    };
-
-                    // Perform the migration transactionally; if the incremental re-routing
-                    // produces ordering decisions that cannot be timed consistently (rare —
-                    // see DESIGN.md §5.2), roll back and keep the task where it was.
-                    let txn = builder.begin_txn();
-                    migrate(
-                        &mut builder,
-                        graph,
-                        t,
-                        pivot,
-                        py,
-                        cfg,
-                        true,
-                        &mut scratch.remote,
-                    );
-                    let retimed = match cfg.retiming {
-                        RetimingMode::Incremental => {
-                            builder.recompute_times_incremental().map(Some)
+                        if length_now < incumbent {
+                            incumbent = length_now;
+                            if cfg.record_trace {
+                                trace.incumbents.push(IncumbentRecord {
+                                    migrations: meter.migrations(),
+                                    length: length_now,
+                                });
+                            }
+                            if progress
+                                .on_event(&SolveEvent::IncumbentImproved { length: length_now })
+                                .is_break()
+                            {
+                                stop = StopReason::ObserverStopped;
+                                break 'run;
+                            }
                         }
-                        RetimingMode::Full => builder.recompute_times().map(|()| None),
-                    };
-                    let stats = match retimed {
-                        Err(_) => {
-                            builder.rollback(txn);
-                            continue;
-                        }
-                        Ok(stats) => stats,
-                    };
-                    builder.commit(txn);
-                    if let Some(stats) = stats {
-                        trace.retime.absorb(&stats);
-                    }
-                    sweep_migrations += 1;
-                    if cfg.record_trace {
-                        trace.migrations.push(MigrationRecord {
-                            pivot,
-                            task: t,
-                            from: pivot,
-                            to: py,
-                            old_finish: ft_pivot,
-                            new_finish_estimate: ft_estimate,
-                            vip_rule: via_vip,
-                        });
                     }
                 }
+                // Later sweeps stop as soon as the schedule is quiescent.
+                if sweep_migrations == 0 {
+                    break;
+                }
+                let _ = sweep;
             }
-            // Later sweeps stop as soon as the schedule is quiescent.
-            if sweep_migrations == 0 {
-                break;
-            }
-            let _ = sweep;
         }
 
+        trace.stop = stop;
         trace.final_length = builder.schedule_length();
-        let schedule = builder.build("BSA")?;
+        let schedule = builder.finish(Solver::name(self))?;
         Ok((schedule, trace))
     }
 }
 
-impl Scheduler for Bsa {
+impl Solver for Bsa {
     fn name(&self) -> &str {
         "BSA"
     }
 
-    fn schedule(
+    fn solve(
         &self,
-        graph: &TaskGraph,
-        system: &HeterogeneousSystem,
-    ) -> Result<Schedule, ScheduleError> {
-        self.schedule_with_trace(graph, system).map(|(s, _)| s)
+        problem: &Problem<'_>,
+        options: &SolveOptions,
+        progress: &mut dyn Progress,
+    ) -> Result<Solution, SolveError> {
+        let started = std::time::Instant::now();
+        let (schedule, trace) = self.run(problem, options, progress)?;
+        let metrics = ScheduleMetrics::compute(&schedule, problem.graph(), problem.system());
+        Ok(Solution {
+            provenance: Provenance {
+                solver: Solver::name(self).to_string(),
+                config: format!("{:?}", self.config),
+                elapsed: started.elapsed(),
+                stop: trace.stop,
+                seed: options.seed,
+            },
+            metrics,
+            schedule,
+            trace,
+        })
     }
 }
 
@@ -492,6 +601,13 @@ mod tests {
         (g, HeterogeneousSystem::new(topo, exec, comm))
     }
 
+    /// Unbudgeted solve through the session API, unwrapped to the bare schedule.
+    fn solve(bsa: &Bsa, g: &TaskGraph, sys: &HeterogeneousSystem) -> Schedule {
+        bsa.solve_unbounded(&Problem::new(g, sys).unwrap())
+            .unwrap()
+            .schedule
+    }
+
     #[test]
     fn paper_example_selects_p2_and_beats_serialization() {
         let (g, sys) = paper_setup();
@@ -528,7 +644,7 @@ mod tests {
         let topo = ring(3).unwrap();
         let comm = CommCostModel::homogeneous(&topo);
         let sys = HeterogeneousSystem::new(topo, exec, comm);
-        let s = Bsa::default().schedule(&g, &sys).unwrap();
+        let s = solve(&Bsa::default(), &g, &sys);
         assert_valid(&s, &g, &sys);
         // Pivot selection already places the task on the fastest processor (P1, cost 2).
         assert_eq!(s.schedule_length(), 2.0);
@@ -548,7 +664,7 @@ mod tests {
         }
         let g = b.build().unwrap();
         let sys = HeterogeneousSystem::homogeneous(&g, ring(4).unwrap());
-        let s = Bsa::default().schedule(&g, &sys).unwrap();
+        let s = solve(&Bsa::default(), &g, &sys);
         assert_valid(&s, &g, &sys);
         assert_eq!(s.schedule_length(), 60.0);
     }
@@ -565,7 +681,7 @@ mod tests {
         }
         let g = b.build().unwrap();
         let sys = HeterogeneousSystem::homogeneous(&g, clique(8).unwrap());
-        let s = Bsa::default().schedule(&g, &sys).unwrap();
+        let s = solve(&Bsa::default(), &g, &sys);
         assert_valid(&s, &g, &sys);
         assert!(
             s.schedule_length() < 801.0,
@@ -592,7 +708,7 @@ mod tests {
                 HeterogeneityRange::homogeneous(),
                 &mut rng,
             );
-            let s = Bsa::default().schedule(&g, &sys).unwrap();
+            let s = solve(&Bsa::default(), &g, &sys);
             assert_valid(&s, &g, &sys);
             let m = ScheduleMetrics::compute(&s, &g, &sys);
             assert!(m.schedule_length > 0.0);
@@ -610,8 +726,8 @@ mod tests {
             HeterogeneityRange::homogeneous(),
             &mut rng,
         );
-        let a = Bsa::default().schedule(&g, &sys).unwrap();
-        let b = Bsa::default().schedule(&g, &sys).unwrap();
+        let a = solve(&Bsa::default(), &g, &sys);
+        let b = solve(&Bsa::default(), &g, &sys);
         assert_eq!(a.schedule_length(), b.schedule_length());
         for t in g.task_ids() {
             assert_eq!(a.proc_of(t), b.proc_of(t));
@@ -630,10 +746,8 @@ mod tests {
             HeterogeneityRange::homogeneous(),
             &mut rng,
         );
-        let with_vip = Bsa::default().schedule(&g, &sys).unwrap();
-        let without_vip = Bsa::new(BsaConfig::without_vip_rule())
-            .schedule(&g, &sys)
-            .unwrap();
+        let with_vip = solve(&Bsa::default(), &g, &sys);
+        let without_vip = solve(&Bsa::new(BsaConfig::without_vip_rule()), &g, &sys);
         assert_valid(&with_vip, &g, &sys);
         assert_valid(&without_vip, &g, &sys);
     }

@@ -1,72 +1,19 @@
 //! Decision trace of one BSA run (used by the worked-example binaries and by tests that
 //! assert on the algorithm's intermediate behaviour, not just its final schedule).
+//!
+//! Since the solver-session redesign the canonical trace type is
+//! [`bsa_schedule::SolveTrace`], filled by every solver; [`BsaTrace`] remains as the
+//! BSA-shaped view used by [`crate::Bsa::schedule_with_trace`] and is derived from a
+//! `SolveTrace` via `From`.  The building blocks ([`MigrationRecord`],
+//! [`RetimeTotals`]) live in `bsa_schedule::solver` and are re-exported here for
+//! compatibility.
 
 use bsa_network::ProcId;
-use bsa_schedule::RetimeStats;
+use bsa_schedule::SolveTrace;
 use bsa_taskgraph::TaskId;
 use serde::{Deserialize, Serialize};
 
-/// One accepted task migration.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-pub struct MigrationRecord {
-    /// The pivot processor whose phase performed the migration.
-    pub pivot: ProcId,
-    /// The migrated task.
-    pub task: TaskId,
-    /// Processor the task left.
-    pub from: ProcId,
-    /// Processor the task moved to.
-    pub to: ProcId,
-    /// Finish time of the task before the migration.
-    pub old_finish: f64,
-    /// Estimated finish time on the destination at decision time.
-    pub new_finish_estimate: f64,
-    /// `true` when the migration was taken because of the VIP co-location rule (equal
-    /// finish time) rather than a strict improvement.
-    pub vip_rule: bool,
-}
-
-/// Aggregated phase counters of every re-timing pass in a run (setup → cone → relax →
-/// write-back; see [`RetimeStats`]).  Surfaced here so benches and the worked-example
-/// binaries can report how much decision-graph work the incremental kernel actually
-/// did, instead of inferring it from wall time alone.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
-pub struct RetimeTotals {
-    /// Re-timing passes performed after accepted migrations.
-    pub passes: usize,
-    /// Passes that fell back to the full relaxation (seed set covered most of the
-    /// schedule — never in BSA's steady state).
-    pub fallbacks: usize,
-    /// Setup phase: live, deduplicated seed nodes across all passes.
-    pub seed_nodes: usize,
-    /// Cone phase: decision-graph nodes pulled into dirty cones.
-    pub cone_nodes: usize,
-    /// Relax phase: cone-local dependency edges relaxed by the Kahn passes.
-    pub cone_edges: usize,
-    /// Write-back phase: nodes whose start/finish actually moved.
-    pub changed_nodes: usize,
-}
-
-impl RetimeTotals {
-    /// Folds one pass's stats into the totals.
-    pub fn absorb(&mut self, s: &RetimeStats) {
-        self.passes += 1;
-        self.fallbacks += usize::from(s.fell_back);
-        self.seed_nodes += s.seed_nodes;
-        self.cone_nodes += s.cone_nodes;
-        self.cone_edges += s.cone_edges;
-        self.changed_nodes += s.changed_nodes;
-    }
-
-    /// Mean cone size per pass (0 when no pass ran).
-    pub fn mean_cone(&self) -> f64 {
-        if self.passes == 0 {
-            0.0
-        } else {
-            self.cone_nodes as f64 / self.passes as f64
-        }
-    }
-}
+pub use bsa_schedule::{MigrationRecord, RetimeTotals};
 
 /// Complete record of one BSA run.
 #[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
@@ -87,6 +34,21 @@ pub struct BsaTrace {
     pub final_length: f64,
     /// Aggregated re-timing phase counters (incremental kernel diagnostics).
     pub retime: RetimeTotals,
+}
+
+impl From<SolveTrace> for BsaTrace {
+    fn from(t: SolveTrace) -> Self {
+        BsaTrace {
+            cp_lengths: t.cp_lengths,
+            first_pivot: t.first_pivot,
+            serial_order: t.serial_order,
+            processor_order: t.processor_order,
+            migrations: t.migrations,
+            serialized_length: t.serialized_length.unwrap_or(0.0),
+            final_length: t.final_length,
+            retime: t.retime,
+        }
+    }
 }
 
 impl BsaTrace {

@@ -1,99 +1,7 @@
-//! The scheduler roster used by the experiment binaries.
+//! The scheduler roster, re-exported from the library.
+//!
+//! The [`Algo`] registry moved to `bsa::algorithms` in the solver-session redesign so
+//! the experiments binaries, the benches and library users share one roster; this
+//! module keeps the historical `bsa_experiments::algorithms::Algo` path alive.
 
-use bsa_baselines::{ContentionObliviousHeft, Dls, Heft};
-use bsa_core::{Bsa, BsaConfig, PivotStrategy};
-use bsa_network::ProcId;
-use bsa_schedule::Scheduler;
-
-/// Identifier of a scheduler variant in reports.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum Algo {
-    /// The paper's contribution.
-    Bsa,
-    /// The paper's baseline.
-    Dls,
-    /// Contention-aware HEFT (extra modern baseline).
-    HeftCa,
-    /// Contention-oblivious HEFT re-simulated under contention (ablation A3).
-    HeftCo,
-    /// BSA without the VIP co-location rule (ablation A1).
-    BsaNoVip,
-    /// BSA starting from the worst pivot (ablation A2).
-    BsaWorstPivot,
-    /// BSA starting from a fixed pivot P1 (ablation A2).
-    BsaFixedPivot,
-}
-
-impl Algo {
-    /// The two algorithms every paper figure compares.
-    pub const PAPER_PAIR: [Algo; 2] = [Algo::Dls, Algo::Bsa];
-
-    /// Column label used in tables and CSV headers.
-    pub fn label(self) -> &'static str {
-        match self {
-            Algo::Bsa => "BSA",
-            Algo::Dls => "DLS",
-            Algo::HeftCa => "HEFT-CA",
-            Algo::HeftCo => "HEFT-CO",
-            Algo::BsaNoVip => "BSA-noVIP",
-            Algo::BsaWorstPivot => "BSA-worstPivot",
-            Algo::BsaFixedPivot => "BSA-fixedPivot",
-        }
-    }
-
-    /// Instantiates the scheduler.
-    pub fn scheduler(self) -> Box<dyn Scheduler + Send + Sync> {
-        match self {
-            Algo::Bsa => Box::new(Bsa::default()),
-            Algo::Dls => Box::new(Dls::new()),
-            Algo::HeftCa => Box::new(Heft::new()),
-            Algo::HeftCo => Box::new(ContentionObliviousHeft::new()),
-            Algo::BsaNoVip => Box::new(Bsa::new(BsaConfig::without_vip_rule())),
-            Algo::BsaWorstPivot => Box::new(Bsa::new(BsaConfig {
-                pivot_strategy: PivotStrategy::LongestCriticalPath,
-                ..BsaConfig::default()
-            })),
-            Algo::BsaFixedPivot => Box::new(Bsa::new(BsaConfig {
-                pivot_strategy: PivotStrategy::Fixed(ProcId(0)),
-                ..BsaConfig::default()
-            })),
-        }
-    }
-}
-
-impl std::fmt::Display for Algo {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str(self.label())
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use bsa_network::builders::ring;
-    use bsa_network::HeterogeneousSystem;
-    use bsa_taskgraph::TaskGraphBuilder;
-
-    #[test]
-    fn every_algo_instantiates_and_schedules_a_tiny_graph() {
-        let mut b = TaskGraphBuilder::new();
-        let a = b.add_task("a", 5.0);
-        let c = b.add_task("c", 5.0);
-        b.add_edge(a, c, 1.0).unwrap();
-        let g = b.build().unwrap();
-        let sys = HeterogeneousSystem::homogeneous(&g, ring(4).unwrap());
-        for algo in [
-            Algo::Bsa,
-            Algo::Dls,
-            Algo::HeftCa,
-            Algo::HeftCo,
-            Algo::BsaNoVip,
-            Algo::BsaWorstPivot,
-            Algo::BsaFixedPivot,
-        ] {
-            let s = algo.scheduler().schedule(&g, &sys).unwrap();
-            assert!(s.schedule_length() >= 10.0, "{algo}");
-            assert!(!algo.label().is_empty());
-        }
-    }
-}
+pub use bsa::algorithms::Algo;

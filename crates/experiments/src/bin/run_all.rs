@@ -49,6 +49,13 @@ fn main() {
     println!("{}", timing.to_markdown());
     write_results_file("timing_comparison.csv", &timing.to_csv());
 
+    // Solver traces: the deterministic SolveTrace bundle next to BENCH_scaling.json.
+    let traces_path = bsa_experiments::traces::default_out_path();
+    match bsa_experiments::traces::write_trace_bundle(&traces_path) {
+        Ok(()) => println!("wrote {traces_path}"),
+        Err(e) => eprintln!("warning: cannot write {traces_path}: {e}"),
+    }
+
     println!(
         "completed the full sweep in {:.1} s",
         started.elapsed().as_secs_f64()

@@ -13,7 +13,7 @@ use bsa_experiments::write_results_file;
 use bsa_network::builders::ring;
 use bsa_network::{CommCostModel, ExecutionCostMatrix, HeterogeneousSystem};
 use bsa_schedule::gantt::{render, GanttOptions};
-use bsa_schedule::{validate, ScheduleMetrics, Scheduler};
+use bsa_schedule::{validate, Problem, ScheduleMetrics, Solver};
 use bsa_workloads::paper_example;
 
 fn main() {
@@ -49,7 +49,10 @@ fn main() {
         metrics.schedule_length, metrics.total_communication_cost
     );
 
-    let dls_schedule = Dls::new().schedule(&graph, &system).unwrap();
+    let dls_schedule = Dls::new()
+        .solve_unbounded(&Problem::new(&graph, &system).unwrap())
+        .unwrap()
+        .schedule;
     let dls_errors = validate::validate(&dls_schedule, &graph, &system);
     assert!(
         dls_errors.is_empty(),

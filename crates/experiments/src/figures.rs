@@ -17,6 +17,7 @@ use crate::report::{mean, Table};
 use crate::runner::run_parallel;
 use crate::scale::Scale;
 use bsa_network::builders::TopologyKind;
+use bsa_schedule::Problem;
 
 /// Average schedule lengths over a (size × granularity) grid for one suite and topology.
 #[derive(Debug, Clone)]
@@ -51,12 +52,13 @@ pub fn run_grid(suite: Suite, kind: TopologyKind, scale: &Scale, algos: &[Algo])
         let mut per_algo = vec![Vec::new(); algos_vec.len()];
         for (graph_idx, graph) in graphs.iter().enumerate() {
             let system = system_for(graph, kind, scale, 50.0, graph_idx * 31 + si * 7 + gi);
+            let problem = Problem::new(graph, &system).expect("generated instances are valid");
             for (ai, algo) in algos_vec.iter().enumerate() {
-                let schedule = algo
-                    .scheduler()
-                    .schedule(graph, &system)
-                    .expect("schedulers handle all generated instances");
-                per_algo[ai].push(schedule.schedule_length());
+                let solution = algo
+                    .solver()
+                    .solve_unbounded(&problem)
+                    .expect("solvers handle all generated instances");
+                per_algo[ai].push(solution.schedule.schedule_length());
             }
         }
         (
@@ -153,12 +155,14 @@ pub fn heterogeneity_sweep(scale: &Scale, algos: &[Algo]) -> Table {
             range,
             900 + g + ri * 131,
         );
+        let problem = Problem::new(graph, &system).expect("generated instances are valid");
         let lengths: Vec<f64> = algos_vec
             .iter()
             .map(|a| {
-                a.scheduler()
-                    .schedule(graph, &system)
-                    .expect("schedulers handle all generated instances")
+                a.solver()
+                    .solve_unbounded(&problem)
+                    .expect("solvers handle all generated instances")
+                    .schedule
                     .schedule_length()
             })
             .collect();
@@ -206,12 +210,14 @@ pub fn heterogeneity_sweep_homogeneous_links(scale: &Scale, algos: &[Algo]) -> T
             range,
             950 + g + ri * 17,
         );
+        let problem = Problem::new(graph, &system).expect("generated instances are valid");
         let lengths: Vec<f64> = algos_vec
             .iter()
             .map(|a| {
-                a.scheduler()
-                    .schedule(graph, &system)
-                    .expect("schedulers handle all generated instances")
+                a.solver()
+                    .solve_unbounded(&problem)
+                    .expect("solvers handle all generated instances")
+                    .schedule
                     .schedule_length()
             })
             .collect();
@@ -250,16 +256,17 @@ pub fn timing_comparison(scale: &Scale, algos: &[Algo]) -> Table {
         let graphs = Suite::Random.graphs(scale, size, 1.0, 4242 + si);
         let graph = &graphs[0];
         let system = system_for(graph, TopologyKind::Ring, scale, 50.0, 4242 + si);
+        let problem = Problem::new(graph, &system).expect("generated instances are valid");
         let values = algos
             .iter()
             .map(|a| {
-                let scheduler = a.scheduler();
+                let solver = a.solver();
                 let start = std::time::Instant::now();
-                let s = scheduler
-                    .schedule(graph, &system)
-                    .expect("schedulers handle all generated instances");
+                let solution = solver
+                    .solve_unbounded(&problem)
+                    .expect("solvers handle all generated instances");
                 let elapsed = start.elapsed().as_secs_f64() * 1000.0;
-                assert!(s.schedule_length() > 0.0);
+                assert!(solution.schedule.schedule_length() > 0.0);
                 Some(elapsed)
             })
             .collect();

@@ -22,6 +22,7 @@ pub mod instances;
 pub mod report;
 pub mod runner;
 pub mod scale;
+pub mod traces;
 
 pub use report::Table;
 pub use scale::Scale;

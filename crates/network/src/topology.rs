@@ -235,12 +235,15 @@ impl Topology {
 
     /// Returns `true` if every processor can reach every other processor.
     pub fn is_connected(&self) -> bool {
-        if self.processors.is_empty() {
-            return true;
-        }
+        self.processors.is_empty() || self.reachable_from(ProcId(0)) == self.num_processors()
+    }
+
+    /// Number of processors reachable from `start` over the topology's links (including
+    /// `start` itself).
+    pub fn reachable_from(&self, start: ProcId) -> usize {
         let mut seen = vec![false; self.num_processors()];
-        let mut stack = vec![0usize];
-        seen[0] = true;
+        let mut stack = vec![start.index()];
+        seen[start.index()] = true;
         let mut count = 1;
         while let Some(u) = stack.pop() {
             for &(v, _) in self.neighbors(ProcId::from_index(u)) {
@@ -251,7 +254,7 @@ impl Topology {
                 }
             }
         }
-        count == self.num_processors()
+        count
     }
 
     /// Errors with [`TopologyError::Disconnected`] unless the topology is connected.

@@ -80,7 +80,13 @@ impl<'a> ScheduleBuilder<'a> {
         system
             .validate_for(graph)
             .map_err(ScheduleError::Mismatch)?;
-        Ok(ScheduleBuilder {
+        Ok(Self::new_prevalidated(graph, system))
+    }
+
+    /// Creates an empty builder for a pair already validated by
+    /// [`Problem::new`](crate::solver::Problem::new), skipping the re-validation.
+    pub(crate) fn new_prevalidated(graph: &'a TaskGraph, system: &'a HeterogeneousSystem) -> Self {
+        ScheduleBuilder {
             graph,
             system,
             assignment: vec![None; graph.num_tasks()],
@@ -96,7 +102,7 @@ impl<'a> ScheduleBuilder<'a> {
             scaffold: RetimeScaffold::for_problem(graph.num_tasks(), graph.num_edges()),
             retime_undo_tasks: Vec::new(),
             retime_undo_hops: Vec::new(),
-        })
+        }
     }
 
     /// The task graph being scheduled.
@@ -434,11 +440,23 @@ impl<'a> ScheduleBuilder<'a> {
     /// Finalizes the builder into an immutable [`Schedule`].
     ///
     /// Fails if some task is unplaced or some inter-processor edge lacks a route.
+    /// Legacy stringly-typed twin of [`ScheduleBuilder::finish`].
     pub fn build(self, algorithm: impl Into<String>) -> Result<Schedule, ScheduleError> {
+        self.finish(algorithm).map_err(ScheduleError::from)
+    }
+
+    /// Finalizes the builder into an immutable [`Schedule`], reporting failures as
+    /// typed [`SolveError`](crate::solver::SolveError) variants
+    /// ([`UnplacedTask`](crate::solver::SolveError::UnplacedTask),
+    /// [`MissingRoute`](crate::solver::SolveError::MissingRoute)).
+    pub fn finish(
+        self,
+        algorithm: impl Into<String>,
+    ) -> Result<Schedule, crate::solver::SolveError> {
         let mut placements = Vec::with_capacity(self.graph.num_tasks());
         for t in self.graph.task_ids() {
             let proc = self.assignment[t.index()]
-                .ok_or_else(|| ScheduleError::Internal(format!("task {t} was never placed")))?;
+                .ok_or(crate::solver::SolveError::UnplacedTask { task: t })?;
             placements.push(TaskPlacement {
                 task: t,
                 proc,
@@ -453,9 +471,7 @@ impl<'a> ScheduleBuilder<'a> {
             let dst_p = placements[edge.dst.index()].proc;
             let hops = &self.routes[e.index()];
             if src_p != dst_p && hops.is_empty() {
-                return Err(ScheduleError::Internal(format!(
-                    "edge {e} crosses processors {src_p} -> {dst_p} but has no route"
-                )));
+                return Err(crate::solver::SolveError::MissingRoute { edge: e });
             }
             routes.push(MessageRoute {
                 edge: e,

@@ -27,7 +27,12 @@
 //! [`Schedule`] can then be *validated* against the full contention model
 //! ([`validate::validate`]) and summarised ([`metrics::ScheduleMetrics`]).
 //!
-//! The crate also defines the [`Scheduler`] trait implemented by every algorithm crate.
+//! Algorithms are exposed through the **solver-session API** of [`solver`]: a
+//! [`Problem`] (graph + system, validated once) is handed to a [`Solver`] together with
+//! [`SolveOptions`] (deadline, migration budget, cancellation) and a streaming
+//! [`solver::Progress`] observer, and comes back as a [`Solution`] (schedule + metrics +
+//! [`SolveTrace`] + provenance).  The pre-session [`Scheduler`] trait survives as a
+//! deprecated shim blanket-implemented for every solver.
 
 pub mod builder;
 pub mod gantt;
@@ -36,6 +41,7 @@ pub mod metrics;
 pub mod recompute;
 pub(crate) mod scaffold;
 pub mod schedule;
+pub mod solver;
 pub mod timeline;
 pub mod txn;
 pub mod validate;
@@ -45,6 +51,11 @@ pub use incremental::RetimeStats;
 pub use metrics::ScheduleMetrics;
 pub use recompute::RecomputeError;
 pub use schedule::{MessageHop, MessageRoute, Schedule, TaskPlacement};
+pub use solver::{
+    BudgetMeter, CancelToken, EventLog, IncumbentRecord, MigrationRecord, NoProgress, Problem,
+    Progress, Provenance, RetimeTotals, Solution, SolveError, SolveEvent, SolveOptions, SolveTrace,
+    Solver, StopReason,
+};
 pub use timeline::Timeline;
 pub use txn::Txn;
 pub use validate::{validate, ValidationError};
@@ -73,6 +84,16 @@ impl std::fmt::Display for ScheduleError {
 impl std::error::Error for ScheduleError {}
 
 /// A static scheduling algorithm mapping a task graph onto a heterogeneous system.
+///
+/// Deprecated: the blocking, all-or-nothing call offers no deadlines, cancellation,
+/// progress or best-so-far answers.  Every [`Solver`] still implements this trait
+/// through a blanket shim (validate, solve unbudgeted, return the bare schedule), so
+/// existing callers keep working while they migrate.
+#[deprecated(
+    since = "0.1.0",
+    note = "use the session-based `Solver` trait (`solver::Solver`) with `Problem`, \
+            `SolveOptions` and a `Progress` observer; this shim forwards to it"
+)]
 pub trait Scheduler {
     /// Short human-readable name ("BSA", "DLS", …) used in reports.
     fn name(&self) -> &str;
@@ -90,6 +111,13 @@ pub mod prelude {
     pub use crate::builder::ScheduleBuilder;
     pub use crate::metrics::ScheduleMetrics;
     pub use crate::schedule::{MessageHop, MessageRoute, Schedule, TaskPlacement};
+    pub use crate::solver::{
+        CancelToken, NoProgress, Problem, Progress, Solution, SolveError, SolveEvent, SolveOptions,
+        SolveTrace, Solver, StopReason,
+    };
     pub use crate::validate::{validate, ValidationError};
-    pub use crate::{ScheduleError, Scheduler};
+    // The deprecated `Scheduler` shim is deliberately NOT in the prelude: `dyn Solver`
+    // implements it through the blanket impl, so importing both traits would make every
+    // `.name()` call ambiguous.  Reach it at `bsa_schedule::Scheduler` while migrating.
+    pub use crate::ScheduleError;
 }

@@ -27,18 +27,19 @@ fn main() {
             HeterogeneityRange::homogeneous(),
             &mut rng,
         );
+        let problem = Problem::new(&graph, &system).unwrap();
         let mut lengths = Vec::new();
-        for scheduler in [
-            &Dls::new() as &dyn Scheduler,
+        for solver in [
+            &Dls::new() as &dyn Solver,
             &Bsa::default(),
             &Heft::new(),
             &ContentionObliviousHeft::new(),
         ] {
-            let schedule = scheduler.schedule(&graph, &system).unwrap();
+            let schedule = solver.solve_unbounded(&problem).unwrap().schedule;
             assert!(
                 validate::validate(&schedule, &graph, &system).is_empty(),
                 "{} produced an invalid schedule",
-                scheduler.name()
+                solver.name()
             );
             lengths.push(schedule.schedule_length());
         }

@@ -1,5 +1,8 @@
-//! Quick-start example: build a small task graph by hand, schedule it on a heterogeneous
-//! ring with BSA and with DLS, validate both schedules and print Gantt charts.
+//! Quick-start example: build a small task graph by hand, validate it into a
+//! [`Problem`] once, then drive the solver-session API three ways — a blocking DLS
+//! solve, an anytime BSA solve streaming incumbents through a [`Progress`] observer,
+//! and a budgeted BSA solve that stops after a migration budget and still returns a
+//! valid incumbent.
 //!
 //! Run with `cargo run --release --example quickstart`.
 
@@ -8,6 +11,7 @@ use bsa::schedule::gantt::{render, GanttOptions};
 use bsa::schedule::validate;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::ops::ControlFlow;
 
 fn main() {
     // 1. A small pipeline-with-fan-out program: one producer, four workers, one reducer.
@@ -40,31 +44,72 @@ fn main() {
         &mut rng,
     );
 
-    // 3. Schedule with BSA (the paper's algorithm) and DLS (the baseline).
-    for scheduler in [&Bsa::default() as &dyn Scheduler, &Dls::new()] {
-        let schedule = scheduler.schedule(&graph, &system).unwrap();
-        let errors = validate::validate(&schedule, &graph, &system);
+    // 3. Validate once; the problem is then shareable across every solver below.
+    let problem = Problem::new(&graph, &system).unwrap();
+
+    // 4. A blocking solve with the DLS baseline and with BSA, via the shared roster.
+    for algo in Algo::PAPER_PAIR {
+        let solution = algo
+            .solver()
+            .solve_unbounded(&problem)
+            .expect("the quickstart instance solves cleanly");
+        let errors = validate::validate(&solution.schedule, &graph, &system);
         assert!(
             errors.is_empty(),
             "schedule must satisfy the contention model"
         );
-        let metrics = ScheduleMetrics::compute(&schedule, &graph, &system);
-        println!("\n=== {} ===", scheduler.name());
+        println!("\n=== {} ({}) ===", algo.label(), solution.stop());
         println!(
-            "schedule length {:.1}, speedup {:.2}, processors used {}, communication {:.1}",
-            metrics.schedule_length,
-            metrics.speedup,
-            metrics.processors_used,
-            metrics.total_communication_cost
+            "schedule length {:.1}, speedup {:.2}, processors used {}, communication {:.1}, \
+             solved in {:.2?}",
+            solution.metrics.schedule_length,
+            solution.metrics.speedup,
+            solution.metrics.processors_used,
+            solution.metrics.total_communication_cost,
+            solution.provenance.elapsed,
         );
         println!(
             "{}",
             render(
-                &schedule,
+                &solution.schedule,
                 &graph,
                 &system.topology,
                 &GanttOptions::default()
             )
         );
     }
+
+    // 5. Anytime BSA: stream incumbents through an observer while solving.
+    println!("=== anytime BSA: incumbents as they stream in ===");
+    let mut observer = |event: &SolveEvent| {
+        match event {
+            SolveEvent::Serialized { length } => println!("serialized, incumbent {length:.1}"),
+            SolveEvent::IncumbentImproved { length } => println!("improved to {length:.1}"),
+            _ => {}
+        }
+        ControlFlow::Continue(())
+    };
+    let streamed = Bsa::default()
+        .solve(&problem, &SolveOptions::default(), &mut observer)
+        .unwrap();
+    println!("converged at {:.1}\n", streamed.metrics.schedule_length);
+
+    // 6. Budgets: cap the solve at 2 migrations.  BSA is anytime, so the result is still
+    //    a valid (if less polished) schedule, and the provenance says why it stopped.
+    let budgeted = Bsa::new(BsaConfig::traced())
+        .solve(
+            &problem,
+            &SolveOptions::default().with_migration_budget(2),
+            &mut NoProgress,
+        )
+        .unwrap();
+    assert!(validate::validate(&budgeted.schedule, &graph, &system).is_empty());
+    println!(
+        "=== budgeted BSA === stopped: {} after {} migrations, incumbent {:.1} \
+         (unbudgeted: {:.1})",
+        budgeted.stop(),
+        budgeted.trace.num_migrations(),
+        budgeted.metrics.schedule_length,
+        streamed.metrics.schedule_length,
+    );
 }

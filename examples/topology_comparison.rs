@@ -33,8 +33,9 @@ fn main() {
             HeterogeneityRange::homogeneous(),
             &mut rng,
         );
-        let dls = Dls::new().schedule(&graph, &system).unwrap();
-        let bsa = Bsa::default().schedule(&graph, &system).unwrap();
+        let problem = Problem::new(&graph, &system).unwrap();
+        let dls = Dls::new().solve_unbounded(&problem).unwrap().schedule;
+        let bsa = Bsa::default().solve_unbounded(&problem).unwrap().schedule;
         assert!(validate::validate(&dls, &graph, &system).is_empty());
         assert!(validate::validate(&bsa, &graph, &system).is_empty());
         let m = ScheduleMetrics::compute(&bsa, &graph, &system);

@@ -12,18 +12,24 @@
 //!   random layered DAGs, the paper's worked example);
 //! * [`network`] — heterogeneous processor networks (topologies, routing tables, cost
 //!   matrices);
-//! * [`schedule`] — schedule representation, validation, metrics, Gantt rendering;
+//! * [`schedule`] — schedule representation, validation, metrics, Gantt rendering, and
+//!   the solver-session API ([`schedule::solver`]);
 //! * [`core`] — the BSA algorithm itself;
-//! * [`baselines`] — DLS, HEFT variants and reference schedulers.
+//! * [`baselines`] — DLS, HEFT variants and reference schedulers;
+//! * [`algorithms`] — the [`Algo`](algorithms::Algo) roster shared by experiments,
+//!   benches and users.
 //!
 //! ## Quick start
 //!
+//! Scheduling is exposed as a *solver session*: validate a [`Problem`](prelude::Problem)
+//! once, then solve it — optionally under a budget, streaming progress:
+//!
 //! ```
 //! use bsa::prelude::*;
+//! use std::ops::ControlFlow;
 //!
-//! // A small fork-join program.
+//! // A small fork-join program on a heterogeneous 8-processor ring.
 //! let graph = bsa::workloads::fork_join::fork_join(2, 3, &CostParams::fixed(100.0, 1.0)).unwrap();
-//! // A heterogeneous 8-processor ring.
 //! let mut rng: rand::rngs::StdRng = rand::SeedableRng::seed_from_u64(42);
 //! let system = HeterogeneousSystem::generate(
 //!     &graph,
@@ -32,13 +38,37 @@
 //!     HeterogeneityRange::homogeneous(),
 //!     &mut rng,
 //! );
-//! // Schedule with BSA and with the DLS baseline.
-//! let bsa_schedule = Bsa::default().schedule(&graph, &system).unwrap();
-//! let dls_schedule = Dls::new().schedule(&graph, &system).unwrap();
-//! assert!(bsa::schedule::validate::validate(&bsa_schedule, &graph, &system).is_empty());
-//! assert!(bsa_schedule.schedule_length() > 0.0);
-//! assert!(dls_schedule.schedule_length() > 0.0);
+//! // Validate once, share across solvers.
+//! let problem = Problem::new(&graph, &system).unwrap();
+//!
+//! // Blocking solve with the DLS baseline.
+//! let dls = Dls::new().solve_unbounded(&problem).unwrap();
+//!
+//! // Anytime BSA: stop after at most 5 migrations, watching incumbents stream in.
+//! let mut incumbents = Vec::new();
+//! let options = SolveOptions::default().with_migration_budget(5);
+//! let bsa = Bsa::default()
+//!     .solve(&problem, &options, &mut |event: &SolveEvent| {
+//!         if let SolveEvent::IncumbentImproved { length } = event {
+//!             incumbents.push(*length);
+//!         }
+//!         ControlFlow::Continue(())
+//!     })
+//!     .unwrap();
+//!
+//! // Budgeted or not, the returned incumbent is a valid contention-model schedule.
+//! assert!(bsa::schedule::validate::validate(&bsa.schedule, &graph, &system).is_empty());
+//! assert!(bsa.metrics.schedule_length > 0.0);
+//! assert!(dls.metrics.schedule_length > 0.0);
+//! // Provenance says who solved and why the solve stopped.
+//! assert_eq!(bsa.provenance.solver, "BSA");
+//! assert!(matches!(
+//!     bsa.stop(),
+//!     StopReason::Converged | StopReason::MigrationBudgetExhausted
+//! ));
 //! ```
+
+pub mod algorithms;
 
 pub use bsa_baselines as baselines;
 pub use bsa_core as core;
@@ -56,7 +86,15 @@ pub mod prelude {
         CommCostModel, ExecutionCostMatrix, HeterogeneityRange, HeterogeneousSystem, LinkId,
         ProcId, RoutingTable, Topology,
     };
-    pub use bsa_schedule::{Schedule, ScheduleMetrics, Scheduler};
+    // The deprecated `Scheduler` shim is deliberately NOT re-exported here: `dyn
+    // Solver` implements it through the blanket impl, so importing both traits would
+    // make every `.name()` call ambiguous.  Reach it at `bsa::schedule::Scheduler`
+    // while migrating.
+    pub use crate::algorithms::Algo;
+    pub use bsa_schedule::{
+        CancelToken, NoProgress, Problem, Progress, Schedule, ScheduleError, ScheduleMetrics,
+        Solution, SolveError, SolveEvent, SolveOptions, SolveTrace, Solver, StopReason,
+    };
     pub use bsa_taskgraph::{EdgeId, GraphLevels, GraphStats, TaskGraph, TaskGraphBuilder, TaskId};
     pub use bsa_workloads::prelude::*;
 }

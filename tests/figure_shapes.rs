@@ -48,14 +48,17 @@ fn average_lengths(
             HeterogeneityRange::new(1.0, hetero),
             &mut rng,
         );
+        let problem = Problem::new(&graph, &system).unwrap();
         dls_sum += Dls::new()
-            .schedule(&graph, &system)
+            .solve_unbounded(&problem)
             .unwrap()
-            .schedule_length();
+            .metrics
+            .schedule_length;
         bsa_sum += Bsa::default()
-            .schedule(&graph, &system)
+            .solve_unbounded(&problem)
             .unwrap()
-            .schedule_length();
+            .metrics
+            .schedule_length;
         count += 1.0;
     }
     (dls_sum / count, bsa_sum / count)
@@ -152,14 +155,17 @@ fn contention_awareness_pays_off_at_low_granularity_on_the_ring() {
             HeterogeneityRange::DEFAULT,
             &mut rng,
         );
+        let problem = Problem::new(&graph, &system).unwrap();
         aware_sum += Heft::new()
-            .schedule(&graph, &system)
+            .solve_unbounded(&problem)
             .unwrap()
-            .schedule_length();
+            .metrics
+            .schedule_length;
         oblivious_sum += ContentionObliviousHeft::new()
-            .schedule(&graph, &system)
+            .solve_unbounded(&problem)
             .unwrap()
-            .schedule_length();
+            .metrics
+            .schedule_length;
     }
     assert!(
         aware_sum < oblivious_sum,

@@ -54,7 +54,10 @@ fn bsa_beats_both_the_serialized_schedule_and_dls_on_the_worked_example() {
     let (bsa_schedule, trace) = Bsa::new(BsaConfig::traced())
         .schedule_with_trace(&graph, &system)
         .unwrap();
-    let dls_schedule = Dls::new().schedule(&graph, &system).unwrap();
+    let dls_schedule = Dls::new()
+        .solve_unbounded(&Problem::new(&graph, &system).unwrap())
+        .unwrap()
+        .schedule;
 
     assert!(validate::validate(&bsa_schedule, &graph, &system).is_empty());
     assert!(validate::validate(&dls_schedule, &graph, &system).is_empty());
@@ -87,15 +90,16 @@ fn bsa_beats_both_the_serialized_schedule_and_dls_on_the_worked_example() {
 #[test]
 fn every_scheduler_produces_a_valid_schedule_on_the_worked_example() {
     let (graph, system) = paper_instance();
-    let schedulers: Vec<Box<dyn Scheduler>> = vec![
+    let problem = Problem::new(&graph, &system).unwrap();
+    let solvers: Vec<Box<dyn Solver>> = vec![
         Box::new(Bsa::default()),
         Box::new(Dls::new()),
         Box::new(Heft::new()),
         Box::new(ContentionObliviousHeft::new()),
         Box::new(SerialScheduler::new()),
     ];
-    for s in schedulers {
-        let schedule = s.schedule(&graph, &system).unwrap();
+    for s in solvers {
+        let schedule = s.solve_unbounded(&problem).unwrap().schedule;
         let errors = validate::validate(&schedule, &graph, &system);
         assert!(errors.is_empty(), "{}: {errors:?}", s.name());
         assert!(schedule.schedule_length() <= 238.0 + 1e-9);
@@ -105,7 +109,10 @@ fn every_scheduler_produces_a_valid_schedule_on_the_worked_example() {
 #[test]
 fn gantt_rendering_of_the_worked_example_is_plausible() {
     let (graph, system) = paper_instance();
-    let schedule = Bsa::default().schedule(&graph, &system).unwrap();
+    let schedule = Bsa::default()
+        .solve_unbounded(&Problem::new(&graph, &system).unwrap())
+        .unwrap()
+        .schedule;
     let text = bsa::schedule::gantt::render(
         &schedule,
         &graph,

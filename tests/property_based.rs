@@ -87,10 +87,11 @@ proptest! {
             HeterogeneityRange::homogeneous(),
             &mut rng,
         );
-        for scheduler in [&Bsa::default() as &dyn Scheduler, &Dls::new()] {
-            let schedule = scheduler.schedule(&graph, &system).unwrap();
+        let problem = Problem::new(&graph, &system).unwrap();
+        for solver in [&Bsa::default() as &dyn Solver, &Dls::new()] {
+            let schedule = solver.solve_unbounded(&problem).unwrap().schedule;
             let errors = validate::validate(&schedule, &graph, &system);
-            prop_assert!(errors.is_empty(), "{}: {:?}", scheduler.name(), &errors[..errors.len().min(3)]);
+            prop_assert!(errors.is_empty(), "{}: {:?}", solver.name(), &errors[..errors.len().min(3)]);
             // The schedule length is the max finish time.
             let max_finish = graph
                 .task_ids()
@@ -198,8 +199,9 @@ proptest! {
             HeterogeneityRange::homogeneous(),
             &mut rng,
         );
-        let incremental = Bsa::default().schedule(&graph, &system).unwrap();
-        let oracle = Bsa::new(BsaConfig::full_retiming()).schedule(&graph, &system).unwrap();
+        let problem = Problem::new(&graph, &system).unwrap();
+        let incremental = Bsa::default().solve_unbounded(&problem).unwrap().schedule;
+        let oracle = Bsa::new(BsaConfig::full_retiming()).solve_unbounded(&problem).unwrap().schedule;
         prop_assert_eq!(incremental.schedule_length(), oracle.schedule_length());
         for t in graph.task_ids() {
             prop_assert_eq!(incremental.proc_of(t), oracle.proc_of(t));

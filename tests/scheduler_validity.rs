@@ -7,7 +7,7 @@ use bsa::schedule::validate;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-fn schedulers() -> Vec<Box<dyn Scheduler>> {
+fn solvers() -> Vec<Box<dyn Solver>> {
     vec![
         Box::new(Bsa::default()),
         Box::new(Bsa::new(BsaConfig::without_vip_rule())),
@@ -20,8 +20,9 @@ fn schedulers() -> Vec<Box<dyn Scheduler>> {
 
 fn check_all(graph: &TaskGraph, system: &HeterogeneousSystem) {
     let serial = system.best_serial_length(graph);
-    for s in schedulers() {
-        let schedule = s.schedule(graph, system).unwrap();
+    let problem = Problem::new(graph, system).unwrap();
+    for s in solvers() {
+        let schedule = s.solve_unbounded(&problem).unwrap().schedule;
         let errors = validate::validate(&schedule, graph, system);
         assert!(
             errors.is_empty(),
@@ -132,8 +133,9 @@ fn single_processor_systems_degenerate_to_serial_schedules() {
         HeterogeneityRange::homogeneous(),
         &mut rng,
     );
-    for s in schedulers() {
-        let schedule = s.schedule(&graph, &system).unwrap();
+    let problem = Problem::new(&graph, &system).unwrap();
+    for s in solvers() {
+        let schedule = s.solve_unbounded(&problem).unwrap().schedule;
         assert!(validate::validate(&schedule, &graph, &system).is_empty());
         assert!((schedule.schedule_length() - system.best_serial_length(&graph)).abs() < 1e-6);
         assert_eq!(schedule.num_remote_messages(), 0);

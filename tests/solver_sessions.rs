@@ -1,0 +1,431 @@
+//! Cross-crate tests of the solver-session API: budget semantics, cancellation,
+//! streaming progress, provenance, and equivalence with the legacy blocking path.
+//!
+//! The two core contracts pinned here:
+//!
+//! 1. **anytime validity** — a BSA solve stopped by *any* budget (deadline, migration
+//!    budget, cancellation, observer) returns an incumbent that passes the full
+//!    contention-model validation, on every workload generator in the workspace;
+//! 2. **legacy equivalence** — an unlimited-budget solve is bit-identical (processor,
+//!    start and finish of every task) to the deprecated `Scheduler::schedule` path for
+//!    every roster algorithm.
+
+use bsa::prelude::*;
+use bsa::schedule::validate;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::ops::ControlFlow;
+use std::time::Duration;
+
+fn paper_instance() -> (TaskGraph, HeterogeneousSystem) {
+    let graph = bsa::workloads::paper_example::figure1_graph();
+    let exec = ExecutionCostMatrix::from_rows(&bsa::workloads::paper_example::table1_rows());
+    let topology = bsa::network::builders::ring(4).unwrap();
+    let comm = CommCostModel::homogeneous(&topology);
+    (graph, HeterogeneousSystem::new(topology, exec, comm))
+}
+
+fn random_instance(seed: u64) -> (TaskGraph, HeterogeneousSystem) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let graph = bsa::workloads::random_dag::paper_random_graph(60, 1.0, &mut rng).unwrap();
+    let system = HeterogeneousSystem::generate(
+        &graph,
+        bsa::network::builders::hypercube_for(8).unwrap(),
+        HeterogeneityRange::DEFAULT,
+        HeterogeneityRange::homogeneous(),
+        &mut rng,
+    );
+    (graph, system)
+}
+
+/// Every graph generator in the workspace, at small sizes.
+fn all_workloads() -> Vec<(&'static str, TaskGraph)> {
+    let mut rng = StdRng::seed_from_u64(0xA27);
+    let p = CostParams::paper(1.0);
+    let mut graphs: Vec<(&'static str, TaskGraph)> = vec![
+        (
+            "random",
+            bsa::workloads::random_dag::paper_random_graph(50, 1.0, &mut rng).unwrap(),
+        ),
+        ("fft", bsa::workloads::fft::fft(3, &p).unwrap()),
+        (
+            "stencil",
+            bsa::workloads::stencil::stencil_1d(6, 5, &p).unwrap(),
+        ),
+        (
+            "fork_join",
+            bsa::workloads::fork_join::fork_join(3, 5, &p).unwrap(),
+        ),
+        ("in_tree", bsa::workloads::tree::in_tree(2, 5, &p).unwrap()),
+        (
+            "out_tree",
+            bsa::workloads::tree::out_tree(3, 4, &p).unwrap(),
+        ),
+        (
+            "mva",
+            bsa::workloads::mva::mean_value_analysis(7, &p).unwrap(),
+        ),
+        (
+            "paper_example",
+            bsa::workloads::paper_example::figure1_graph(),
+        ),
+    ];
+    for app in RegularApp::ALL {
+        graphs.push((app.label(), app.build_for_size(50, &p).unwrap()));
+    }
+    graphs
+}
+
+fn schedules_identical(graph: &TaskGraph, a: &Schedule, b: &Schedule) -> bool {
+    graph.task_ids().all(|t| {
+        a.proc_of(t) == b.proc_of(t)
+            && a.start_of(t) == b.start_of(t)
+            && a.finish_of(t) == b.finish_of(t)
+    }) && a.schedule_length() == b.schedule_length()
+}
+
+#[test]
+fn budgeted_solves_return_valid_incumbents_on_every_workload_generator() {
+    let mut rng = StdRng::seed_from_u64(17);
+    for (name, graph) in all_workloads() {
+        let system = HeterogeneousSystem::generate(
+            &graph,
+            bsa::network::builders::hypercube_for(8).unwrap(),
+            HeterogeneityRange::DEFAULT,
+            HeterogeneityRange::homogeneous(),
+            &mut rng,
+        );
+        let problem = Problem::new(&graph, &system).unwrap();
+        // A migration budget of 1 and an already-expired deadline both stop mid-run;
+        // the incumbent must still satisfy the full contention model.
+        for (options, expected) in [
+            (
+                SolveOptions::default().with_migration_budget(1),
+                StopReason::MigrationBudgetExhausted,
+            ),
+            (
+                SolveOptions::default().with_deadline(Duration::ZERO),
+                StopReason::DeadlineExpired,
+            ),
+        ] {
+            let solution = Bsa::default()
+                .solve(&problem, &options, &mut NoProgress)
+                .unwrap();
+            assert_eq!(solution.stop(), expected, "{name}");
+            assert_eq!(solution.trace.stop, expected, "{name}");
+            let errors = validate::validate(&solution.schedule, &graph, &system);
+            assert!(
+                errors.is_empty(),
+                "{name}: budgeted incumbent invalid: {:?}",
+                &errors[..errors.len().min(3)]
+            );
+        }
+    }
+}
+
+#[test]
+fn unlimited_solves_are_bit_identical_to_the_legacy_scheduler_path() {
+    #[allow(deprecated)]
+    use bsa::schedule::Scheduler;
+    for (name, (graph, system)) in [
+        ("paper_example", paper_instance()),
+        ("random_dag", random_instance(0xB5A)),
+    ] {
+        let problem = Problem::new(&graph, &system).unwrap();
+        for algo in Algo::ALL {
+            let session = algo.solver().solve_unbounded(&problem).unwrap().schedule;
+            #[allow(deprecated)]
+            let legacy = Scheduler::schedule(&*algo.solver(), &graph, &system).unwrap();
+            assert!(
+                schedules_identical(&graph, &session, &legacy),
+                "{algo} diverged from the legacy path on {name}"
+            );
+        }
+    }
+}
+
+#[test]
+fn migration_budget_stops_early_and_reports_why() {
+    let (graph, system) = paper_instance();
+    let problem = Problem::new(&graph, &system).unwrap();
+    let unbounded = Bsa::new(BsaConfig::traced())
+        .solve_unbounded(&problem)
+        .unwrap();
+    assert_eq!(unbounded.stop(), StopReason::Converged);
+    assert!(unbounded.trace.num_migrations() > 1);
+
+    let budgeted = Bsa::new(BsaConfig::traced())
+        .solve(
+            &problem,
+            &SolveOptions::default().with_migration_budget(1),
+            &mut NoProgress,
+        )
+        .unwrap();
+    assert_eq!(budgeted.stop(), StopReason::MigrationBudgetExhausted);
+    assert_eq!(budgeted.trace.num_migrations(), 1);
+    assert!(validate::validate(&budgeted.schedule, &graph, &system).is_empty());
+    // One migration cannot beat the converged schedule.  (It can transiently *worsen*
+    // the makespan — a migration improves the migrating task's finish time, not the
+    // global maximum — which is exactly why the incumbent-validity guarantee above is
+    // the contract, not monotone makespan.)
+    assert!(budgeted.metrics.schedule_length >= unbounded.metrics.schedule_length);
+}
+
+#[test]
+fn migration_budget_zero_returns_the_serialized_schedule() {
+    let (graph, system) = paper_instance();
+    let problem = Problem::new(&graph, &system).unwrap();
+    let solution = Bsa::default()
+        .solve(
+            &problem,
+            &SolveOptions::default().with_migration_budget(0),
+            &mut NoProgress,
+        )
+        .unwrap();
+    assert_eq!(solution.stop(), StopReason::MigrationBudgetExhausted);
+    // Serialization on P2 is 238; nothing migrated.
+    assert_eq!(solution.metrics.schedule_length, 238.0);
+    assert_eq!(solution.trace.serialized_length, Some(238.0));
+    assert!(validate::validate(&solution.schedule, &graph, &system).is_empty());
+}
+
+#[test]
+fn cancellation_stops_bsa_and_aborts_constructive_solvers() {
+    let (graph, system) = random_instance(7);
+    let problem = Problem::new(&graph, &system).unwrap();
+    let token = CancelToken::new();
+    token.cancel();
+    let options = SolveOptions::default().with_cancel(token);
+
+    // Anytime BSA returns its serialized incumbent.
+    let bsa = Bsa::default()
+        .solve(&problem, &options, &mut NoProgress)
+        .unwrap();
+    assert_eq!(bsa.stop(), StopReason::Cancelled);
+    assert!(validate::validate(&bsa.schedule, &graph, &system).is_empty());
+
+    // Constructive solvers have nothing feasible to return.
+    for solver in [
+        &Dls::new() as &dyn Solver,
+        &Heft::new(),
+        &SerialScheduler::new(),
+    ] {
+        let err = solver
+            .solve(&problem, &options, &mut NoProgress)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            SolveError::BudgetExhaustedBeforeFeasible {
+                stop: StopReason::Cancelled
+            },
+            "{}",
+            solver.name()
+        );
+    }
+}
+
+#[test]
+fn constructive_solvers_ignore_the_migration_budget() {
+    // `SolveOptions::max_migrations` is BSA's unit of iteration; solvers without a
+    // migration loop are documented to ignore it — even a budget of 0 must not abort
+    // them.
+    let (graph, system) = paper_instance();
+    let problem = Problem::new(&graph, &system).unwrap();
+    let options = SolveOptions::default().with_migration_budget(0);
+    for solver in [
+        &Dls::new() as &dyn Solver,
+        &Heft::new(),
+        &ContentionObliviousHeft::new(),
+        &SerialScheduler::new(),
+    ] {
+        let solution = solver.solve(&problem, &options, &mut NoProgress).unwrap();
+        assert_eq!(solution.stop(), StopReason::Converged, "{}", solver.name());
+        assert!(validate::validate(&solution.schedule, &graph, &system).is_empty());
+    }
+}
+
+#[test]
+fn an_observer_break_on_the_last_placement_still_returns_the_complete_schedule() {
+    // Stopping a constructive solver once everything is placed is not "before
+    // feasible": the finished schedule comes back with the observer stop recorded.
+    let (graph, system) = paper_instance();
+    let problem = Problem::new(&graph, &system).unwrap();
+    let n = graph.num_tasks();
+    let mut placed = 0usize;
+    let solution = Dls::new()
+        .solve(
+            &problem,
+            &SolveOptions::default(),
+            &mut |event: &SolveEvent| {
+                if matches!(event, SolveEvent::TaskPlaced { .. }) {
+                    placed += 1;
+                    if placed == n {
+                        return ControlFlow::Break(());
+                    }
+                }
+                ControlFlow::Continue(())
+            },
+        )
+        .unwrap();
+    assert_eq!(solution.stop(), StopReason::ObserverStopped);
+    assert!(validate::validate(&solution.schedule, &graph, &system).is_empty());
+
+    // Breaking mid-build still aborts: no feasible schedule exists yet.
+    let err = Dls::new()
+        .solve(&problem, &SolveOptions::default(), &mut |_: &SolveEvent| {
+            ControlFlow::Break(())
+        })
+        .unwrap_err();
+    assert_eq!(
+        err,
+        SolveError::BudgetExhaustedBeforeFeasible {
+            stop: StopReason::ObserverStopped
+        }
+    );
+}
+
+#[test]
+fn a_maximal_deadline_behaves_as_unlimited() {
+    // `Duration::MAX` as "effectively no deadline" must not panic on the
+    // instant-plus-duration addition and must run to convergence.
+    let (graph, system) = paper_instance();
+    let problem = Problem::new(&graph, &system).unwrap();
+    let solution = Bsa::default()
+        .solve(
+            &problem,
+            &SolveOptions::default().with_deadline(Duration::MAX),
+            &mut NoProgress,
+        )
+        .unwrap();
+    assert_eq!(solution.stop(), StopReason::Converged);
+}
+
+#[test]
+fn an_observer_can_stop_the_solve_after_the_first_migration() {
+    let (graph, system) = paper_instance();
+    let problem = Problem::new(&graph, &system).unwrap();
+    let mut migrations_seen = 0usize;
+    let solution = Bsa::new(BsaConfig::traced())
+        .solve(
+            &problem,
+            &SolveOptions::default(),
+            &mut |event: &SolveEvent| {
+                if matches!(event, SolveEvent::MigrationAccepted { .. }) {
+                    migrations_seen += 1;
+                    return ControlFlow::Break(());
+                }
+                ControlFlow::Continue(())
+            },
+        )
+        .unwrap();
+    assert_eq!(migrations_seen, 1);
+    assert_eq!(solution.stop(), StopReason::ObserverStopped);
+    assert_eq!(solution.trace.num_migrations(), 1);
+    assert!(validate::validate(&solution.schedule, &graph, &system).is_empty());
+}
+
+#[test]
+fn the_event_stream_matches_the_trace() {
+    let (graph, system) = paper_instance();
+    let problem = Problem::new(&graph, &system).unwrap();
+    let mut log = bsa::schedule::EventLog::default();
+    let solution = Bsa::new(BsaConfig::traced())
+        .solve(&problem, &SolveOptions::default(), &mut log)
+        .unwrap();
+    let serialized = log
+        .events
+        .iter()
+        .filter(|e| matches!(e, SolveEvent::Serialized { .. }))
+        .count();
+    let pivots = log
+        .events
+        .iter()
+        .filter(|e| matches!(e, SolveEvent::PivotStarted { .. }))
+        .count();
+    let migrations = log
+        .events
+        .iter()
+        .filter(|e| matches!(e, SolveEvent::MigrationAccepted { .. }))
+        .count();
+    assert_eq!(serialized, 1);
+    assert!(pivots >= system.num_processors());
+    assert_eq!(migrations, solution.trace.num_migrations());
+    // Incumbent improvements arrive in strictly decreasing order and are mirrored in
+    // the trace.
+    let improvements: Vec<f64> = log
+        .events
+        .iter()
+        .filter_map(|e| match e {
+            SolveEvent::IncumbentImproved { length } => Some(*length),
+            _ => None,
+        })
+        .collect();
+    assert!(improvements.windows(2).all(|w| w[1] < w[0]));
+    assert_eq!(improvements.len(), solution.trace.incumbents.len());
+    if let Some(last) = improvements.last() {
+        assert_eq!(*last, solution.metrics.schedule_length);
+    }
+}
+
+#[test]
+fn provenance_records_solver_config_elapsed_and_seed() {
+    let (graph, system) = paper_instance();
+    let problem = Problem::new(&graph, &system).unwrap();
+    let solution = Bsa::default()
+        .solve(
+            &problem,
+            &SolveOptions::default().with_seed(42),
+            &mut NoProgress,
+        )
+        .unwrap();
+    assert_eq!(solution.provenance.solver, "BSA");
+    assert!(solution.provenance.config.contains("pivot_strategy"));
+    assert_eq!(solution.provenance.seed, Some(42));
+    assert_eq!(solution.provenance.stop, StopReason::Converged);
+
+    let dls = Dls::new().solve_unbounded(&problem).unwrap();
+    assert_eq!(dls.provenance.solver, "DLS");
+    assert_eq!(dls.trace.solver, "DLS");
+    assert_eq!(dls.trace.final_length, dls.metrics.schedule_length);
+}
+
+#[test]
+fn solve_trace_serializes_the_stop_reason_and_incumbents() {
+    let (graph, system) = paper_instance();
+    let problem = Problem::new(&graph, &system).unwrap();
+    let solution = Bsa::new(BsaConfig::traced())
+        .solve(
+            &problem,
+            &SolveOptions::default().with_migration_budget(2),
+            &mut NoProgress,
+        )
+        .unwrap();
+    let json = solution.trace.to_json();
+    assert!(json.starts_with('{') && json.ends_with('}'));
+    assert!(json.contains("\"solver\": \"BSA\""));
+    assert!(json.contains("\"stop\": \"migration_budget_exhausted\""));
+    assert!(json.contains("\"serialized_length\": 238"));
+    assert!(json.contains("\"migrations\": ["));
+}
+
+#[test]
+fn problem_validation_failures_are_typed() {
+    let (graph, system) = paper_instance();
+    let (other_graph, _) = random_instance(3);
+    assert!(matches!(
+        Problem::new(&other_graph, &system),
+        Err(SolveError::Mismatch { .. })
+    ));
+    // A disconnected 3-processor topology is rejected up front.
+    let disconnected = Topology::new("pair", 3, &[(0, 1)]).unwrap();
+    let exec = ExecutionCostMatrix::homogeneous(&graph, 3);
+    let comm = CommCostModel::homogeneous(&disconnected);
+    let system2 = HeterogeneousSystem::new(disconnected, exec, comm);
+    assert!(matches!(
+        Problem::new(&graph, &system2),
+        Err(SolveError::DisconnectedSystem {
+            processors: 3,
+            reachable: 2
+        })
+    ));
+}
