@@ -18,10 +18,14 @@
 //! Tasks are appended to processors (no insertion) — this is the original formulation and
 //! matches the ICPP'99 paper's characterisation of DLS as choosing "a task whose potential
 //! start time is the earliest" with "the largest b-level".
+//!
+//! Routing is pluggable: the [`bsa_network::CommModel`] is built from
+//! [`SolveOptions::route_policy`], so the same DLS can route by hop count (the
+//! default, the classical behaviour) or by actual transfer time.
 
 use crate::message_router::{commit_route, data_available_time, route_message};
 use crate::session::{assemble, check_budget, emit, observer_outcome};
-use bsa_network::{HeterogeneousSystem, ProcId, RoutingTable};
+use bsa_network::{CommModel, HeterogeneousSystem, ProcId, RoutePolicy};
 use bsa_schedule::solver::{
     BudgetMeter, Problem, Progress, Solution, SolveError, SolveEvent, SolveOptions, Solver,
 };
@@ -30,9 +34,11 @@ use bsa_taskgraph::{GraphLevels, TaskId};
 /// The DLS scheduler.
 #[derive(Debug, Clone, Default)]
 pub struct Dls {
-    /// Use E-cube routing instead of BFS shortest paths when the topology is a hypercube.
-    /// Both are shortest, so this only affects tie-breaking among routes; kept for parity
-    /// with the paper's remark about static routing schemes.
+    /// Use E-cube routing instead of BFS shortest paths when the topology is a hypercube
+    /// and the options carry the default policy.  Both are shortest, so this only
+    /// affects tie-breaking among routes; kept for parity with the paper's remark about
+    /// static routing schemes.  An explicit non-default
+    /// [`SolveOptions::route_policy`] wins over this flag.
     pub use_ecube_on_hypercubes: bool,
 }
 
@@ -42,16 +48,15 @@ impl Dls {
         Self::default()
     }
 
-    fn routing_table(&self, system: &HeterogeneousSystem) -> RoutingTable {
-        let m = system.num_processors();
-        if self.use_ecube_on_hypercubes
-            && m.is_power_of_two()
-            && system.topology.num_links() == m * m.trailing_zeros() as usize / 2
-        {
-            RoutingTable::ecube(&system.topology)
-        } else {
-            RoutingTable::shortest_paths(&system.topology)
-        }
+    fn comm_model(&self, system: &HeterogeneousSystem, options: &SolveOptions) -> CommModel {
+        let policy =
+            if self.use_ecube_on_hypercubes && options.route_policy == RoutePolicy::ShortestHop {
+                // `CommModel::build` falls back to shortest-hop off hypercubes.
+                RoutePolicy::ECube
+            } else {
+                options.route_policy
+            };
+        system.comm_model(policy)
     }
 }
 
@@ -70,7 +75,7 @@ impl Solver for Dls {
         let graph = problem.graph();
         let system = problem.system();
         let mut builder = problem.builder();
-        let table = self.routing_table(system);
+        let table = self.comm_model(system, options);
         let n = graph.num_tasks();
 
         // Static levels over median execution costs (communication ignored).

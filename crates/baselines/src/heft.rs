@@ -16,7 +16,7 @@
 
 use crate::message_router::{commit_route, route_message};
 use crate::session::{assemble, check_budget, emit, observer_outcome};
-use bsa_network::{HeterogeneousSystem, ProcId, RoutingTable};
+use bsa_network::{HeterogeneousSystem, ProcId};
 use bsa_schedule::solver::{
     BudgetMeter, Problem, Progress, Solution, SolveError, SolveEvent, SolveOptions, Solver,
 };
@@ -80,7 +80,7 @@ impl Solver for Heft {
         let graph = problem.graph();
         let system = problem.system();
         let mut builder = problem.builder();
-        let table = RoutingTable::shortest_paths(&system.topology);
+        let table = system.comm_model(options.route_policy);
         let order = priority_order(graph, system);
 
         // HEFT's rank order is a valid topological order (rank strictly decreases along
@@ -234,7 +234,7 @@ impl Solver for ContentionObliviousHeft {
         let graph = problem.graph();
         let system = problem.system();
         let (assignment, ideal_start) = self.decide(graph, system);
-        let table = RoutingTable::shortest_paths(&system.topology);
+        let table = system.comm_model(options.route_policy);
         let mut builder = problem.builder();
 
         // Re-simulate under the contention model: keep the assignment and the per-processor

@@ -5,8 +5,10 @@
 //! * [`dls::Dls`] — **Dynamic Level Scheduling** (Sih & Lee, IEEE TPDS 1993), the algorithm
 //!   the paper compares BSA against.  A greedy list scheduler that repeatedly picks the
 //!   (ready task, processor) pair with the largest *dynamic level*
-//!   `DL(t,p) = SL(t) − max(DA(t,p), TF(p)) + Δ(t,p)`, routes the task's messages along a
-//!   pre-computed shortest-path routing table, and books contention-free link slots.
+//!   `DL(t,p) = SL(t) − max(DA(t,p), TF(p)) + Δ(t,p)`, routes the task's messages along
+//!   the pre-computed table of the solve's routing policy
+//!   (`SolveOptions::route_policy` — hop-count by default, cost-aware on request), and
+//!   books contention-free link slots.
 //! * [`heft::Heft`] — **HEFT** (Topcuoglu et al.) adapted to the contention model: tasks in
 //!   descending upward rank, each placed on the processor minimising its earliest finish
 //!   time with insertion, messages routed and booked like DLS.  Not part of the paper but a

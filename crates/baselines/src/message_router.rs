@@ -1,225 +1,8 @@
-//! Routing-table-based message scheduling shared by the list-scheduling baselines.
+//! Compatibility re-export of the shared routing helpers.
 //!
-//! DLS and HEFT decide task placements one task at a time; whenever a task is placed on a
-//! processor different from one of its predecessors, the message must travel along the
-//! pre-computed shortest-hop route, occupying each link of the route in turn.  The helpers
-//! here compute the hop bookings either *tentatively* (for evaluating a candidate
-//! processor) or *for real* (mutating the builder's link timelines).
-//!
-//! Tentative bookings run on the builder's speculative kernel
-//! ([`ScheduleBuilder::speculate`] + [`ScheduleBuilder::push_hop`]): the hops are booked
-//! for real inside a transaction that is always rolled back, so each hop of the route
-//! sees the contention created by the hops before it — the same primitives BSA's
-//! migration loop uses, instead of a hand-rolled non-mutating re-implementation.
+//! The table-driven message booking the baselines pioneered moved to
+//! [`bsa_schedule::router`] when the communication layer became pluggable, so that
+//! BSA's cost-aware reroutes and the baselines run on literally the same code.  This
+//! module keeps the old import path alive.
 
-use bsa_network::{ProcId, RoutingTable};
-use bsa_schedule::schedule::MessageHop;
-use bsa_schedule::ScheduleBuilder;
-use bsa_taskgraph::EdgeId;
-
-/// Computes the hop schedule of sending edge `e` from `src_proc` to `dst_proc`, starting no
-/// earlier than `ready`, against the builder's *current* link timelines.
-///
-/// Returns the hops (with concrete start/finish times) and the arrival time at `dst_proc`.
-/// When `src_proc == dst_proc` the result is an empty route arriving at `ready`.
-///
-/// The hops are booked speculatively and rolled back before returning, so the builder is
-/// unchanged; callers that commit the decision must call [`commit_route`] with the
-/// returned hops (the gaps used are still free at commit time within the same scheduling
-/// step).
-pub fn route_message(
-    builder: &mut ScheduleBuilder<'_>,
-    table: &RoutingTable,
-    e: EdgeId,
-    src_proc: ProcId,
-    dst_proc: ProcId,
-    ready: f64,
-) -> (Vec<MessageHop>, f64) {
-    if src_proc == dst_proc {
-        return (Vec::new(), ready);
-    }
-    let links = table
-        .route(&builder.system().topology, src_proc, dst_proc)
-        .expect("routing table covers connected topologies");
-    builder.speculate(|b| {
-        // The edge may already carry a committed route (re-routing scenarios); the
-        // speculation books the candidate from scratch and the rollback restores it.
-        b.clear_route(e);
-        let mut cursor = ready;
-        let mut at = src_proc;
-        for link in links {
-            let next = b
-                .system()
-                .topology
-                .link(link)
-                .other_end(at)
-                .expect("route links are adjacent to the current processor");
-            let dur = b.transfer_time(link, e);
-            let start = b.earliest_link_slot(link, cursor, dur);
-            b.push_hop(
-                e,
-                MessageHop {
-                    link,
-                    from: at,
-                    to: next,
-                    start,
-                    finish: start + dur,
-                },
-            );
-            cursor = start + dur;
-            at = next;
-        }
-        (b.route(e).to_vec(), cursor)
-    })
-}
-
-/// Books the hops returned by [`route_message`] on the builder's link timelines.
-pub fn commit_route(builder: &mut ScheduleBuilder<'_>, e: EdgeId, hops: Vec<MessageHop>) {
-    if hops.is_empty() {
-        builder.clear_route(e);
-    } else {
-        builder.set_route(e, hops);
-    }
-}
-
-/// Data-available time of task `t` on processor `p`: the latest arrival over all incoming
-/// messages, each routed from its producer's processor (speculatively — the builder is
-/// left unchanged).
-///
-/// Every predecessor of `t` must already be placed.
-pub fn data_available_time(
-    builder: &mut ScheduleBuilder<'_>,
-    table: &RoutingTable,
-    t: bsa_taskgraph::TaskId,
-    p: ProcId,
-) -> f64 {
-    let graph = builder.graph();
-    let mut da = 0.0f64;
-    for &eid in graph.in_edges(t) {
-        let e = graph.edge(eid);
-        let sp = builder
-            .proc_of(e.src)
-            .expect("predecessors must be scheduled before their successors");
-        let ready = builder.finish_of(e.src);
-        let (_, arrival) = route_message(builder, table, eid, sp, p, ready);
-        da = da.max(arrival);
-    }
-    da
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use bsa_network::builders::ring;
-    use bsa_network::HeterogeneousSystem;
-    use bsa_taskgraph::{TaskGraph, TaskGraphBuilder, TaskId};
-
-    fn pair() -> TaskGraph {
-        let mut b = TaskGraphBuilder::new();
-        let a = b.add_task("A", 10.0);
-        let c = b.add_task("B", 10.0);
-        b.add_edge(a, c, 4.0).unwrap();
-        b.build().unwrap()
-    }
-
-    #[test]
-    fn local_route_is_empty_and_arrives_at_ready() {
-        let g = pair();
-        let sys = HeterogeneousSystem::homogeneous(&g, ring(4).unwrap());
-        let mut builder = ScheduleBuilder::new(&g, &sys).unwrap();
-        let table = RoutingTable::shortest_paths(&sys.topology);
-        let (hops, arrival) =
-            route_message(&mut builder, &table, EdgeId(0), ProcId(2), ProcId(2), 33.0);
-        assert!(hops.is_empty());
-        assert_eq!(arrival, 33.0);
-    }
-
-    #[test]
-    fn multi_hop_route_is_store_and_forward() {
-        let g = pair();
-        let sys = HeterogeneousSystem::homogeneous(&g, ring(4).unwrap());
-        let mut builder = ScheduleBuilder::new(&g, &sys).unwrap();
-        let table = RoutingTable::shortest_paths(&sys.topology);
-        // P0 -> P2 needs two hops on an otherwise empty 4-ring.
-        let (hops, arrival) =
-            route_message(&mut builder, &table, EdgeId(0), ProcId(0), ProcId(2), 10.0);
-        assert_eq!(hops.len(), 2);
-        assert_eq!(hops[0].start, 10.0);
-        assert_eq!(hops[0].finish, 14.0);
-        assert_eq!(hops[1].start, 14.0);
-        assert_eq!(hops[1].finish, 18.0);
-        assert_eq!(arrival, 18.0);
-        assert_eq!(hops[0].from, ProcId(0));
-        assert_eq!(hops[1].to, ProcId(2));
-    }
-
-    #[test]
-    fn routing_respects_existing_link_traffic() {
-        // Two edges so one can block the other.
-        let mut b = TaskGraphBuilder::new();
-        let a = b.add_task("A", 10.0);
-        let c = b.add_task("B", 10.0);
-        let d = b.add_task("C", 10.0);
-        b.add_edge(a, c, 4.0).unwrap();
-        b.add_edge(a, d, 4.0).unwrap();
-        let g = b.build().unwrap();
-        let sys = HeterogeneousSystem::homogeneous(&g, ring(4).unwrap());
-        let mut builder = ScheduleBuilder::new(&g, &sys).unwrap();
-        let table = RoutingTable::shortest_paths(&sys.topology);
-        // Occupy L(P0-P1) during [10, 30) with another edge's hop.
-        let (hops, _) = route_message(&mut builder, &table, EdgeId(1), ProcId(0), ProcId(1), 10.0);
-        let mut blocking = hops.clone();
-        blocking[0].finish = 30.0;
-        commit_route(&mut builder, EdgeId(1), blocking);
-        // A new tentative route at ready=10 must start at 30.
-        let (hops2, arrival2) =
-            route_message(&mut builder, &table, EdgeId(0), ProcId(0), ProcId(1), 10.0);
-        assert_eq!(hops2[0].start, 30.0);
-        assert_eq!(arrival2, 34.0);
-    }
-
-    #[test]
-    fn rerouting_an_edge_does_not_contend_with_its_own_old_booking() {
-        let g = pair();
-        let sys = HeterogeneousSystem::homogeneous(&g, ring(4).unwrap());
-        let mut builder = ScheduleBuilder::new(&g, &sys).unwrap();
-        let table = RoutingTable::shortest_paths(&sys.topology);
-        let (hops, _) = route_message(&mut builder, &table, EdgeId(0), ProcId(0), ProcId(1), 10.0);
-        commit_route(&mut builder, EdgeId(0), hops.clone());
-        // Re-evaluating the same edge sees the link as free where its own hops sit …
-        let (hops2, arrival2) =
-            route_message(&mut builder, &table, EdgeId(0), ProcId(0), ProcId(1), 10.0);
-        assert_eq!(hops2, hops);
-        assert_eq!(arrival2, 14.0);
-        // … and the speculation left the committed booking untouched.
-        assert_eq!(builder.route(EdgeId(0)), &hops[..]);
-        assert_eq!(builder.link_timeline(hops[0].link).len(), 1);
-    }
-
-    #[test]
-    fn data_available_time_takes_the_slowest_message() {
-        let mut b = TaskGraphBuilder::new();
-        let a = b.add_task("A", 10.0);
-        let c = b.add_task("B", 20.0);
-        let d = b.add_task("C", 10.0);
-        b.add_edge(a, d, 4.0).unwrap();
-        b.add_edge(c, d, 4.0).unwrap();
-        let g = b.build().unwrap();
-        let sys = HeterogeneousSystem::homogeneous(&g, ring(4).unwrap());
-        let mut builder = ScheduleBuilder::new(&g, &sys).unwrap();
-        let table = RoutingTable::shortest_paths(&sys.topology);
-        builder.place_task(TaskId(0), ProcId(0), 0.0); // finishes 10
-        builder.place_task(TaskId(1), ProcId(1), 0.0); // finishes 20
-
-        // On P1: A's message crosses one link (arrives 14), B is local (20) -> DA = 20.
-        assert_eq!(
-            data_available_time(&mut builder, &table, TaskId(2), ProcId(1)),
-            20.0
-        );
-        // On P3 (adjacent to P0): A arrives 14, B needs two hops from P1 and arrives 28.
-        assert_eq!(
-            data_available_time(&mut builder, &table, TaskId(2), ProcId(3)),
-            28.0
-        );
-    }
-}
+pub use bsa_schedule::router::{commit_route, data_available_time, route_message};

@@ -70,6 +70,7 @@ pub(crate) fn assemble(
             elapsed: meter.elapsed(),
             stop,
             seed: options.seed,
+            route_policy: options.route_policy,
         },
         metrics,
         schedule,

@@ -12,8 +12,15 @@
 //! recomputed from the ordering decisions so the tasks left behind "bubble up" into the
 //! freed slots.
 //!
-//! The implementation never consults a routing table: message routes grow hop-by-hop as
-//! tasks migrate, exactly as described in the paper.
+//! With the default [`RoutePolicy::ShortestHop`] the implementation never consults a
+//! routing table: message routes grow hop-by-hop as tasks migrate, exactly as described
+//! in the paper.  Under a cost-aware policy
+//! ([`RoutePolicy::MinTransferTime`] in [`SolveOptions::route_policy`]) the loop
+//! additionally consults the same [`CommModel`] handle the baselines route over: every
+//! re-routed message also evaluates a full reroute along the policy's route (booked
+//! speculatively through [`bsa_schedule::router`]) and takes it when it arrives
+//! earlier — on heavily heterogeneous links the hop-by-hop extension can pile onto a
+//! slow link that a slightly longer route avoids entirely.
 //!
 //! Both the neighbour evaluation and the migration itself run on the transactional
 //! kernel of `bsa_schedule` (see DESIGN.md §7): a neighbour is evaluated by *actually
@@ -31,7 +38,8 @@ use crate::config::{BsaConfig, RetimingMode};
 use crate::pivot::select_pivot;
 use crate::serialization::serialize;
 use crate::trace::{BsaTrace, MigrationRecord, RetimeTotals};
-use bsa_network::{HeterogeneousSystem, ProcId};
+use bsa_network::{CommModel, HeterogeneousSystem, ProcId, RoutePolicy};
+use bsa_schedule::router::{commit_route, route_message};
 use bsa_schedule::schedule::MessageHop;
 use bsa_schedule::solver::{
     BudgetMeter, IncumbentRecord, NoProgress, Problem, Progress, Provenance, Solution, SolveError,
@@ -109,6 +117,13 @@ impl Bsa {
         let system = problem.system();
         let cfg = &self.config;
         let mut meter = BudgetMeter::start(options);
+        // The cost-aware communication model is consulted for full reroutes.  Under
+        // the default shortest-hop policy BSA's emergent hop-by-hop routing is the
+        // paper's algorithm and must stay bit-identical, so no table is built at all
+        // (and the fast path pays nothing).
+        let comm = (options.route_policy != RoutePolicy::ShortestHop)
+            .then(|| system.comm_model(options.route_policy));
+        let comm = comm.as_ref();
         let (pivot0, cp_lengths) = select_pivot(graph, system, cfg.pivot_strategy);
         let serialization = serialize(graph, &system.exec_costs.column(pivot0));
 
@@ -214,6 +229,7 @@ impl Bsa {
                                 pivot,
                                 py,
                                 cfg,
+                                comm,
                                 &mut scratch.remote,
                             );
                             if ft_y < ft_pivot - EPS {
@@ -253,6 +269,7 @@ impl Bsa {
                             py,
                             cfg,
                             true,
+                            comm,
                             &mut scratch.remote,
                         );
                         let retimed = match cfg.retiming {
@@ -352,6 +369,7 @@ impl Solver for Bsa {
                 elapsed: started.elapsed(),
                 stop: trace.stop,
                 seed: options.seed,
+                route_policy: options.route_policy,
             },
             metrics,
             schedule,
@@ -377,10 +395,11 @@ fn estimate_finish_on_neighbor(
     pivot: ProcId,
     py: ProcId,
     cfg: &BsaConfig,
+    comm: Option<&CommModel>,
     remote: &mut Vec<(EdgeId, f64)>,
 ) -> f64 {
     builder.speculate(|b| {
-        migrate(b, graph, t, pivot, py, cfg, false, remote);
+        migrate(b, graph, t, pivot, py, cfg, false, comm, remote);
         b.finish_of(t)
     })
 }
@@ -392,6 +411,10 @@ fn estimate_finish_on_neighbor(
 /// Runs entirely on the builder's transactional mutation API, so a caller-held [`Txn`]
 /// (or [`ScheduleBuilder::speculate`]) can undo the whole move.
 ///
+/// With a cost-aware `comm` model, every re-routed message additionally evaluates a
+/// full reroute along the model's route (the same [`bsa_schedule::router`] booking the
+/// baselines use) and takes it when it arrives strictly earlier.
+///
 /// [`Txn`]: bsa_schedule::Txn
 #[allow(clippy::too_many_arguments)]
 fn migrate(
@@ -402,6 +425,7 @@ fn migrate(
     py: ProcId,
     cfg: &BsaConfig,
     route_outgoing: bool,
+    comm: Option<&CommModel>,
     remote: &mut Vec<(EdgeId, f64)>,
 ) {
     let link = builder
@@ -446,7 +470,7 @@ fn migrate(
                 .map(|h| h.finish)
                 .unwrap_or(src_finish)
         };
-        let via_pivot_start = builder.earliest_link_slot(link, ready_at_pivot, dur);
+        let via_pivot_start = builder.earliest_link_slot(link, pivot, ready_at_pivot, dur);
         let via_pivot_arrival = via_pivot_start + dur;
         // Option B (only for producers that already migrated off the pivot): a direct link
         // from the producer's processor to py, rescheduling the message from scratch.
@@ -457,14 +481,27 @@ fn migrate(
                 .link_between(src_proc, py)
                 .map(|dl| {
                     let ddur = builder.transfer_time(dl, eid);
-                    let s = builder.earliest_link_slot(dl, src_finish, ddur);
+                    let s = builder.earliest_link_slot(dl, src_proc, src_finish, ddur);
                     (dl, s, s + ddur)
                 })
         } else {
             None
         };
-        let arrival = match direct {
-            Some((dl, s, a)) if a < via_pivot_arrival => {
+        // Option C (cost-aware policies only): a full reroute along the communication
+        // model's route from the producer to py, booked speculatively so the arrival
+        // reflects real contention.  Skipped when the policy route is the direct link
+        // option B already prices.
+        let policy_route = comm
+            .filter(|cm| cm.hops(src_proc, py) > 1)
+            .map(|cm| route_message(builder, cm, eid, src_proc, py, src_finish));
+        let arrival = match (direct, policy_route) {
+            (_, Some((hops, a)))
+                if a < via_pivot_arrival && direct.map_or(true, |(_, _, da)| a < da) =>
+            {
+                commit_route(builder, eid, hops);
+                a
+            }
+            (Some((dl, s, a)), _) if a < via_pivot_arrival => {
                 builder.set_route(
                     eid,
                     vec![MessageHop {
@@ -521,7 +558,7 @@ fn migrate(
             continue;
         }
         let dur = builder.transfer_time(link, eid);
-        let via_pivot_start = builder.earliest_link_slot(link, ft, dur);
+        let via_pivot_start = builder.earliest_link_slot(link, py, ft, dur);
         if dst_proc == pivot {
             builder.set_route(
                 eid,
@@ -537,9 +574,11 @@ fn migrate(
         }
         // Consumer already migrated elsewhere.  Option A: prepend the hop py -> pivot to
         // the existing route (which starts at the pivot).  Option B: a direct link from py
-        // to the consumer's processor, rescheduling the message from scratch.  Compare by
-        // estimated arrival (the downstream hop times of option A are re-timed by the
-        // caller's recompute, so the estimate sums their durations after the new hop).
+        // to the consumer's processor, rescheduling the message from scratch.  Option C
+        // (cost-aware policies): a full reroute along the communication model's route.
+        // Compare by estimated arrival (the downstream hop times of option A are re-timed
+        // by the caller's recompute, so the estimate sums their durations after the new
+        // hop).
         let old_hops = builder.route(eid).to_vec();
         let extend_arrival =
             via_pivot_start + dur + old_hops.iter().map(|h| h.finish - h.start).sum::<f64>();
@@ -549,11 +588,19 @@ fn migrate(
             .link_between(py, dst_proc)
             .map(|dl| {
                 let ddur = builder.transfer_time(dl, eid);
-                let s = builder.earliest_link_slot(dl, ft, ddur);
+                let s = builder.earliest_link_slot(dl, py, ft, ddur);
                 (dl, s, s + ddur)
             });
-        match direct {
-            Some((dl, s, a)) if a < extend_arrival => {
+        let policy_route = comm
+            .filter(|cm| cm.hops(py, dst_proc) > 1)
+            .map(|cm| route_message(builder, cm, eid, py, dst_proc, ft));
+        match (direct, policy_route) {
+            (_, Some((hops, a)))
+                if a < extend_arrival && direct.map_or(true, |(_, _, da)| a < da) =>
+            {
+                commit_route(builder, eid, hops);
+            }
+            (Some((dl, s, a)), _) if a < extend_arrival => {
                 builder.set_route(
                     eid,
                     vec![MessageHop {

@@ -145,6 +145,101 @@ pub fn mesh2d(rows: usize, cols: usize) -> Result<Topology, TopologyError> {
     Topology::new(format!("mesh-{rows}x{cols}"), m, &links)
 }
 
+/// A `rows x cols` 2-D torus: the mesh plus wraparound links closing every row and
+/// column into a ring.  Degree 4 everywhere (for `rows, cols ≥ 3`), two
+/// vertex-disjoint route families between most pairs — the classic topology where
+/// route *choice* matters, which is what the cost-aware routing policies exercise.
+///
+/// Dimensions of size ≤ 2 omit the wraparound in that dimension (it would duplicate
+/// the mesh link), degrading gracefully to a cylinder / mesh like [`ring`] does.
+pub fn torus2d(rows: usize, cols: usize) -> Result<Topology, TopologyError> {
+    let m = rows * cols;
+    let mut links = Vec::new();
+    for r in 0..rows {
+        for c in 0..cols {
+            let i = r * cols + c;
+            if c + 1 < cols {
+                links.push((i, i + 1));
+            } else if cols > 2 {
+                links.push((r * cols, i)); // row wraparound
+            }
+            if r + 1 < rows {
+                links.push((i, i + cols));
+            } else if rows > 2 {
+                links.push((c, i)); // column wraparound
+            }
+        }
+    }
+    Topology::new(format!("torus-{rows}x{cols}"), m, &links)
+}
+
+/// A connected random topology with every degree capped at `max_degree`, built from a
+/// random spanning tree plus `extra_links` random chords.
+///
+/// Unlike [`random_connected`] (Hamiltonian cycle + randomized target density, the
+/// paper's generator) this gives the caller *exact* control over the link budget, so
+/// sweeps can scale route diversity deterministically: `extra_links = 0` is a tree
+/// (unique routes — policies cannot disagree), larger budgets add alternative paths
+/// for the policies to choose between.  Fewer chords may be placed than requested if
+/// the degree cap runs out of eligible pairs.
+pub fn bounded_degree_random<R: Rng + ?Sized>(
+    m: usize,
+    max_degree: usize,
+    extra_links: usize,
+    rng: &mut R,
+) -> Result<Topology, TopologyError> {
+    assert!(max_degree >= 2, "max_degree must be at least 2");
+    if m == 0 {
+        return Err(TopologyError::Empty);
+    }
+    if m == 1 {
+        return Topology::new("brandom-1", 1, &[]);
+    }
+    // Random spanning tree: attach each node (in random order) to a random already
+    // attached node that still has degree headroom.  The attached nodes always form a
+    // tree, and a tree on ≥ 1 node has a node of degree < 2 ≤ max_degree, so the
+    // eligible set is never empty.
+    let mut order: Vec<usize> = (0..m).collect();
+    order.shuffle(rng);
+    let mut degree = vec![0usize; m];
+    let mut links: Vec<(usize, usize)> = Vec::with_capacity(m - 1 + extra_links);
+    let mut have = std::collections::HashSet::new();
+    let mut attached = vec![order[0]];
+    for &v in &order[1..] {
+        let eligible: Vec<usize> = attached
+            .iter()
+            .copied()
+            .filter(|&u| degree[u] < max_degree)
+            .collect();
+        let u = eligible[rng.gen_range(0..eligible.len())];
+        links.push((u.min(v), u.max(v)));
+        have.insert((u.min(v), u.max(v)));
+        degree[u] += 1;
+        degree[v] += 1;
+        attached.push(v);
+    }
+    // Random chords under the degree cap.
+    let mut placed = 0usize;
+    let mut attempts = 0usize;
+    let max_attempts = 50 * (extra_links + 1) * m;
+    while placed < extra_links && attempts < max_attempts {
+        attempts += 1;
+        let a = rng.gen_range(0..m);
+        let b = rng.gen_range(0..m);
+        if a == b || degree[a] >= max_degree || degree[b] >= max_degree {
+            continue;
+        }
+        let key = (a.min(b), a.max(b));
+        if have.insert(key) {
+            links.push(key);
+            degree[a] += 1;
+            degree[b] += 1;
+            placed += 1;
+        }
+    }
+    Topology::new(format!("brandom-{m}"), m, &links)
+}
+
 /// A complete binary tree with `m` processors (node `i` is connected to `2i+1`, `2i+2`).
 pub fn binary_tree(m: usize) -> Result<Topology, TopologyError> {
     let mut links = Vec::new();
@@ -306,6 +401,42 @@ mod tests {
         let t = binary_tree(7).unwrap();
         assert_eq!(t.num_links(), 6);
         assert!(t.is_connected());
+    }
+
+    #[test]
+    fn torus_has_degree_four_and_ring_diameters() {
+        let t = torus2d(4, 4).unwrap();
+        assert_eq!(t.num_processors(), 16);
+        assert_eq!(t.num_links(), 32); // 2 links per node
+        for p in t.proc_ids() {
+            assert_eq!(t.degree(p), 4);
+        }
+        assert_eq!(t.diameter(), 4); // 2 + 2 wrapped halves
+        assert!(t.is_connected());
+        // Degenerate dimensions degrade without duplicate links.
+        assert_eq!(torus2d(2, 3).unwrap().num_links(), 3 + 2 * 3); // rows wrap, cols don't
+        assert_eq!(torus2d(1, 4).unwrap().num_links(), 4); // a plain ring
+        assert_eq!(torus2d(2, 2).unwrap().num_links(), 4); // a plain square mesh
+    }
+
+    #[test]
+    fn bounded_degree_random_respects_cap_and_is_connected() {
+        for seed in 0..10u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let t = bounded_degree_random(20, 3, 12, &mut rng).unwrap();
+            assert!(t.is_connected(), "seed {seed}");
+            for p in t.proc_ids() {
+                assert!(t.degree(p) <= 3, "seed {seed}: degree {}", t.degree(p));
+            }
+            assert!(t.num_links() >= 19, "seed {seed}: spanning tree missing");
+        }
+        // Zero extra links = a tree (unique routes).
+        let t = bounded_degree_random(15, 4, 0, &mut StdRng::seed_from_u64(3)).unwrap();
+        assert_eq!(t.num_links(), 14);
+        // Deterministic per seed.
+        let a = bounded_degree_random(16, 4, 8, &mut StdRng::seed_from_u64(9)).unwrap();
+        let b = bounded_degree_random(16, 4, 8, &mut StdRng::seed_from_u64(9)).unwrap();
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -1,0 +1,163 @@
+//! The pluggable communication layer: route policies and the [`CommModel`] handle that
+//! every routing-table consumer (the list-scheduling baselines, BSA's cost-aware
+//! reroute option, the experiment harness) shares.
+//!
+//! The paper schedules on *heterogeneous* networks: each link carries a multiplier
+//! drawn from `[1, R]`, so at R = 200 the hop-shortest path between two processors can
+//! be two orders of magnitude slower than a slightly longer path over fast links.  A
+//! routing decision therefore needs a **policy**:
+//!
+//! * [`RoutePolicy::ShortestHop`] — minimise the hop count (BFS; the historical
+//!   behaviour and the default, so existing schedules stay bit-identical);
+//! * [`RoutePolicy::MinTransferTime`] — minimise the nominal transfer time (Dijkstra
+//!   over the link multipliers);
+//! * [`RoutePolicy::ECube`] — dimension-ordered routing on hypercubes (falls back to
+//!   [`RoutePolicy::ShortestHop`] elsewhere).
+//!
+//! A [`CommModel`] bundles the policy with the [`RoutingTable`] it built; obtain one
+//! from [`HeterogeneousSystem::comm_model`](crate::system::HeterogeneousSystem::comm_model)
+//! so the table is costed with the system's actual link factors.
+
+use crate::heterogeneity::CommCostModel;
+use crate::ids::{LinkId, ProcId};
+use crate::routing::RoutingTable;
+use crate::topology::Topology;
+use serde::{Deserialize, Serialize};
+
+/// How inter-processor routes are chosen.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum RoutePolicy {
+    /// BFS shortest-hop routes, ties broken towards the smallest neighbor id.  Blind
+    /// to link heterogeneity; the default (and the only behaviour before the
+    /// communication layer became pluggable).
+    #[default]
+    ShortestHop,
+    /// Dijkstra routes weighted by each link's actual transfer multiplier: the chosen
+    /// route minimises the time a message spends on links, not the hop count.
+    MinTransferTime,
+    /// Dimension-ordered (E-cube) routing; requires a hypercube and falls back to
+    /// [`RoutePolicy::ShortestHop`] on any other topology.
+    ECube,
+}
+
+impl RoutePolicy {
+    /// Every policy, in the order reports present them.
+    pub const ALL: [RoutePolicy; 3] = [
+        RoutePolicy::ShortestHop,
+        RoutePolicy::MinTransferTime,
+        RoutePolicy::ECube,
+    ];
+
+    /// `snake_case` label used in JSON artifacts, reports and provenance.
+    pub fn label(self) -> &'static str {
+        match self {
+            RoutePolicy::ShortestHop => "shortest_hop",
+            RoutePolicy::MinTransferTime => "min_transfer_time",
+            RoutePolicy::ECube => "ecube",
+        }
+    }
+}
+
+impl std::fmt::Display for RoutePolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A ready-to-use communication model: one [`RoutePolicy`] and the all-pairs
+/// [`RoutingTable`] it built over a topology's actual link costs.
+///
+/// This is the handle the schedulers pass around: DLS and HEFT route every message
+/// over it, BSA's migration loop consults it for cost-aware reroutes, and the
+/// experiment harness records its policy in the solve provenance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CommModel {
+    requested: RoutePolicy,
+    table: RoutingTable,
+}
+
+impl CommModel {
+    /// Builds the model for `policy` over `topology`, costing routes with `costs`.
+    pub fn build(topology: &Topology, costs: &CommCostModel, policy: RoutePolicy) -> Self {
+        CommModel {
+            requested: policy,
+            table: RoutingTable::build(topology, costs, policy),
+        }
+    }
+
+    /// The policy the caller asked for.
+    pub fn policy(&self) -> RoutePolicy {
+        self.requested
+    }
+
+    /// The policy that actually built the table ([`RoutePolicy::ECube`] requested on a
+    /// non-hypercube reports [`RoutePolicy::ShortestHop`] here).
+    pub fn effective_policy(&self) -> RoutePolicy {
+        self.table.policy()
+    }
+
+    /// The underlying all-pairs routing table.
+    pub fn table(&self) -> &RoutingTable {
+        &self.table
+    }
+
+    /// The chosen route from `src` to `dst` as a link sequence (`None` if unreachable,
+    /// empty if `src == dst`).
+    #[inline]
+    pub fn route(&self, src: ProcId, dst: ProcId) -> Option<&[LinkId]> {
+        self.table.route(src, dst)
+    }
+
+    /// Hop count of the chosen route (`usize::MAX` if unreachable).
+    #[inline]
+    pub fn hops(&self, src: ProcId, dst: ProcId) -> usize {
+        self.table.distance(src, dst)
+    }
+
+    /// Nominal route cost of the chosen route: total link occupation time of a
+    /// unit-nominal-cost message (`f64::INFINITY` if unreachable).
+    #[inline]
+    pub fn route_cost(&self, src: ProcId, dst: ProcId) -> f64 {
+        self.table.route_cost(src, dst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders::{hypercube_for, ring};
+
+    #[test]
+    fn labels_and_roster() {
+        assert_eq!(RoutePolicy::default(), RoutePolicy::ShortestHop);
+        assert_eq!(RoutePolicy::ALL.len(), 3);
+        assert_eq!(RoutePolicy::ShortestHop.to_string(), "shortest_hop");
+        assert_eq!(RoutePolicy::MinTransferTime.label(), "min_transfer_time");
+        assert_eq!(RoutePolicy::ECube.label(), "ecube");
+    }
+
+    #[test]
+    fn comm_model_reports_requested_and_effective_policy() {
+        let t = ring(6).unwrap();
+        let costs = CommCostModel::homogeneous(&t);
+        let m = CommModel::build(&t, &costs, RoutePolicy::ECube);
+        assert_eq!(m.policy(), RoutePolicy::ECube);
+        assert_eq!(m.effective_policy(), RoutePolicy::ShortestHop);
+
+        let h = hypercube_for(8).unwrap();
+        let m2 = CommModel::build(&h, &CommCostModel::homogeneous(&h), RoutePolicy::ECube);
+        assert_eq!(m2.effective_policy(), RoutePolicy::ECube);
+    }
+
+    #[test]
+    fn comm_model_delegates_route_queries() {
+        let t = ring(5).unwrap();
+        let costs = CommCostModel::uniform(&t, 2.0);
+        let m = CommModel::build(&t, &costs, RoutePolicy::ShortestHop);
+        assert_eq!(m.hops(ProcId(0), ProcId(2)), 2);
+        assert_eq!(m.route(ProcId(0), ProcId(2)).unwrap().len(), 2);
+        assert_eq!(m.route_cost(ProcId(0), ProcId(2)), 4.0);
+        assert!(m.route(ProcId(3), ProcId(3)).unwrap().is_empty());
+        assert_eq!(m.table().num_processors(), 5);
+    }
+}

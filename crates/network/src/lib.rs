@@ -18,18 +18,23 @@
 //!
 //! This crate provides:
 //!
-//! * [`Topology`] / [`builders`] — processors, undirected links, adjacency and standard
-//!   topology constructors (ring, chain, mesh, hypercube, clique, star, binary tree,
-//!   random connected);
-//! * [`routing::RoutingTable`] — BFS all-pairs shortest-hop routes (the routing table DLS
-//!   requires) plus E-cube routing for hypercubes;
+//! * [`Topology`] / [`builders`] — processors, undirected links, flat CSR adjacency and
+//!   standard topology constructors (ring, chain, mesh, torus, hypercube, clique, star,
+//!   binary tree, random connected, bounded-degree random);
+//! * [`comm`] — the pluggable communication layer: [`comm::RoutePolicy`]
+//!   (shortest-hop, minimum-transfer-time, E-cube) and the [`comm::CommModel`] handle
+//!   every routing consumer shares;
+//! * [`routing::RoutingTable`] — the generalized all-pairs table behind the policies:
+//!   full link sequences plus per-pair hop distance and nominal route cost;
 //! * [`heterogeneity`] — the execution-cost matrix (`ExecutionCostMatrix`), link
 //!   communication factors (`CommCostModel`) and the random generators used by the paper's
 //!   experiments (factors uniform in `[1, R]`);
 //! * [`system::HeterogeneousSystem`] — a bundle of topology + cost models that the
-//!   schedulers consume.
+//!   schedulers consume ([`system::HeterogeneousSystem::comm_model`] builds the
+//!   cost-aware communication model).
 
 pub mod builders;
+pub mod comm;
 pub mod heterogeneity;
 pub mod ids;
 pub mod routing;
@@ -37,6 +42,7 @@ pub mod system;
 pub mod topology;
 
 pub use builders::TopologyKind;
+pub use comm::{CommModel, RoutePolicy};
 pub use heterogeneity::{CommCostModel, ExecutionCostMatrix, HeterogeneityRange};
 pub use ids::{LinkId, ProcId};
 pub use routing::RoutingTable;
@@ -46,6 +52,7 @@ pub use topology::{Link, LinkMode, Processor, Topology, TopologyError};
 /// Convenient glob-import for downstream crates.
 pub mod prelude {
     pub use crate::builders::TopologyKind;
+    pub use crate::comm::{CommModel, RoutePolicy};
     pub use crate::heterogeneity::{CommCostModel, ExecutionCostMatrix, HeterogeneityRange};
     pub use crate::ids::{LinkId, ProcId};
     pub use crate::routing::RoutingTable;

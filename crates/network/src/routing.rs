@@ -1,41 +1,123 @@
-//! Shortest-path routing tables.
+//! All-pairs routing tables built by the pluggable route policies of [`crate::comm`].
 //!
-//! BSA itself needs no routing table (routes emerge from the migration process), but the
-//! DLS baseline — like most traditional list schedulers for arbitrary networks — requires a
-//! pre-computed table of routes to estimate the data-available time of a task on every
-//! candidate processor.  The table stores, for every ordered pair of processors, the hop
-//! sequence (links) of one shortest path; ties are broken by preferring the neighbor with
-//! the smallest processor id, which makes the table deterministic.
+//! BSA itself needs no routing table for its default hop-by-hop migration routing
+//! (routes emerge from the migration process), but the list-scheduling baselines — like
+//! most traditional schedulers for arbitrary networks — require a pre-computed table of
+//! routes to estimate the data-available time of a task on every candidate processor,
+//! and BSA's cost-aware reroute option consults the same table.  The table stores, for
+//! every ordered pair of processors:
 //!
-//! For hypercubes an E-cube (dimension-ordered) table can be built instead, mirroring the
-//! static routing the paper mentions for such networks.
+//! * the **full link sequence** of the chosen route (a contiguous flat arena, so
+//!   [`RoutingTable::route`] returns a slice without walking next-hop chains);
+//! * the hop **distance** along that route;
+//! * the **nominal route cost** — the time a unit-nominal-cost message spends on links
+//!   when traversing the route, i.e. the sum of the per-link multipliers of
+//!   [`crate::heterogeneity::CommCostModel`].
+//!
+//! Three policies build tables ([`RoutePolicy`]):
+//!
+//! * [`RoutePolicy::ShortestHop`] — BFS shortest-hop routes, ties broken by preferring
+//!   the neighbor with the smallest processor id (deterministic; the historical
+//!   default, blind to link heterogeneity);
+//! * [`RoutePolicy::MinTransferTime`] — Dijkstra weighted by each link's actual
+//!   transfer multiplier, so routes minimise the nominal route cost instead of the hop
+//!   count;
+//! * [`RoutePolicy::ECube`] — dimension-ordered (E-cube) routing for hypercubes, the
+//!   static routing scheme the paper mentions for such networks.
 
+use crate::comm::RoutePolicy;
+use crate::heterogeneity::CommCostModel;
 use crate::ids::{LinkId, ProcId};
 use crate::topology::Topology;
 use std::collections::VecDeque;
 
-/// All-pairs shortest-hop routes over a topology.
+/// All-pairs routes over a topology under one [`RoutePolicy`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct RoutingTable {
     m: usize,
-    /// `next_hop[src][dst]` = the neighbor of `src` on the chosen route to `dst`
-    /// (`src == dst` stores `src`).
-    next_hop: Vec<Vec<ProcId>>,
-    /// `distance[src][dst]` in hops; `usize::MAX` if unreachable.
-    distance: Vec<Vec<usize>>,
+    policy: RoutePolicy,
+    /// `next_hop[src * m + dst]` = the neighbor of `src` on the chosen route to `dst`
+    /// (`src == dst` and unreachable pairs store `src`).
+    next_hop: Vec<ProcId>,
+    /// `distance[src * m + dst]` in hops; `usize::MAX` if unreachable.
+    distance: Vec<usize>,
+    /// `cost[src * m + dst]`: nominal route cost (sum of link multipliers along the
+    /// route); `0.0` when `src == dst`, `f64::INFINITY` if unreachable.
+    cost: Vec<f64>,
+    /// CSR offsets into [`RoutingTable::route_links`], `m * m + 1` entries.
+    route_offsets: Vec<u32>,
+    /// Flat arena of every route's link sequence, pair-major (`src * m + dst`).
+    route_links: Vec<LinkId>,
 }
 
 impl RoutingTable {
-    /// Builds a shortest-hop routing table by running one BFS per source processor.
+    /// Builds the routing table of `policy` over `topology`, costing routes with the
+    /// per-link multipliers of `costs`.
+    ///
+    /// [`RoutePolicy::ECube`] requires a hypercube; on any other topology it falls back
+    /// to [`RoutePolicy::ShortestHop`] (the table's [`RoutingTable::policy`] reports the
+    /// *effective* policy).
+    ///
+    /// # Panics
+    /// Panics if `costs` does not cover exactly the topology's links.
+    pub fn build(topology: &Topology, costs: &CommCostModel, policy: RoutePolicy) -> Self {
+        assert_eq!(
+            costs.num_links(),
+            topology.num_links(),
+            "communication model covers {} links but the topology has {}",
+            costs.num_links(),
+            topology.num_links()
+        );
+        match policy {
+            RoutePolicy::ShortestHop => Self::build_shortest_hop(topology, costs),
+            RoutePolicy::MinTransferTime => Self::build_min_transfer(topology, costs),
+            RoutePolicy::ECube => {
+                if topology.is_hypercube() {
+                    Self::build_ecube(topology, costs)
+                } else {
+                    Self::build_shortest_hop(topology, costs)
+                }
+            }
+        }
+    }
+
+    /// Builds a shortest-hop routing table with homogeneous link costs (every factor
+    /// `1.0`, so route costs equal hop distances).  Convenience constructor for tests
+    /// and cost-oblivious callers.
     pub fn shortest_paths(topology: &Topology) -> Self {
+        Self::build(
+            topology,
+            &CommCostModel::homogeneous(topology),
+            RoutePolicy::ShortestHop,
+        )
+    }
+
+    /// Builds an E-cube (dimension-ordered) routing table with homogeneous link costs.
+    ///
+    /// # Panics
+    /// Panics if the topology is not a hypercube; use [`RoutingTable::build`] with
+    /// [`RoutePolicy::ECube`] for the fall-back behaviour instead.
+    pub fn ecube(topology: &Topology) -> Self {
+        assert!(
+            topology.num_processors().is_power_of_two(),
+            "E-cube routing requires a power-of-two hypercube"
+        );
+        Self::build_ecube(topology, &CommCostModel::homogeneous(topology))
+    }
+
+    /// One BFS per source processor; because neighbors are iterated in increasing id
+    /// order, the parent (and therefore the route) is deterministic.
+    fn build_shortest_hop(topology: &Topology, costs: &CommCostModel) -> Self {
         let m = topology.num_processors();
-        let mut next_hop = vec![vec![ProcId(0); m]; m];
-        let mut distance = vec![vec![usize::MAX; m]; m];
+        let mut next_hop = vec![ProcId(0); m * m];
+        let mut distance = vec![usize::MAX; m * m];
+        let mut parent: Vec<Option<ProcId>> = Vec::new();
+        let mut dist = Vec::new();
         for src in topology.proc_ids() {
-            // BFS from src, recording each node's parent; because neighbors are iterated in
-            // increasing id order, the parent (and therefore the route) is deterministic.
-            let mut parent: Vec<Option<ProcId>> = vec![None; m];
-            let mut dist = vec![usize::MAX; m];
+            parent.clear();
+            parent.resize(m, None);
+            dist.clear();
+            dist.resize(m, usize::MAX);
             dist[src.index()] = 0;
             let mut q = VecDeque::new();
             q.push_back(src);
@@ -48,104 +130,179 @@ impl RoutingTable {
                     }
                 }
             }
-            for dst in topology.proc_ids() {
-                distance[src.index()][dst.index()] = dist[dst.index()];
-                if dst == src {
-                    next_hop[src.index()][dst.index()] = src;
-                    continue;
-                }
-                if dist[dst.index()] == usize::MAX {
-                    // Unreachable: leave a self-pointer; route() returns None.
-                    next_hop[src.index()][dst.index()] = src;
-                    continue;
-                }
-                // Walk back from dst to the node whose parent is src.
-                let mut cur = dst;
-                while let Some(p) = parent[cur.index()] {
-                    if p == src {
-                        break;
-                    }
-                    cur = p;
-                }
-                next_hop[src.index()][dst.index()] = cur;
-            }
+            fill_row_from_parents(src, &parent, &dist, &mut next_hop, &mut distance);
         }
-        RoutingTable {
-            m,
+        Self::materialize(
+            topology,
+            costs,
+            RoutePolicy::ShortestHop,
             next_hop,
             distance,
-        }
+        )
     }
 
-    /// Builds an E-cube (dimension-ordered) routing table for a hypercube topology.
-    ///
-    /// # Panics
-    /// Panics if the topology is not a hypercube (i.e. some required dimension link is
-    /// missing).
-    pub fn ecube(topology: &Topology) -> Self {
+    /// One Dijkstra per source, weighted by each link's transfer multiplier.  The
+    /// selection loop is a plain O(m²) scan with `(cost, id)` tie-breaking and
+    /// strict-improvement relaxation in increasing neighbor-id order, so the tree — and
+    /// therefore every route — is deterministic.
+    fn build_min_transfer(topology: &Topology, costs: &CommCostModel) -> Self {
         let m = topology.num_processors();
-        assert!(
-            m.is_power_of_two(),
-            "E-cube routing requires a power-of-two hypercube"
-        );
-        let mut next_hop = vec![vec![ProcId(0); m]; m];
-        let mut distance = vec![vec![usize::MAX; m]; m];
+        let mut next_hop = vec![ProcId(0); m * m];
+        let mut distance = vec![usize::MAX; m * m];
+        let mut parent: Vec<Option<ProcId>> = Vec::new();
+        let mut dist: Vec<f64> = Vec::new();
+        let mut hops: Vec<usize> = Vec::new();
+        let mut done: Vec<bool> = Vec::new();
+        for src in topology.proc_ids() {
+            parent.clear();
+            parent.resize(m, None);
+            dist.clear();
+            dist.resize(m, f64::INFINITY);
+            hops.clear();
+            hops.resize(m, usize::MAX);
+            done.clear();
+            done.resize(m, false);
+            dist[src.index()] = 0.0;
+            hops[src.index()] = 0;
+            loop {
+                // Cheapest unsettled node, smallest id on ties.
+                let mut u = None;
+                for i in 0..m {
+                    if !done[i] && dist[i].is_finite() {
+                        match u {
+                            None => u = Some(i),
+                            Some(b) if dist[i] < dist[b] => u = Some(i),
+                            _ => {}
+                        }
+                    }
+                }
+                let Some(u) = u else { break };
+                done[u] = true;
+                for &(v, l) in topology.neighbors(ProcId::from_index(u)) {
+                    let nd = dist[u] + costs.factor(l);
+                    if nd < dist[v.index()] {
+                        dist[v.index()] = nd;
+                        hops[v.index()] = hops[u] + 1;
+                        parent[v.index()] = Some(ProcId::from_index(u));
+                    }
+                }
+            }
+            fill_row_from_parents(src, &parent, &hops, &mut next_hop, &mut distance);
+        }
+        Self::materialize(
+            topology,
+            costs,
+            RoutePolicy::MinTransferTime,
+            next_hop,
+            distance,
+        )
+    }
+
+    /// Dimension-ordered routes on a hypercube: flip the lowest differing address bit
+    /// first.
+    fn build_ecube(topology: &Topology, costs: &CommCostModel) -> Self {
+        let m = topology.num_processors();
+        let mut next_hop = vec![ProcId(0); m * m];
+        let mut distance = vec![usize::MAX; m * m];
         for src in 0..m {
             for dst in 0..m {
                 let diff = src ^ dst;
-                distance[src][dst] = diff.count_ones() as usize;
+                distance[src * m + dst] = diff.count_ones() as usize;
                 if src == dst {
-                    next_hop[src][dst] = ProcId::from_index(src);
+                    next_hop[src * m + dst] = ProcId::from_index(src);
                 } else {
                     let lowest = diff.trailing_zeros();
                     let nh = src ^ (1usize << lowest);
-                    assert!(
-                        topology
-                            .link_between(ProcId::from_index(src), ProcId::from_index(nh))
-                            .is_some(),
-                        "topology is not a hypercube: missing link {src}-{nh}"
-                    );
-                    next_hop[src][dst] = ProcId::from_index(nh);
+                    next_hop[src * m + dst] = ProcId::from_index(nh);
                 }
+            }
+        }
+        Self::materialize(topology, costs, RoutePolicy::ECube, next_hop, distance)
+    }
+
+    /// Walks every pair's next-hop chain once, storing the link sequences in the flat
+    /// route arena and costing each route with the link multipliers.
+    fn materialize(
+        topology: &Topology,
+        costs: &CommCostModel,
+        policy: RoutePolicy,
+        next_hop: Vec<ProcId>,
+        distance: Vec<usize>,
+    ) -> Self {
+        let m = topology.num_processors();
+        let total_hops: usize = distance.iter().filter(|&&d| d != usize::MAX).sum();
+        let mut route_offsets = Vec::with_capacity(m * m + 1);
+        let mut route_links = Vec::with_capacity(total_hops);
+        let mut cost = vec![f64::INFINITY; m * m];
+        route_offsets.push(0u32);
+        for src in 0..m {
+            for dst in 0..m {
+                let pair = src * m + dst;
+                if distance[pair] != usize::MAX {
+                    let mut c = 0.0f64;
+                    let mut cur = ProcId::from_index(src);
+                    let target = ProcId::from_index(dst);
+                    while cur != target {
+                        let nh = next_hop[cur.index() * m + target.index()];
+                        let link = topology
+                            .link_between(cur, nh)
+                            .expect("next_hop must be an adjacent processor");
+                        route_links.push(link);
+                        c += costs.factor(link);
+                        cur = nh;
+                    }
+                    cost[pair] = c;
+                }
+                route_offsets.push(route_links.len() as u32);
             }
         }
         RoutingTable {
             m,
+            policy,
             next_hop,
             distance,
+            cost,
+            route_offsets,
+            route_links,
         }
+    }
+
+    /// The policy that actually built this table (after any E-cube fall-back).
+    pub fn policy(&self) -> RoutePolicy {
+        self.policy
     }
 
     /// Hop distance from `src` to `dst` (`0` when equal, `usize::MAX` when unreachable).
+    #[inline]
     pub fn distance(&self, src: ProcId, dst: ProcId) -> usize {
-        self.distance[src.index()][dst.index()]
+        self.distance[src.index() * self.m + dst.index()]
+    }
+
+    /// Nominal route cost from `src` to `dst`: the total link occupation time of a
+    /// unit-nominal-cost message along the chosen route (`0.0` when equal,
+    /// `f64::INFINITY` when unreachable).
+    #[inline]
+    pub fn route_cost(&self, src: ProcId, dst: ProcId) -> f64 {
+        self.cost[src.index() * self.m + dst.index()]
     }
 
     /// The neighbor of `src` on the route towards `dst`.
+    #[inline]
     pub fn next_hop(&self, src: ProcId, dst: ProcId) -> ProcId {
-        self.next_hop[src.index()][dst.index()]
+        self.next_hop[src.index() * self.m + dst.index()]
     }
 
-    /// The full route from `src` to `dst` as a list of links, or `None` if unreachable.
-    /// An empty route means `src == dst`.
-    pub fn route(&self, topology: &Topology, src: ProcId, dst: ProcId) -> Option<Vec<LinkId>> {
-        if src == dst {
-            return Some(Vec::new());
-        }
+    /// The full route from `src` to `dst` as a slice of links, or `None` if
+    /// unreachable.  An empty route means `src == dst`.
+    pub fn route(&self, src: ProcId, dst: ProcId) -> Option<&[LinkId]> {
         if self.distance(src, dst) == usize::MAX {
             return None;
         }
-        let mut links = Vec::with_capacity(self.distance(src, dst));
-        let mut cur = src;
-        while cur != dst {
-            let nh = self.next_hop(cur, dst);
-            let link = topology
-                .link_between(cur, nh)
-                .expect("next_hop must be an adjacent processor");
-            links.push(link);
-            cur = nh;
-        }
-        Some(links)
+        let pair = src.index() * self.m + dst.index();
+        Some(
+            &self.route_links
+                [self.route_offsets[pair] as usize..self.route_offsets[pair + 1] as usize],
+        )
     }
 
     /// The full route as the sequence of processors visited (including both endpoints).
@@ -168,6 +325,35 @@ impl RoutingTable {
     }
 }
 
+/// Shared tail of the BFS / Dijkstra builders: converts one source's parent tree into
+/// the table's `next_hop` / `distance` rows (unreachable pairs keep a self-pointer).
+fn fill_row_from_parents(
+    src: ProcId,
+    parent: &[Option<ProcId>],
+    dist: &[usize],
+    next_hop: &mut [ProcId],
+    distance: &mut [usize],
+) {
+    let m = parent.len();
+    for (dst, &d) in dist.iter().enumerate() {
+        let pair = src.index() * m + dst;
+        distance[pair] = d;
+        if dst == src.index() || d == usize::MAX {
+            next_hop[pair] = src;
+            continue;
+        }
+        // Walk back from dst to the node whose parent is src.
+        let mut cur = ProcId::from_index(dst);
+        while let Some(p) = parent[cur.index()] {
+            if p == src {
+                break;
+            }
+            cur = p;
+        }
+        next_hop[pair] = cur;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -182,9 +368,13 @@ mod tests {
         assert_eq!(rt.distance(ProcId(0), ProcId(4)), 4);
         assert_eq!(rt.distance(ProcId(0), ProcId(7)), 1);
         assert_eq!(rt.distance(ProcId(3), ProcId(3)), 0);
-        let route = rt.route(&t, ProcId(0), ProcId(4)).unwrap();
+        let route = rt.route(ProcId(0), ProcId(4)).unwrap();
         assert_eq!(route.len(), 4);
-        assert!(rt.route(&t, ProcId(2), ProcId(2)).unwrap().is_empty());
+        assert!(rt.route(ProcId(2), ProcId(2)).unwrap().is_empty());
+        // Homogeneous costs: route cost equals hop distance.
+        assert_eq!(rt.route_cost(ProcId(0), ProcId(4)), 4.0);
+        assert_eq!(rt.route_cost(ProcId(3), ProcId(3)), 0.0);
+        assert_eq!(rt.policy(), RoutePolicy::ShortestHop);
     }
 
     #[test]
@@ -200,6 +390,12 @@ mod tests {
                     assert!(t.link_between(w[0], w[1]).is_some());
                 }
                 assert_eq!(procs.len() - 1, rt.distance(src, dst));
+                // The stored link sequence is the same walk.
+                let links = rt.route(src, dst).unwrap();
+                assert_eq!(links.len(), rt.distance(src, dst));
+                for (w, l) in procs.windows(2).zip(links) {
+                    assert_eq!(t.link_between(w[0], w[1]), Some(*l));
+                }
             }
         }
     }
@@ -212,7 +408,7 @@ mod tests {
             for dst in t.proc_ids() {
                 if src != dst {
                     assert_eq!(rt.distance(src, dst), 1);
-                    assert_eq!(rt.route(&t, src, dst).unwrap().len(), 1);
+                    assert_eq!(rt.route(src, dst).unwrap().len(), 1);
                 }
             }
         }
@@ -223,8 +419,16 @@ mod tests {
         let t = Topology::new("pair", 3, &[(0, 1)]).unwrap();
         let rt = RoutingTable::shortest_paths(&t);
         assert_eq!(rt.distance(ProcId(0), ProcId(2)), usize::MAX);
-        assert!(rt.route(&t, ProcId(0), ProcId(2)).is_none());
+        assert_eq!(rt.route_cost(ProcId(0), ProcId(2)), f64::INFINITY);
+        assert!(rt.route(ProcId(0), ProcId(2)).is_none());
         assert!(rt.route_procs(ProcId(0), ProcId(2)).is_none());
+        let mt = RoutingTable::build(
+            &t,
+            &CommCostModel::homogeneous(&t),
+            RoutePolicy::MinTransferTime,
+        );
+        assert!(mt.route(ProcId(0), ProcId(2)).is_none());
+        assert_eq!(mt.distance(ProcId(0), ProcId(1)), 1);
     }
 
     #[test]
@@ -237,7 +441,7 @@ mod tests {
                 assert_eq!(rt.distance(src, dst), (src.0 ^ dst.0).count_ones() as usize);
                 // E-cube routes are shortest.
                 assert_eq!(rt.distance(src, dst), sp.distance(src, dst));
-                let route = rt.route(&t, src, dst).unwrap();
+                let route = rt.route(src, dst).unwrap();
                 assert_eq!(route.len(), rt.distance(src, dst));
             }
         }
@@ -247,6 +451,7 @@ mod tests {
             procs,
             vec![ProcId(0), ProcId(0b0001), ProcId(0b0011), ProcId(0b1011)]
         );
+        assert_eq!(rt.policy(), RoutePolicy::ECube);
     }
 
     #[test]
@@ -254,6 +459,14 @@ mod tests {
     fn ecube_rejects_non_hypercube_sizes() {
         let t = ring(6).unwrap();
         let _ = RoutingTable::ecube(&t);
+    }
+
+    #[test]
+    fn ecube_policy_falls_back_to_shortest_hop_off_hypercubes() {
+        let t = ring(6).unwrap();
+        let rt = RoutingTable::build(&t, &CommCostModel::homogeneous(&t), RoutePolicy::ECube);
+        assert_eq!(rt.policy(), RoutePolicy::ShortestHop);
+        assert_eq!(rt, RoutingTable::shortest_paths(&t));
     }
 
     #[test]
@@ -265,5 +478,59 @@ mod tests {
             rt.route_procs(ProcId(0), ProcId(2)).unwrap(),
             vec![ProcId(0), ProcId(1), ProcId(2)]
         );
+    }
+
+    #[test]
+    fn min_transfer_time_avoids_slow_links() {
+        // Square 0-1-2-3-0.  Hop-shortest 0->2 goes via P1 (tie-break), but the link
+        // 0-1 is 100x slower: the cost-aware table must route via P3.
+        let t = Topology::new("square", 4, &[(0, 1), (1, 2), (2, 3), (3, 0)]).unwrap();
+        let l01 = t.link_between(ProcId(0), ProcId(1)).unwrap();
+        let mut factors = vec![1.0; 4];
+        factors[l01.index()] = 100.0;
+        let costs = CommCostModel::from_factors(factors);
+        let mt = RoutingTable::build(&t, &costs, RoutePolicy::MinTransferTime);
+        assert_eq!(
+            mt.route_procs(ProcId(0), ProcId(2)).unwrap(),
+            vec![ProcId(0), ProcId(3), ProcId(2)]
+        );
+        assert_eq!(mt.route_cost(ProcId(0), ProcId(2)), 2.0);
+        // The hop-count table keeps the nominally short but expensive route.
+        let sh = RoutingTable::build(&t, &costs, RoutePolicy::ShortestHop);
+        assert_eq!(sh.route_cost(ProcId(0), ProcId(2)), 101.0);
+        // A cheap long way around can even beat a direct link.
+        let t2 = Topology::new("triangle+", 4, &[(0, 1), (0, 2), (2, 3), (3, 1)]).unwrap();
+        let direct = t2.link_between(ProcId(0), ProcId(1)).unwrap();
+        let mut f2 = vec![1.0; 4];
+        f2[direct.index()] = 50.0;
+        let mt2 = RoutingTable::build(
+            &t2,
+            &CommCostModel::from_factors(f2),
+            RoutePolicy::MinTransferTime,
+        );
+        assert_eq!(mt2.distance(ProcId(0), ProcId(1)), 3);
+        assert_eq!(mt2.route_cost(ProcId(0), ProcId(1)), 3.0);
+    }
+
+    #[test]
+    fn min_transfer_never_costs_more_than_shortest_hop() {
+        let t = hypercube_for(16).unwrap();
+        let mut factors = Vec::new();
+        let mut x = 7u64;
+        for _ in 0..t.num_links() {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            factors.push(1.0 + (x % 200) as f64);
+        }
+        let costs = CommCostModel::from_factors(factors);
+        let sh = RoutingTable::build(&t, &costs, RoutePolicy::ShortestHop);
+        let mt = RoutingTable::build(&t, &costs, RoutePolicy::MinTransferTime);
+        for src in t.proc_ids() {
+            for dst in t.proc_ids() {
+                assert!(mt.route_cost(src, dst) <= sh.route_cost(src, dst) + 1e-9);
+                assert!(mt.distance(src, dst) >= sh.distance(src, dst));
+            }
+        }
     }
 }

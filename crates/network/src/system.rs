@@ -1,6 +1,7 @@
 //! [`HeterogeneousSystem`]: the bundle of topology, execution-cost matrix and link factors
 //! that every scheduler consumes.
 
+use crate::comm::{CommModel, RoutePolicy};
 use crate::heterogeneity::{CommCostModel, ExecutionCostMatrix, HeterogeneityRange};
 use crate::ids::{LinkId, ProcId};
 use crate::topology::Topology;
@@ -95,6 +96,15 @@ impl HeterogeneousSystem {
     #[inline]
     pub fn transfer_time(&self, link: LinkId, nominal: f64) -> f64 {
         self.comm_costs.transfer_time(link, nominal)
+    }
+
+    /// Builds the communication model of `policy` for this system: the all-pairs
+    /// routing table costed with the system's actual per-link multipliers.  This is
+    /// the one handle every routing consumer (DLS/HEFT message routing, BSA's
+    /// cost-aware reroutes, the experiment harness) shares — see
+    /// [`crate::comm`].
+    pub fn comm_model(&self, policy: RoutePolicy) -> CommModel {
+        CommModel::build(&self.topology, &self.comm_costs, policy)
     }
 
     /// Checks that the system's cost matrix matches the graph's task count.

@@ -91,8 +91,13 @@ pub struct Topology {
     name: String,
     processors: Vec<Processor>,
     links: Vec<Link>,
-    /// `adjacency[p]` = list of (neighbor processor, connecting link).
-    adjacency: Vec<Vec<(ProcId, LinkId)>>,
+    /// CSR adjacency: the neighbors of `p` are
+    /// `adjacency[adj_offsets[p] .. adj_offsets[p + 1]]`, each entry a
+    /// (neighbor processor, connecting link) pair sorted by neighbor id.  One flat
+    /// allocation instead of one `Vec` per processor — the routing-table builders walk
+    /// adjacency for every source, so the rows must be cache-contiguous.
+    adj_offsets: Vec<u32>,
+    adjacency: Vec<(ProcId, LinkId)>,
     link_mode: LinkMode,
 }
 
@@ -115,7 +120,6 @@ impl Topology {
             .collect();
         let mut links = Vec::with_capacity(link_pairs.len());
         let mut seen: HashSet<(usize, usize)> = HashSet::with_capacity(link_pairs.len());
-        let mut adjacency: Vec<Vec<(ProcId, LinkId)>> = vec![Vec::new(); num_processors];
         for &(x, y) in link_pairs {
             if x >= num_processors {
                 return Err(TopologyError::UnknownProcessor(ProcId::from_index(x)));
@@ -137,17 +141,34 @@ impl Topology {
             let a = ProcId::from_index(key.0);
             let b = ProcId::from_index(key.1);
             links.push(Link { id, a, b });
-            adjacency[a.index()].push((b, id));
-            adjacency[b.index()].push((a, id));
         }
-        // Deterministic neighbor iteration order.
-        for adj in &mut adjacency {
-            adj.sort_by_key(|(p, _)| *p);
+        // Flat CSR adjacency: count degrees, prefix-sum, fill, then sort each row by
+        // neighbor id for deterministic iteration order.
+        let mut adj_offsets = vec![0u32; num_processors + 1];
+        for l in &links {
+            adj_offsets[l.a.index() + 1] += 1;
+            adj_offsets[l.b.index() + 1] += 1;
+        }
+        for p in 0..num_processors {
+            adj_offsets[p + 1] += adj_offsets[p];
+        }
+        let mut adjacency = vec![(ProcId(0), LinkId(0)); 2 * links.len()];
+        let mut fill = adj_offsets.clone();
+        for l in &links {
+            adjacency[fill[l.a.index()] as usize] = (l.b, l.id);
+            fill[l.a.index()] += 1;
+            adjacency[fill[l.b.index()] as usize] = (l.a, l.id);
+            fill[l.b.index()] += 1;
+        }
+        for p in 0..num_processors {
+            adjacency[adj_offsets[p] as usize..adj_offsets[p + 1] as usize]
+                .sort_by_key(|(q, _)| *q);
         }
         Ok(Topology {
             name: name.into(),
             processors,
             links,
+            adj_offsets,
             adjacency,
             link_mode: LinkMode::HalfDuplex,
         })
@@ -216,21 +237,44 @@ impl Topology {
     /// Neighbors of `p` together with the connecting link, in increasing neighbor-id order.
     #[inline]
     pub fn neighbors(&self, p: ProcId) -> &[(ProcId, LinkId)] {
-        &self.adjacency[p.index()]
+        &self.adjacency
+            [self.adj_offsets[p.index()] as usize..self.adj_offsets[p.index() + 1] as usize]
     }
 
     /// Degree (number of incident links) of `p`.
     #[inline]
     pub fn degree(&self, p: ProcId) -> usize {
-        self.adjacency[p.index()].len()
+        (self.adj_offsets[p.index() + 1] - self.adj_offsets[p.index()]) as usize
     }
 
-    /// Returns the link joining `x` and `y` directly, if any.
+    /// Returns the link joining `x` and `y` directly, if any.  The adjacency rows are
+    /// sorted by neighbor id, so this is a binary search.
     pub fn link_between(&self, x: ProcId, y: ProcId) -> Option<LinkId> {
-        self.adjacency[x.index()]
-            .iter()
-            .find(|(n, _)| *n == y)
-            .map(|(_, l)| *l)
+        let row = self.neighbors(x);
+        row.binary_search_by_key(&y, |(n, _)| *n)
+            .ok()
+            .map(|i| row[i].1)
+    }
+
+    /// Whether the topology is a binary hypercube: a power-of-two processor count with
+    /// exactly the dimension links (`i -- i ^ 2^d` for every `d`).  E-cube routing is
+    /// only defined on such topologies.
+    pub fn is_hypercube(&self) -> bool {
+        let m = self.num_processors();
+        if !m.is_power_of_two() {
+            return false;
+        }
+        let dim = m.trailing_zeros() as usize;
+        if self.num_links() != m * dim / 2 {
+            return false;
+        }
+        (0..m).all(|i| {
+            (0..dim).all(|d| {
+                let j = i ^ (1usize << d);
+                self.link_between(ProcId::from_index(i), ProcId::from_index(j))
+                    .is_some()
+            })
+        })
     }
 
     /// Returns `true` if every processor can reach every other processor.

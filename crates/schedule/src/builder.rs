@@ -29,8 +29,17 @@ use crate::schedule::{MessageHop, MessageRoute, Schedule, TaskPlacement};
 use crate::timeline::Timeline;
 use crate::txn::{DirtyNode, UndoOp};
 use crate::ScheduleError;
-use bsa_network::{HeterogeneousSystem, LinkId, ProcId};
+use bsa_network::{HeterogeneousSystem, LinkId, LinkMode, ProcId};
 use bsa_taskgraph::{EdgeId, TaskGraph, TaskId};
+
+/// Number of independent link-contention timelines ("slots") a system needs: one per
+/// link when links are half-duplex, one per *direction* when they are full-duplex.
+pub(crate) fn num_link_slots(system: &HeterogeneousSystem) -> usize {
+    match system.topology.link_mode() {
+        LinkMode::HalfDuplex => system.num_links(),
+        LinkMode::FullDuplex => 2 * system.num_links(),
+    }
+}
 
 /// Mutable schedule under construction.
 #[derive(Debug, Clone)]
@@ -43,7 +52,10 @@ pub struct ScheduleBuilder<'a> {
     pub(crate) proc_timelines: Vec<Timeline<TaskId>>,
     /// Route of every edge; empty = local (or not yet routed).
     pub(crate) routes: Vec<Vec<MessageHop>>,
-    /// Busy intervals of every link; payload = (edge, hop index within the edge's route).
+    /// Busy intervals of every link-contention slot; payload = (edge, hop index within
+    /// the edge's route).  Half-duplex topologies have one slot per link; full-duplex
+    /// topologies have one per *direction* (see [`ScheduleBuilder::link_slot`]), so
+    /// opposite-direction transfers never contend.
     pub(crate) link_timelines: Vec<Timeline<(EdgeId, u32)>>,
     /// Undo log of the open transaction(s); empty when no transaction is open.
     pub(crate) undo: Vec<UndoOp>,
@@ -94,7 +106,7 @@ impl<'a> ScheduleBuilder<'a> {
             task_finish: vec![0.0; graph.num_tasks()],
             proc_timelines: vec![Timeline::new(); system.num_processors()],
             routes: vec![Vec::new(); graph.num_edges()],
-            link_timelines: vec![Timeline::new(); system.num_links()],
+            link_timelines: vec![Timeline::new(); num_link_slots(system)],
             undo: Vec::new(),
             txn_depth: 0,
             dirty: Vec::new(),
@@ -158,9 +170,39 @@ impl<'a> ScheduleBuilder<'a> {
         &self.proc_timelines[p.index()]
     }
 
+    /// The contention-timeline slot of a transmission leaving `from` over `l`: the
+    /// link itself under half-duplex, the link's `from`-direction under full-duplex.
+    /// Every piece of link bookkeeping (booking, gap search, re-timing, undo) indexes
+    /// the link-timeline set through this, so the whole kernel agrees on what
+    /// "contends" means.
+    #[inline]
+    pub fn link_slot(&self, l: LinkId, from: ProcId) -> usize {
+        match self.system.topology.link_mode() {
+            LinkMode::HalfDuplex => l.index(),
+            LinkMode::FullDuplex => {
+                2 * l.index() + usize::from(from != self.system.topology.link(l).a)
+            }
+        }
+    }
+
     /// The busy timeline of link `l`.
+    ///
+    /// Only meaningful on half-duplex topologies, where a link has exactly one
+    /// timeline; full-duplex callers must name a direction via
+    /// [`ScheduleBuilder::link_timeline_dir`].
     pub fn link_timeline(&self, l: LinkId) -> &Timeline<(EdgeId, u32)> {
+        debug_assert_eq!(
+            self.system.topology.link_mode(),
+            LinkMode::HalfDuplex,
+            "link_timeline is ambiguous on full-duplex links; use link_timeline_dir"
+        );
         &self.link_timelines[l.index()]
+    }
+
+    /// The busy timeline of the `from`-direction of link `l` (on half-duplex
+    /// topologies both directions share one timeline).
+    pub fn link_timeline_dir(&self, l: LinkId, from: ProcId) -> &Timeline<(EdgeId, u32)> {
+        &self.link_timelines[self.link_slot(l, from)]
     }
 
     /// Tasks currently placed on `p`, in start-time (timeline) order.
@@ -188,9 +230,11 @@ impl<'a> ScheduleBuilder<'a> {
         self.proc_timelines[p.index()].earliest_append(ready)
     }
 
-    /// Earliest start ≥ `ready` at which a transmission of length `duration` fits on `l`.
-    pub fn earliest_link_slot(&self, l: LinkId, ready: f64, duration: f64) -> f64 {
-        self.link_timelines[l.index()].earliest_gap(ready, duration)
+    /// Earliest start ≥ `ready` at which a transmission of length `duration` leaving
+    /// `from` fits on `l`.  Direction-aware: on a full-duplex link only
+    /// same-direction traffic contends.
+    pub fn earliest_link_slot(&self, l: LinkId, from: ProcId, ready: f64, duration: f64) -> f64 {
+        self.link_timelines[self.link_slot(l, from)].earliest_gap(ready, duration)
     }
 
     /// Current makespan (max finish over placed tasks).
@@ -343,7 +387,8 @@ impl<'a> ScheduleBuilder<'a> {
     /// decision-graph nodes dirty (the hop itself and the transmission that now follows
     /// it in link order).
     fn book_hop(&mut self, e: EdgeId, k: u32, hop: &MessageHop) {
-        let tl = &mut self.link_timelines[hop.link.index()];
+        let slot = self.link_slot(hop.link, hop.from);
+        let tl = &mut self.link_timelines[slot];
         let pos = tl.insert(hop.start, hop.finish - hop.start, (e, k));
         let follower = tl.intervals().get(pos + 1).map(|iv| iv.payload);
         if let Some((fe, fk)) = follower {
@@ -358,7 +403,8 @@ impl<'a> ScheduleBuilder<'a> {
         let old = std::mem::take(&mut self.routes[e.index()]);
         self.scaffold.set_route_len(e.index(), 0);
         for (k, hop) in old.iter().enumerate() {
-            let tl = &mut self.link_timelines[hop.link.index()];
+            let slot = self.link_slot(hop.link, hop.from);
+            let tl = &mut self.link_timelines[slot];
             let pos = tl
                 .position_at(hop.start, |pl| pl == (e, k as u32))
                 .expect("routed hop is on its link's timeline");
@@ -553,7 +599,7 @@ mod tests {
         b.set_route(EdgeId(0), vec![hop]);
         assert_eq!(b.route(EdgeId(0)).len(), 1);
         assert_eq!(b.link_timeline(LinkId(0)).len(), 1);
-        assert_eq!(b.earliest_link_slot(LinkId(0), 10.0, 5.0), 15.0);
+        assert_eq!(b.earliest_link_slot(LinkId(0), ProcId(0), 10.0, 5.0), 15.0);
         b.clear_route(EdgeId(0));
         assert!(b.route(EdgeId(0)).is_empty());
         assert!(b.link_timeline(LinkId(0)).is_empty());

@@ -2,7 +2,7 @@
 //! paper's Figure 2.
 
 use crate::schedule::Schedule;
-use bsa_network::Topology;
+use bsa_network::{LinkMode, Topology};
 use bsa_taskgraph::TaskGraph;
 
 /// Options controlling the rendering.
@@ -62,26 +62,47 @@ pub fn render(
 
     if opts.show_links {
         for l in topology.link_ids() {
-            let hops = schedule.hops_on(l);
-            if hops.is_empty() {
+            let all_hops = schedule.hops_on(l);
+            if all_hops.is_empty() {
                 continue;
             }
-            let mut row = vec![' '; width];
-            for (edge, hop) in &hops {
-                let a = scale(hop.start).min(width - 1);
-                let b = scale(hop.finish).min(width).max(a + 1);
-                let e = graph.edge(*edge);
-                let label: Vec<char> = format!("{}>{}", e.src.0 + 1, e.dst.0 + 1).chars().collect();
-                for (i, cell) in row[a..b].iter_mut().enumerate() {
-                    *cell = if i < label.len() { label[i] } else { '=' };
-                }
-            }
             let link = topology.link(l);
-            out.push_str(&format!(
-                "{:<8}|{}|\n",
-                format!("L{}-{}", link.a.0 + 1, link.b.0 + 1),
-                row.iter().collect::<String>()
-            ));
+            // Half-duplex: one row per link (both directions share the medium).
+            // Full-duplex: one row per *direction*, mirroring the per-direction
+            // contention timelines the schedule was built with.
+            let directions: &[Option<bsa_network::ProcId>] = match topology.link_mode() {
+                LinkMode::HalfDuplex => &[None],
+                LinkMode::FullDuplex => &[Some(link.a), Some(link.b)],
+            };
+            for &dir in directions {
+                let mut row = vec![' '; width];
+                let mut any = false;
+                for (edge, hop) in all_hops
+                    .iter()
+                    .filter(|(_, h)| dir.map_or(true, |d| h.from == d))
+                {
+                    any = true;
+                    let a = scale(hop.start).min(width - 1);
+                    let b = scale(hop.finish).min(width).max(a + 1);
+                    let e = graph.edge(*edge);
+                    let label: Vec<char> =
+                        format!("{}>{}", e.src.0 + 1, e.dst.0 + 1).chars().collect();
+                    for (i, cell) in row[a..b].iter_mut().enumerate() {
+                        *cell = if i < label.len() { label[i] } else { '=' };
+                    }
+                }
+                if !any {
+                    continue;
+                }
+                let label = match dir {
+                    None => format!("L{}-{}", link.a.0 + 1, link.b.0 + 1),
+                    Some(d) => {
+                        let other = link.other_end(d).expect("direction endpoint");
+                        format!("L{}>{}", d.0 + 1, other.0 + 1)
+                    }
+                };
+                out.push_str(&format!("{label:<8}|{}|\n", row.iter().collect::<String>()));
+            }
         }
     }
     out.push_str(&format!(

@@ -161,7 +161,7 @@ fn add_to_cone(
             }
             DirtyNode::Hop(e, k) => {
                 let hop = b.routes[e.index()][k as usize];
-                b.link_timelines[hop.link.index()]
+                b.link_timelines[b.link_slot(hop.link, hop.from)]
                     .position_at(hop.start, |pl| pl == (e, k))
                     .expect("hop is on its link's timeline") as u32
             }
@@ -542,7 +542,7 @@ fn run_pass(
             }
             DirtyNode::Hop(e, k) => {
                 let hop = b.routes[e.index()][k as usize];
-                let next = b.link_timelines[hop.link.index()]
+                let next = b.link_timelines[b.link_slot(hop.link, hop.from)]
                     .intervals()
                     .get(pos + 1)
                     .map(|iv| iv.payload);
@@ -618,7 +618,9 @@ fn run_pass(
             DirtyNode::Hop(e, k) => {
                 let hop = b.routes[e.index()][k as usize];
                 if pos > 0 {
-                    let (pe, pk) = b.link_timelines[hop.link.index()].intervals()[pos - 1].payload;
+                    let (pe, pk) = b.link_timelines[b.link_slot(hop.link, hop.from)].intervals()
+                        [pos - 1]
+                        .payload;
                     if slot(DirtyNode::Hop(pe, pk)) == NONE {
                         s = s.max(b.routes[pe.index()][pk as usize].finish);
                     }
@@ -705,16 +707,17 @@ fn run_pass(
                 }
             }
             DirtyNode::Hop(e, k) => {
-                let hop = &mut b.routes[e.index()][k as usize];
+                let hop = b.routes[e.index()][k as usize];
                 if hop.start != start[i] || hop.finish != finish[i] {
                     if log {
                         b.retime_undo_hops.push((e, k, hop.start, hop.finish));
                     }
                     changed += 1;
+                    let slot = b.link_slot(hop.link, hop.from);
+                    let hop = &mut b.routes[e.index()][k as usize];
                     hop.start = start[i];
                     hop.finish = finish[i];
-                    let link = hop.link;
-                    b.link_timelines[link.index()].set_window(pos, start[i], finish[i]);
+                    b.link_timelines[slot].set_window(pos, start[i], finish[i]);
                 }
             }
         }

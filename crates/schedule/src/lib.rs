@@ -27,6 +27,13 @@
 //! [`Schedule`] can then be *validated* against the full contention model
 //! ([`validate::validate`]) and summarised ([`metrics::ScheduleMetrics`]).
 //!
+//! Message routing over a pre-computed table goes through [`router`], the one booking
+//! code path every [`bsa_network::CommModel`] consumer shares (DLS/HEFT message
+//! scheduling, BSA's cost-aware reroutes).  Link timelines are direction-aware: on a
+//! [`bsa_network::LinkMode::FullDuplex`] topology each link carries one contention
+//! timeline per direction, so opposite-direction transfers overlap freely — in the
+//! builder, the re-timing kernels, the validator and the Gantt renderer alike.
+//!
 //! Algorithms are exposed through the **solver-session API** of [`solver`]: a
 //! [`Problem`] (graph + system, validated once) is handed to a [`Solver`] together with
 //! [`SolveOptions`] (deadline, migration budget, cancellation) and a streaming
@@ -39,6 +46,7 @@ pub mod gantt;
 pub mod incremental;
 pub mod metrics;
 pub mod recompute;
+pub mod router;
 pub(crate) mod scaffold;
 pub mod schedule;
 pub mod solver;

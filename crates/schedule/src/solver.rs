@@ -38,7 +38,7 @@ use crate::metrics::ScheduleMetrics;
 use crate::recompute::RecomputeError;
 use crate::schedule::Schedule;
 use crate::ScheduleError;
-use bsa_network::{HeterogeneousSystem, ProcId};
+use bsa_network::{HeterogeneousSystem, ProcId, RoutePolicy};
 use bsa_taskgraph::{EdgeId, TaskGraph, TaskId};
 use serde::{Deserialize, Serialize};
 use std::ops::ControlFlow;
@@ -149,6 +149,13 @@ pub struct SolveOptions {
     /// random numbers today; the seed exists so randomized solvers added later share
     /// the provenance contract from day one.
     pub seed: Option<u64>,
+    /// How inter-processor messages are routed (see [`bsa_network::comm`]).  The
+    /// table-driven solvers (DLS, both HEFTs) build their
+    /// [`CommModel`](bsa_network::CommModel) from this; BSA's migration loop consults
+    /// a cost-aware model for full reroutes whenever the policy is not the default.
+    /// The default, [`RoutePolicy::ShortestHop`], reproduces the pre-pluggable
+    /// behaviour bit for bit.
+    pub route_policy: RoutePolicy,
 }
 
 impl SolveOptions {
@@ -178,6 +185,12 @@ impl SolveOptions {
     /// Records an RNG seed in the provenance.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = Some(seed);
+        self
+    }
+
+    /// Sets the message-routing policy.
+    pub fn with_route_policy(mut self, policy: RoutePolicy) -> Self {
+        self.route_policy = policy;
         self
     }
 
@@ -737,6 +750,8 @@ pub struct Provenance {
     pub stop: StopReason,
     /// The RNG seed from [`SolveOptions::seed`], if any.
     pub seed: Option<u64>,
+    /// The message-routing policy from [`SolveOptions::route_policy`].
+    pub route_policy: RoutePolicy,
 }
 
 /// The result of one solve: the schedule, its metrics, the unified trace and the

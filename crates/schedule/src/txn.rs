@@ -205,13 +205,15 @@ impl<'a> ScheduleBuilder<'a> {
                 // Remove whatever the edge is currently routed over …
                 let current = std::mem::take(&mut self.routes[edge.index()]);
                 for (k, hop) in current.iter().enumerate() {
-                    let removed = self.link_timelines[hop.link.index()]
-                        .remove_at(hop.start, |pl| pl == (edge, k as u32));
+                    let slot = self.link_slot(hop.link, hop.from);
+                    let removed =
+                        self.link_timelines[slot].remove_at(hop.start, |pl| pl == (edge, k as u32));
                     debug_assert!(removed.is_some(), "undo Route: hop interval found");
                 }
                 // … and restore the old hops.
                 for (k, hop) in hops.iter().enumerate() {
-                    self.link_timelines[hop.link.index()].insert(
+                    let slot = self.link_slot(hop.link, hop.from);
+                    self.link_timelines[slot].insert(
                         hop.start,
                         hop.finish - hop.start,
                         (edge, k as u32),
@@ -228,8 +230,8 @@ impl<'a> ScheduleBuilder<'a> {
                     .expect("undo PopHop: route is non-empty");
                 let k = self.routes[edge.index()].len() as u32;
                 self.scaffold.set_route_len(edge.index(), k as usize);
-                let removed = self.link_timelines[hop.link.index()]
-                    .remove_at(hop.start, |pl| pl == (edge, k));
+                let slot = self.link_slot(hop.link, hop.from);
+                let removed = self.link_timelines[slot].remove_at(hop.start, |pl| pl == (edge, k));
                 debug_assert!(removed.is_some(), "undo PopHop: hop interval found");
             }
             UndoOp::Retime {
@@ -252,8 +254,8 @@ impl<'a> ScheduleBuilder<'a> {
                 for i in hops_from..self.retime_undo_hops.len() {
                     let (e, k, _, _) = self.retime_undo_hops[i];
                     let hop = self.routes[e.index()][k as usize];
-                    let removed = self.link_timelines[hop.link.index()]
-                        .remove_at(hop.start, |pl| pl == (e, k));
+                    let slot = self.link_slot(hop.link, hop.from);
+                    let removed = self.link_timelines[slot].remove_at(hop.start, |pl| pl == (e, k));
                     debug_assert!(removed.is_some(), "undo Retime: hop interval found");
                 }
                 for i in tasks_from..self.retime_undo_tasks.len() {
@@ -265,11 +267,14 @@ impl<'a> ScheduleBuilder<'a> {
                 }
                 for i in hops_from..self.retime_undo_hops.len() {
                     let (e, k, start, finish) = self.retime_undo_hops[i];
-                    let hop = &mut self.routes[e.index()][k as usize];
-                    hop.start = start;
-                    hop.finish = finish;
-                    let link = hop.link;
-                    self.link_timelines[link.index()].insert(start, finish - start, (e, k));
+                    let (link, from) = {
+                        let hop = &mut self.routes[e.index()][k as usize];
+                        hop.start = start;
+                        hop.finish = finish;
+                        (hop.link, hop.from)
+                    };
+                    let slot = self.link_slot(link, from);
+                    self.link_timelines[slot].insert(start, finish - start, (e, k));
                 }
                 self.retime_undo_tasks.truncate(tasks_from);
                 self.retime_undo_hops.truncate(hops_from);

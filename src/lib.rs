@@ -10,8 +10,8 @@
 //! * [`taskgraph`] — weighted DAG model (t-level / b-level / critical path);
 //! * [`workloads`] — benchmark graph generators (Gaussian elimination, LU, Laplace, MVA,
 //!   random layered DAGs, the paper's worked example);
-//! * [`network`] — heterogeneous processor networks (topologies, routing tables, cost
-//!   matrices);
+//! * [`network`] — heterogeneous processor networks (topologies, the pluggable
+//!   communication layer of [`network::comm`], routing tables, cost matrices);
 //! * [`schedule`] — schedule representation, validation, metrics, Gantt rendering, and
 //!   the solver-session API ([`schedule::solver`]);
 //! * [`core`] — the BSA algorithm itself;
@@ -83,8 +83,8 @@ pub mod prelude {
     pub use bsa_core::{Bsa, BsaConfig, PivotStrategy, RetimingMode};
     pub use bsa_network::builders::TopologyKind;
     pub use bsa_network::{
-        CommCostModel, ExecutionCostMatrix, HeterogeneityRange, HeterogeneousSystem, LinkId,
-        ProcId, RoutingTable, Topology,
+        CommCostModel, CommModel, ExecutionCostMatrix, HeterogeneityRange, HeterogeneousSystem,
+        LinkId, LinkMode, ProcId, RoutePolicy, RoutingTable, Topology,
     };
     // The deprecated `Scheduler` shim is deliberately NOT re-exported here: `dyn
     // Solver` implements it through the blanket impl, so importing both traits would

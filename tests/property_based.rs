@@ -156,7 +156,7 @@ use rand::Rng;
 fn build_routed_schedule<'a>(
     graph: &'a TaskGraph,
     system: &'a HeterogeneousSystem,
-    table: &RoutingTable,
+    table: &CommModel,
     seed: u64,
 ) -> ScheduleBuilder<'a> {
     let mut builder = ScheduleBuilder::new(graph, system).unwrap();
@@ -225,7 +225,7 @@ proptest! {
             HeterogeneityRange::homogeneous(),
             &mut rng,
         );
-        let table = RoutingTable::shortest_paths(&system.topology);
+        let table = system.comm_model(RoutePolicy::ShortestHop);
         let mut builder = build_routed_schedule(&graph, &system, &table, seed);
         let reference = builder.clone();
 
@@ -290,7 +290,7 @@ proptest! {
             HeterogeneityRange::homogeneous(),
             &mut rng,
         );
-        let table = RoutingTable::shortest_paths(&system.topology);
+        let table = system.comm_model(RoutePolicy::ShortestHop);
         let mut builder = build_routed_schedule(&graph, &system, &table, seed);
         prop_assert!(builder.scaffold_matches_rebuild());
 
@@ -337,6 +337,66 @@ proptest! {
                 builder.scaffold_matches_rebuild(),
                 "scaffold diverged from rebuild after round {round}"
             );
+        }
+    }
+
+    /// Every routing policy returns contiguous walks with the right endpoints on
+    /// random topologies, and `MinTransferTime` never pays more than `ShortestHop`
+    /// under the same link multipliers.
+    #[test]
+    fn routing_policies_yield_contiguous_walks_and_cost_dominance(
+        shape in 0usize..3,
+        m in 6usize..20,
+        factor_seed in 0u64..1 << 48,
+    ) {
+        let mut rng = StdRng::seed_from_u64(factor_seed ^ 0xC0FFEE);
+        let topology = match shape {
+            0 => bsa::network::builders::random_connected(m, 2, 6, &mut rng).unwrap(),
+            1 => bsa::network::builders::bounded_degree_random(m, 4, m, &mut rng).unwrap(),
+            _ => bsa::network::builders::torus2d(3, (m / 3).max(3)).unwrap(),
+        };
+        let factors: Vec<f64> = (0..topology.num_links())
+            .map(|_| rng.gen_range(1.0..=200.0))
+            .collect();
+        let costs = CommCostModel::from_factors(factors);
+        let tables: Vec<_> = RoutePolicy::ALL
+            .iter()
+            .map(|&p| bsa::network::routing::RoutingTable::build(&topology, &costs, p))
+            .collect();
+        for table in &tables {
+            for src in topology.proc_ids() {
+                for dst in topology.proc_ids() {
+                    let links = table.route(src, dst).unwrap();
+                    // Contiguous walk: consecutive links share exactly the processor
+                    // the previous hop arrived at; endpoints are (src, dst).
+                    let mut at = src;
+                    let mut cost = 0.0;
+                    for &l in links {
+                        let next = topology.link(l).other_end(at);
+                        prop_assert!(next.is_some(), "link {l} not adjacent to {at}");
+                        at = next.unwrap();
+                        cost += costs.factor(l);
+                    }
+                    prop_assert_eq!(at, dst, "walk must end at the destination");
+                    prop_assert_eq!(links.len(), table.distance(src, dst));
+                    prop_assert!((cost - table.route_cost(src, dst)).abs() <= 1e-9 * cost.max(1.0));
+                    if src == dst {
+                        prop_assert!(links.is_empty());
+                    }
+                }
+            }
+        }
+        // Cost dominance: the Dijkstra table is optimal in route cost.
+        let (sh, mt) = (&tables[0], &tables[1]);
+        for src in topology.proc_ids() {
+            for dst in topology.proc_ids() {
+                prop_assert!(
+                    mt.route_cost(src, dst) <= sh.route_cost(src, dst) + 1e-9,
+                    "min-transfer must not cost more than shortest-hop"
+                );
+                // And never uses fewer hops than the hop-optimal table.
+                prop_assert!(mt.distance(src, dst) >= sh.distance(src, dst));
+            }
         }
     }
 
