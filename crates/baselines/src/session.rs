@@ -71,6 +71,8 @@ pub(crate) fn assemble(
             stop,
             seed: options.seed,
             route_policy: options.route_policy,
+            warm_start: false,
+            delta: None,
         },
         metrics,
         schedule,

@@ -370,6 +370,8 @@ impl Solver for Bsa {
                 stop: trace.stop,
                 seed: options.seed,
                 route_policy: options.route_policy,
+                warm_start: false,
+                delta: None,
             },
             metrics,
             schedule,

@@ -338,6 +338,21 @@ impl<'a> ScheduleBuilder<'a> {
         }
     }
 
+    /// Evicts task `t`: clears the routes of every incident edge, then unplaces the
+    /// task.  One undoable group on the transaction log — the partial-eviction
+    /// primitive of warm-started re-solving (`Solution::resolve`) and of any repair
+    /// loop that re-places a task together with its messages.
+    pub fn evict_task(&mut self, t: TaskId) {
+        let graph = self.graph;
+        for &e in graph.in_edges(t) {
+            self.clear_route(e);
+        }
+        for &e in graph.out_edges(t) {
+            self.clear_route(e);
+        }
+        self.unplace_task(t);
+    }
+
     /// Replaces the route of edge `e` with `hops`, updating the link timelines.
     ///
     /// Passing an empty vector makes the message local.

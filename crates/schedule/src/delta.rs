@@ -1,0 +1,1120 @@
+//! Problem deltas: typed mutations of a live scheduling problem.
+//!
+//! A long-lived scheduling service does not get to solve one frozen instance: tasks
+//! arrive and complete, link hardware fails and recovers, processors hot-plug in and
+//! out.  [`ProblemDelta`] captures one batch of such changes as data;
+//! [`Problem::apply`] validates the batch **incrementally** — each operation checks
+//! only the region it touches (a reachability probe for a new task's edges, a
+//! connectivity probe over the surviving links for a removal) rather than re-running
+//! whole-instance validation — and compacts the survivors into a fresh
+//! graph-plus-system pair, returned as a [`ProblemUpdate`] that owns the mutated
+//! instance and remembers how old ids map to new ones.
+//!
+//! The update is what makes warm-started re-solving possible: `Solution::resolve`
+//! (see [`crate::resolve`]) uses the id maps and dirty sets to decide which placements
+//! of the committed schedule survive and which fall inside the invalidation frontier.
+//!
+//! Id semantics: every id inside a [`DeltaOp`] refers to the problem the delta is
+//! applied to, *as extended by the preceding operations of the same delta* — a task
+//! added by op `k` may be referenced by op `k+1` using the next dense id
+//! (`TaskId(num_tasks)` at the time of the add).  Removals leave a tombstone, so they
+//! do **not** shift the ids seen by later operations; compaction to dense ids happens
+//! once, at the end.
+
+use crate::solver::{Problem, SolveError};
+use bsa_network::{
+    CommCostModel, ExecutionCostMatrix, HeterogeneousSystem, LinkId, ProcId, Topology,
+};
+use bsa_taskgraph::{EdgeId, TaskGraph, TaskGraphBuilder, TaskId};
+use std::fmt;
+
+// ---------------------------------------------------------------------------------
+// Delta operations
+// ---------------------------------------------------------------------------------
+
+/// One atomic mutation of a scheduling problem.
+///
+/// Costs follow the conventions of the underlying model: task and edge costs are
+/// *nominal* values (scaled by the system's heterogeneity factors), link factors and
+/// processor speeds are multipliers applied to nominal costs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DeltaOp {
+    /// A new task arrives, wired to existing tasks by `inputs` (edges into the new
+    /// task) and `outputs` (edges out of it), each with a nominal message cost.
+    ///
+    /// The task executes at `nominal_cost` on every processor (heterogeneity factor 1);
+    /// per-processor specialization of arriving tasks is out of scope for deltas.
+    AddTask {
+        /// Human-readable task name.
+        name: String,
+        /// Nominal execution cost.
+        nominal_cost: f64,
+        /// `(predecessor, message cost)` pairs: edges `pred -> new`.
+        inputs: Vec<(TaskId, f64)>,
+        /// `(successor, message cost)` pairs: edges `new -> succ`.
+        outputs: Vec<(TaskId, f64)>,
+    },
+    /// A task completes or is withdrawn; its incident edges disappear with it.
+    RemoveTask {
+        /// The departing task.
+        task: TaskId,
+    },
+    /// The nominal cost of a message changes (data volume re-estimated).
+    SetEdgeWeight {
+        /// The affected edge.
+        edge: EdgeId,
+        /// New nominal message cost.
+        nominal_cost: f64,
+    },
+    /// The nominal execution cost of a task changes.  Per-processor costs scale by
+    /// `new / old` so heterogeneity factors are preserved; if the old nominal cost was
+    /// zero the factors are unrecoverable and the task falls back to factor 1.
+    SetTaskCost {
+        /// The affected task.
+        task: TaskId,
+        /// New nominal execution cost.
+        nominal_cost: f64,
+    },
+    /// A link fails.  Rejected if the surviving network would be disconnected.
+    LinkDown {
+        /// The failing link.
+        link: LinkId,
+    },
+    /// A link comes up between two processors with the given communication factor.
+    LinkUp {
+        /// One endpoint.
+        a: ProcId,
+        /// The other endpoint.
+        b: ProcId,
+        /// Communication cost factor of the new link (multiplies nominal message costs).
+        factor: f64,
+    },
+    /// A processor hot-plugs in, attached by links to existing processors.
+    AddProcessor {
+        /// `(existing processor, link factor)` pairs; must be non-empty so the new
+        /// processor is reachable.
+        links: Vec<(ProcId, f64)>,
+        /// Execution speed factor: the new processor runs every task at
+        /// `speed * nominal_cost`.
+        speed: f64,
+    },
+    /// A processor is removed together with all its links.  Rejected if it is the last
+    /// processor or if the surviving network would be disconnected.
+    RemoveProcessor {
+        /// The departing processor.
+        proc: ProcId,
+    },
+}
+
+impl DeltaOp {
+    /// Short snake_case label of the operation kind (used in provenance summaries).
+    pub fn kind_label(&self) -> &'static str {
+        match self {
+            DeltaOp::AddTask { .. } => "add_task",
+            DeltaOp::RemoveTask { .. } => "remove_task",
+            DeltaOp::SetEdgeWeight { .. } => "set_edge_weight",
+            DeltaOp::SetTaskCost { .. } => "set_task_cost",
+            DeltaOp::LinkDown { .. } => "link_down",
+            DeltaOp::LinkUp { .. } => "link_up",
+            DeltaOp::AddProcessor { .. } => "add_processor",
+            DeltaOp::RemoveProcessor { .. } => "remove_processor",
+        }
+    }
+}
+
+/// An ordered batch of [`DeltaOp`]s applied atomically: either every operation
+/// validates and [`Problem::apply`] returns the mutated instance, or the first invalid
+/// operation aborts the whole batch with a [`DeltaError`].
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ProblemDelta {
+    ops: Vec<DeltaOp>,
+}
+
+impl ProblemDelta {
+    /// An empty delta.  Applying it is the identity; resolving against it returns a
+    /// bit-identical schedule.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends an arbitrary operation.
+    pub fn push(&mut self, op: DeltaOp) -> &mut Self {
+        self.ops.push(op);
+        self
+    }
+
+    /// Appends an [`DeltaOp::AddTask`].
+    pub fn add_task(
+        &mut self,
+        name: impl Into<String>,
+        nominal_cost: f64,
+        inputs: Vec<(TaskId, f64)>,
+        outputs: Vec<(TaskId, f64)>,
+    ) -> &mut Self {
+        self.push(DeltaOp::AddTask {
+            name: name.into(),
+            nominal_cost,
+            inputs,
+            outputs,
+        })
+    }
+
+    /// Appends a [`DeltaOp::RemoveTask`].
+    pub fn remove_task(&mut self, task: TaskId) -> &mut Self {
+        self.push(DeltaOp::RemoveTask { task })
+    }
+
+    /// Appends a [`DeltaOp::SetEdgeWeight`].
+    pub fn set_edge_weight(&mut self, edge: EdgeId, nominal_cost: f64) -> &mut Self {
+        self.push(DeltaOp::SetEdgeWeight { edge, nominal_cost })
+    }
+
+    /// Appends a [`DeltaOp::SetTaskCost`].
+    pub fn set_task_cost(&mut self, task: TaskId, nominal_cost: f64) -> &mut Self {
+        self.push(DeltaOp::SetTaskCost { task, nominal_cost })
+    }
+
+    /// Appends a [`DeltaOp::LinkDown`].
+    pub fn link_down(&mut self, link: LinkId) -> &mut Self {
+        self.push(DeltaOp::LinkDown { link })
+    }
+
+    /// Appends a [`DeltaOp::LinkUp`].
+    pub fn link_up(&mut self, a: ProcId, b: ProcId, factor: f64) -> &mut Self {
+        self.push(DeltaOp::LinkUp { a, b, factor })
+    }
+
+    /// Appends a [`DeltaOp::AddProcessor`].
+    pub fn add_processor(&mut self, links: Vec<(ProcId, f64)>, speed: f64) -> &mut Self {
+        self.push(DeltaOp::AddProcessor { links, speed })
+    }
+
+    /// Appends a [`DeltaOp::RemoveProcessor`].
+    pub fn remove_processor(&mut self, proc: ProcId) -> &mut Self {
+        self.push(DeltaOp::RemoveProcessor { proc })
+    }
+
+    /// The operations in application order.
+    pub fn ops(&self) -> &[DeltaOp] {
+        &self.ops
+    }
+
+    /// Whether the delta contains no operations.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Number of operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Compact human-readable summary of the operation kinds, e.g.
+    /// `"set_task_cost x2, link_down"`; `"empty"` for the empty delta.  Recorded in
+    /// [`crate::solver::Provenance::delta`] by warm-started resolves.
+    pub fn summary(&self) -> String {
+        if self.ops.is_empty() {
+            return "empty".to_string();
+        }
+        let mut kinds: Vec<(&'static str, usize)> = Vec::new();
+        for op in &self.ops {
+            let label = op.kind_label();
+            match kinds.iter_mut().find(|(k, _)| *k == label) {
+                Some((_, n)) => *n += 1,
+                None => kinds.push((label, 1)),
+            }
+        }
+        kinds
+            .iter()
+            .map(|&(k, n)| {
+                if n == 1 {
+                    k.to_string()
+                } else {
+                    format!("{k} x{n}")
+                }
+            })
+            .collect::<Vec<_>>()
+            .join(", ")
+    }
+}
+
+// ---------------------------------------------------------------------------------
+// Errors
+// ---------------------------------------------------------------------------------
+
+/// Why a [`ProblemDelta`] was rejected.  The whole batch is rejected on the first
+/// invalid operation; the problem is left untouched ([`Problem::apply`] never mutates
+/// its input).
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum DeltaError {
+    /// An operation referenced a task that does not exist (or was removed earlier in
+    /// the same delta).
+    UnknownTask(TaskId),
+    /// An operation referenced an edge that does not exist (or disappeared with a
+    /// removed endpoint).
+    UnknownEdge(EdgeId),
+    /// An operation referenced a link that does not exist (or is already down).
+    UnknownLink(LinkId),
+    /// An operation referenced a processor that does not exist (or was removed).
+    UnknownProcessor(ProcId),
+    /// [`DeltaOp::AddTask`] would create a dependency cycle: one of its `outputs` can
+    /// already reach one of its `inputs`.
+    WouldCycle,
+    /// [`DeltaOp::LinkDown`] / [`DeltaOp::RemoveProcessor`] would disconnect the
+    /// network, or [`DeltaOp::AddProcessor`] has no links.
+    WouldDisconnect,
+    /// A cost, factor or speed was negative, non-finite, or otherwise out of range.
+    InvalidCost(String),
+    /// A duplicate edge between the same task pair (pre-existing or within the same
+    /// [`DeltaOp::AddTask`]).
+    DuplicateEdge(TaskId, TaskId),
+    /// A duplicate link between the same processor pair.
+    DuplicateLink(ProcId, ProcId),
+    /// A link with identical endpoints.
+    SelfLink(ProcId),
+    /// [`DeltaOp::RemoveTask`] would leave an empty graph.
+    WouldEmptyGraph,
+    /// [`DeltaOp::RemoveProcessor`] targeted the only processor.
+    LastProcessor,
+    /// Post-compaction rebuild failed; indicates a bug in the incremental checks.
+    Internal(String),
+}
+
+impl fmt::Display for DeltaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeltaError::UnknownTask(t) => write!(f, "delta references unknown task {t}"),
+            DeltaError::UnknownEdge(e) => write!(f, "delta references unknown edge {e}"),
+            DeltaError::UnknownLink(l) => {
+                write!(f, "delta references unknown link L{}", l.0)
+            }
+            DeltaError::UnknownProcessor(p) => {
+                write!(f, "delta references unknown processor P{}", p.0)
+            }
+            DeltaError::WouldCycle => write!(f, "adding the task would create a dependency cycle"),
+            DeltaError::WouldDisconnect => {
+                write!(f, "the operation would disconnect the processor network")
+            }
+            DeltaError::InvalidCost(detail) => write!(f, "invalid cost in delta: {detail}"),
+            DeltaError::DuplicateEdge(s, d) => {
+                write!(f, "duplicate edge between {s} and {d}")
+            }
+            DeltaError::DuplicateLink(a, b) => {
+                write!(f, "duplicate link between P{} and P{}", a.0, b.0)
+            }
+            DeltaError::SelfLink(p) => write!(f, "self-link on P{}", p.0),
+            DeltaError::WouldEmptyGraph => {
+                write!(f, "removing the task would leave an empty graph")
+            }
+            DeltaError::LastProcessor => write!(f, "cannot remove the last processor"),
+            DeltaError::Internal(detail) => write!(f, "internal delta error: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for DeltaError {}
+
+// ---------------------------------------------------------------------------------
+// The applied update
+// ---------------------------------------------------------------------------------
+
+/// The result of [`Problem::apply`]: the mutated instance (owned) plus the id maps and
+/// dirty sets a warm-started resolve needs.
+///
+/// Ids are compacted: surviving tasks/edges/processors/links keep their relative order
+/// but are renumbered densely.  `*_map` translate **old** ids to new ones (`None` =
+/// removed); `old_*_of` translate new ids back (`None` = added by the delta).
+#[derive(Debug, Clone)]
+pub struct ProblemUpdate {
+    graph: TaskGraph,
+    system: HeterogeneousSystem,
+    task_map: Vec<Option<TaskId>>,
+    edge_map: Vec<Option<EdgeId>>,
+    proc_map: Vec<Option<ProcId>>,
+    link_map: Vec<Option<LinkId>>,
+    old_task_of: Vec<Option<TaskId>>,
+    old_edge_of: Vec<Option<EdgeId>>,
+    old_proc_of: Vec<Option<ProcId>>,
+    old_link_of: Vec<Option<LinkId>>,
+    dirty_tasks: Vec<TaskId>,
+    dirty_edges: Vec<EdgeId>,
+    summary: String,
+}
+
+impl ProblemUpdate {
+    /// The mutated task graph.
+    pub fn graph(&self) -> &TaskGraph {
+        &self.graph
+    }
+
+    /// The mutated system.
+    pub fn system(&self) -> &HeterogeneousSystem {
+        &self.system
+    }
+
+    /// A validated [`Problem`] view of the mutated instance.  Free: every invariant
+    /// [`Problem::new`] checks was re-established incrementally during `apply`.
+    pub fn problem(&self) -> Problem<'_> {
+        Problem::prevalidated(&self.graph, &self.system)
+    }
+
+    /// Consumes the update, returning the owned graph and system (useful for chaining
+    /// deltas: the next [`Problem`] borrows these).
+    pub fn into_parts(self) -> (TaskGraph, HeterogeneousSystem) {
+        (self.graph, self.system)
+    }
+
+    /// New id of an old task (`None` = removed).
+    pub fn task_map(&self, old: TaskId) -> Option<TaskId> {
+        self.task_map[old.index()]
+    }
+
+    /// New id of an old edge (`None` = removed with an endpoint).
+    pub fn edge_map(&self, old: EdgeId) -> Option<EdgeId> {
+        self.edge_map[old.index()]
+    }
+
+    /// New id of an old processor (`None` = removed).
+    pub fn proc_map(&self, old: ProcId) -> Option<ProcId> {
+        self.proc_map[old.index()]
+    }
+
+    /// New id of an old link (`None` = down, or removed with a processor).
+    pub fn link_map(&self, old: LinkId) -> Option<LinkId> {
+        self.link_map[old.index()]
+    }
+
+    /// Old id of a new task (`None` = added by the delta).
+    pub fn old_task_of(&self, new: TaskId) -> Option<TaskId> {
+        self.old_task_of[new.index()]
+    }
+
+    /// Old id of a new edge (`None` = added by the delta).
+    pub fn old_edge_of(&self, new: EdgeId) -> Option<EdgeId> {
+        self.old_edge_of[new.index()]
+    }
+
+    /// Old id of a new processor (`None` = hot-plugged by the delta).
+    pub fn old_proc_of(&self, new: ProcId) -> Option<ProcId> {
+        self.old_proc_of[new.index()]
+    }
+
+    /// Old id of a new link (`None` = brought up by the delta).
+    pub fn old_link_of(&self, new: LinkId) -> Option<LinkId> {
+        self.old_link_of[new.index()]
+    }
+
+    /// Tasks (new ids) whose execution cost changed or that were added — always inside
+    /// the invalidation frontier of a resolve.
+    pub fn dirty_tasks(&self) -> &[TaskId] {
+        &self.dirty_tasks
+    }
+
+    /// Edges (new ids) whose message cost changed or that were added.
+    pub fn dirty_edges(&self) -> &[EdgeId] {
+        &self.dirty_edges
+    }
+
+    /// The delta-kind summary (see [`ProblemDelta::summary`]).
+    pub fn summary(&self) -> &str {
+        &self.summary
+    }
+}
+
+// ---------------------------------------------------------------------------------
+// Application machinery
+// ---------------------------------------------------------------------------------
+
+/// Tombstoned working copy of the instance while a delta's operations are applied one
+/// by one.  Slots beyond the original counts are entities added by the delta; removed
+/// entities become `None` (or `false` for processors) without shifting later slots.
+struct Working {
+    /// `(name, nominal cost)` per task slot.
+    tasks: Vec<Option<(String, f64)>>,
+    /// `(src slot, dst slot, nominal cost)` per edge slot.
+    edges: Vec<Option<(usize, usize, f64)>>,
+    /// Per-task execution cost rows, parallel to `tasks`; columns follow `procs`.
+    exec: Vec<Option<Vec<f64>>>,
+    /// Alive flag per processor slot.
+    procs: Vec<bool>,
+    /// `(a slot, b slot, comm factor)` per link slot.
+    links: Vec<Option<(usize, usize, f64)>>,
+    dirty_task_slots: Vec<usize>,
+    dirty_edge_slots: Vec<usize>,
+}
+
+fn check_cost(what: &str, v: f64) -> Result<(), DeltaError> {
+    if v.is_finite() && v >= 0.0 {
+        Ok(())
+    } else {
+        Err(DeltaError::InvalidCost(format!("{what} = {v}")))
+    }
+}
+
+fn check_positive(what: &str, v: f64) -> Result<(), DeltaError> {
+    if v.is_finite() && v > 0.0 {
+        Ok(())
+    } else {
+        Err(DeltaError::InvalidCost(format!(
+            "{what} = {v} (must be finite and positive)"
+        )))
+    }
+}
+
+impl Working {
+    fn from_problem(graph: &TaskGraph, system: &HeterogeneousSystem) -> Self {
+        Working {
+            tasks: graph
+                .tasks()
+                .map(|t| Some((t.name.clone(), t.nominal_cost)))
+                .collect(),
+            edges: graph
+                .edges()
+                .map(|e| Some((e.src.index(), e.dst.index(), e.nominal_cost)))
+                .collect(),
+            exec: graph
+                .task_ids()
+                .map(|t| Some(system.exec_costs.row(t).to_vec()))
+                .collect(),
+            procs: vec![true; system.num_processors()],
+            links: system
+                .topology
+                .links()
+                .map(|l| Some((l.a.index(), l.b.index(), system.comm_costs.factor(l.id))))
+                .collect(),
+            dirty_task_slots: Vec::new(),
+            dirty_edge_slots: Vec::new(),
+        }
+    }
+
+    fn task_alive(&self, t: TaskId) -> Result<usize, DeltaError> {
+        let i = t.index();
+        if i < self.tasks.len() && self.tasks[i].is_some() {
+            Ok(i)
+        } else {
+            Err(DeltaError::UnknownTask(t))
+        }
+    }
+
+    fn proc_alive(&self, p: ProcId) -> Result<usize, DeltaError> {
+        let i = p.index();
+        if i < self.procs.len() && self.procs[i] {
+            Ok(i)
+        } else {
+            Err(DeltaError::UnknownProcessor(p))
+        }
+    }
+
+    /// Whether the alive processors stay connected over the alive links, with slots
+    /// `skip_proc` / `skip_link` treated as already removed.  A touched-region probe:
+    /// one BFS over the surviving network, run only for removal operations.
+    fn connected_without(&self, skip_proc: Option<usize>, skip_link: Option<usize>) -> bool {
+        let alive = |i: usize| self.procs[i] && Some(i) != skip_proc;
+        let n_alive = (0..self.procs.len()).filter(|&i| alive(i)).count();
+        if n_alive <= 1 {
+            return n_alive == 1;
+        }
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); self.procs.len()];
+        for (li, link) in self.links.iter().enumerate() {
+            if Some(li) == skip_link {
+                continue;
+            }
+            if let Some((a, b, _)) = link {
+                if alive(*a) && alive(*b) {
+                    adj[*a].push(*b);
+                    adj[*b].push(*a);
+                }
+            }
+        }
+        let start = (0..self.procs.len())
+            .find(|&i| alive(i))
+            .expect("n_alive > 1");
+        let mut seen = vec![false; self.procs.len()];
+        let mut stack = vec![start];
+        seen[start] = true;
+        let mut count = 1;
+        while let Some(u) = stack.pop() {
+            for &v in &adj[u] {
+                if !seen[v] {
+                    seen[v] = true;
+                    count += 1;
+                    stack.push(v);
+                }
+            }
+        }
+        count == n_alive
+    }
+
+    /// Whether any slot in `from` reaches any slot in `to` following alive edges — the
+    /// touched-region cycle probe for [`DeltaOp::AddTask`].
+    fn reaches(&self, from: &[usize], to: &[usize]) -> bool {
+        let mut succ: Vec<Vec<usize>> = vec![Vec::new(); self.tasks.len()];
+        for edge in self.edges.iter().flatten() {
+            succ[edge.0].push(edge.1);
+        }
+        let mut target = vec![false; self.tasks.len()];
+        for &t in to {
+            target[t] = true;
+        }
+        let mut seen = vec![false; self.tasks.len()];
+        let mut stack: Vec<usize> = Vec::new();
+        for &s in from {
+            if !seen[s] {
+                seen[s] = true;
+                stack.push(s);
+            }
+        }
+        while let Some(u) = stack.pop() {
+            if target[u] {
+                return true;
+            }
+            for &v in &succ[u] {
+                if !seen[v] {
+                    seen[v] = true;
+                    stack.push(v);
+                }
+            }
+        }
+        false
+    }
+
+    fn apply(&mut self, op: &DeltaOp) -> Result<(), DeltaError> {
+        match op {
+            DeltaOp::AddTask {
+                name,
+                nominal_cost,
+                inputs,
+                outputs,
+            } => self.add_task(name, *nominal_cost, inputs, outputs),
+            DeltaOp::RemoveTask { task } => self.remove_task(*task),
+            DeltaOp::SetEdgeWeight { edge, nominal_cost } => {
+                check_cost("edge weight", *nominal_cost)?;
+                let i = edge.index();
+                let slot = self
+                    .edges
+                    .get_mut(i)
+                    .and_then(Option::as_mut)
+                    .ok_or(DeltaError::UnknownEdge(*edge))?;
+                slot.2 = *nominal_cost;
+                self.dirty_edge_slots.push(i);
+                Ok(())
+            }
+            DeltaOp::SetTaskCost { task, nominal_cost } => {
+                check_cost("task cost", *nominal_cost)?;
+                let i = self.task_alive(*task)?;
+                let old = self.tasks[i].as_ref().expect("checked alive").1;
+                let row = self.exec[i].as_mut().expect("row tracks task liveness");
+                if old > 0.0 {
+                    let ratio = *nominal_cost / old;
+                    for c in row.iter_mut() {
+                        *c *= ratio;
+                    }
+                } else {
+                    for c in row.iter_mut() {
+                        *c = *nominal_cost;
+                    }
+                }
+                self.tasks[i].as_mut().expect("checked alive").1 = *nominal_cost;
+                self.dirty_task_slots.push(i);
+                Ok(())
+            }
+            DeltaOp::LinkDown { link } => {
+                let i = link.index();
+                if !matches!(self.links.get(i), Some(Some(_))) {
+                    return Err(DeltaError::UnknownLink(*link));
+                }
+                if !self.connected_without(None, Some(i)) {
+                    return Err(DeltaError::WouldDisconnect);
+                }
+                self.links[i] = None;
+                Ok(())
+            }
+            DeltaOp::LinkUp { a, b, factor } => {
+                check_positive("link factor", *factor)?;
+                let ai = self.proc_alive(*a)?;
+                let bi = self.proc_alive(*b)?;
+                if ai == bi {
+                    return Err(DeltaError::SelfLink(*a));
+                }
+                let key = (ai.min(bi), ai.max(bi));
+                if self
+                    .links
+                    .iter()
+                    .flatten()
+                    .any(|&(x, y, _)| (x.min(y), x.max(y)) == key)
+                {
+                    return Err(DeltaError::DuplicateLink(*a, *b));
+                }
+                self.links.push(Some((key.0, key.1, *factor)));
+                Ok(())
+            }
+            DeltaOp::AddProcessor { links, speed } => self.add_processor(links, *speed),
+            DeltaOp::RemoveProcessor { proc } => {
+                let i = self.proc_alive(*proc)?;
+                if self.procs.iter().filter(|&&alive| alive).count() <= 1 {
+                    return Err(DeltaError::LastProcessor);
+                }
+                if !self.connected_without(Some(i), None) {
+                    return Err(DeltaError::WouldDisconnect);
+                }
+                self.procs[i] = false;
+                for link in self.links.iter_mut() {
+                    if link.is_some_and(|(a, b, _)| a == i || b == i) {
+                        *link = None;
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+
+    fn add_task(
+        &mut self,
+        name: &str,
+        nominal_cost: f64,
+        inputs: &[(TaskId, f64)],
+        outputs: &[(TaskId, f64)],
+    ) -> Result<(), DeltaError> {
+        check_cost("task cost", nominal_cost)?;
+        let mut input_slots = Vec::with_capacity(inputs.len());
+        for &(t, c) in inputs {
+            check_cost("edge weight", c)?;
+            let s = self.task_alive(t)?;
+            if input_slots.contains(&s) {
+                return Err(DeltaError::DuplicateEdge(
+                    t,
+                    TaskId::from_index(self.tasks.len()),
+                ));
+            }
+            input_slots.push(s);
+        }
+        let mut output_slots = Vec::with_capacity(outputs.len());
+        for &(t, c) in outputs {
+            check_cost("edge weight", c)?;
+            let s = self.task_alive(t)?;
+            if output_slots.contains(&s) {
+                return Err(DeltaError::DuplicateEdge(
+                    TaskId::from_index(self.tasks.len()),
+                    t,
+                ));
+            }
+            output_slots.push(s);
+        }
+        // Touched-region cycle probe: the only new paths go input -> new -> output, so a
+        // cycle exists iff some output already reaches some input.
+        if self.reaches(&output_slots, &input_slots) {
+            return Err(DeltaError::WouldCycle);
+        }
+        let slot = self.tasks.len();
+        self.tasks.push(Some((name.to_string(), nominal_cost)));
+        self.exec.push(Some(vec![nominal_cost; self.procs.len()]));
+        for (&s, &(_, c)) in input_slots.iter().zip(inputs) {
+            self.edges.push(Some((s, slot, c)));
+        }
+        for (&s, &(_, c)) in output_slots.iter().zip(outputs) {
+            self.edges.push(Some((slot, s, c)));
+        }
+        self.dirty_task_slots.push(slot);
+        Ok(())
+    }
+
+    fn remove_task(&mut self, task: TaskId) -> Result<(), DeltaError> {
+        let i = self.task_alive(task)?;
+        if self.tasks.iter().filter(|t| t.is_some()).count() <= 1 {
+            return Err(DeltaError::WouldEmptyGraph);
+        }
+        self.tasks[i] = None;
+        self.exec[i] = None;
+        for edge in self.edges.iter_mut() {
+            if edge.is_some_and(|(s, d, _)| s == i || d == i) {
+                *edge = None;
+            }
+        }
+        Ok(())
+    }
+
+    fn add_processor(&mut self, links: &[(ProcId, f64)], speed: f64) -> Result<(), DeltaError> {
+        check_positive("processor speed", speed)?;
+        if links.is_empty() {
+            return Err(DeltaError::WouldDisconnect);
+        }
+        let mut peer_slots = Vec::with_capacity(links.len());
+        for &(p, f) in links {
+            check_positive("link factor", f)?;
+            let s = self.proc_alive(p)?;
+            if peer_slots.contains(&s) {
+                return Err(DeltaError::DuplicateLink(
+                    p,
+                    ProcId::from_index(self.procs.len()),
+                ));
+            }
+            peer_slots.push(s);
+        }
+        let slot = self.procs.len();
+        self.procs.push(true);
+        for row in self.exec.iter_mut().flatten() {
+            // New column: factor-1 execution scaled by the plugged processor's speed.
+            // The nominal cost is recovered per row lazily below.
+            row.push(f64::NAN);
+        }
+        for (i, task) in self.tasks.iter().enumerate() {
+            if let Some((_, nominal)) = task {
+                let row = self.exec[i].as_mut().expect("row tracks task liveness");
+                *row.last_mut().expect("column just pushed") = speed * nominal;
+            }
+        }
+        for (&s, &(_, f)) in peer_slots.iter().zip(links) {
+            let key = (s.min(slot), s.max(slot));
+            self.links.push(Some((key.0, key.1, f)));
+        }
+        Ok(())
+    }
+}
+
+impl<'a> Problem<'a> {
+    /// Applies `delta` to this problem, revalidating only the touched region of each
+    /// operation, and returns the mutated instance plus the old-to-new id maps.
+    ///
+    /// The problem itself is untouched (it only borrows the graph and system); the
+    /// returned [`ProblemUpdate`] **owns** the mutated copies.  Get a solver-ready view
+    /// with [`ProblemUpdate::problem`], or warm-start from a committed schedule with
+    /// `Solution::resolve`.
+    pub fn apply(&self, delta: &ProblemDelta) -> Result<ProblemUpdate, DeltaError> {
+        let graph = self.graph();
+        let system = self.system();
+        let mut w = Working::from_problem(graph, system);
+        for op in delta.ops() {
+            w.apply(op)?;
+        }
+        compact(w, graph, system, delta)
+    }
+}
+
+/// Renumbers the surviving slots densely and rebuilds the graph/system pair.
+fn compact(
+    w: Working,
+    old_graph: &TaskGraph,
+    old_system: &HeterogeneousSystem,
+    delta: &ProblemDelta,
+) -> Result<ProblemUpdate, DeltaError> {
+    let internal = |detail: String| DeltaError::Internal(detail);
+
+    // Tasks.
+    let mut slot_task: Vec<Option<TaskId>> = vec![None; w.tasks.len()];
+    let mut gb = TaskGraphBuilder::with_capacity(
+        w.tasks.iter().flatten().count(),
+        w.edges.iter().flatten().count(),
+    );
+    let mut old_task_of = Vec::new();
+    for (i, task) in w.tasks.iter().enumerate() {
+        if let Some((name, cost)) = task {
+            slot_task[i] = Some(gb.add_task(name.clone(), *cost));
+            old_task_of.push((i < old_graph.num_tasks()).then(|| TaskId::from_index(i)));
+        }
+    }
+    // Edges.
+    let mut slot_edge: Vec<Option<EdgeId>> = vec![None; w.edges.len()];
+    let mut old_edge_of = Vec::new();
+    for (i, edge) in w.edges.iter().enumerate() {
+        if let Some((src, dst, cost)) = edge {
+            let s = slot_task[*src].expect("edges to dead tasks are tombstoned");
+            let d = slot_task[*dst].expect("edges to dead tasks are tombstoned");
+            slot_edge[i] = Some(
+                gb.add_edge(s, d, *cost)
+                    .map_err(|e| internal(e.to_string()))?,
+            );
+            old_edge_of.push((i < old_graph.num_edges()).then(|| EdgeId::from_index(i)));
+        }
+    }
+    let graph = gb.build().map_err(|e| internal(e.to_string()))?;
+
+    // Processors.
+    let mut slot_proc: Vec<Option<ProcId>> = vec![None; w.procs.len()];
+    let mut old_proc_of = Vec::new();
+    let old_num_procs = old_system.num_processors();
+    let mut next = 0usize;
+    for (i, &alive) in w.procs.iter().enumerate() {
+        if alive {
+            slot_proc[i] = Some(ProcId::from_index(next));
+            old_proc_of.push((i < old_num_procs).then(|| ProcId::from_index(i)));
+            next += 1;
+        }
+    }
+    // Links.
+    let mut slot_link: Vec<Option<LinkId>> = vec![None; w.links.len()];
+    let mut old_link_of = Vec::new();
+    let mut pairs = Vec::new();
+    let mut factors = Vec::new();
+    let old_num_links = old_system.topology.links().count();
+    for (i, link) in w.links.iter().enumerate() {
+        if let Some((a, b, f)) = link {
+            let pa = slot_proc[*a].expect("links to dead processors are tombstoned");
+            let pb = slot_proc[*b].expect("links to dead processors are tombstoned");
+            slot_link[i] = Some(LinkId::from_index(pairs.len()));
+            old_link_of.push((i < old_num_links).then(|| LinkId::from_index(i)));
+            pairs.push((pa.index(), pb.index()));
+            factors.push(*f);
+        }
+    }
+    let topology = Topology::new(old_system.topology.name(), next, &pairs)
+        .map_err(|e| internal(e.to_string()))?
+        .with_link_mode(old_system.topology.link_mode());
+
+    // Execution matrix: surviving rows restricted to surviving processor columns.
+    let rows: Vec<Vec<f64>> = w
+        .exec
+        .iter()
+        .flatten()
+        .map(|row| {
+            row.iter()
+                .zip(&w.procs)
+                .filter_map(|(&c, &alive)| alive.then_some(c))
+                .collect()
+        })
+        .collect();
+    let system = HeterogeneousSystem::new(
+        topology,
+        ExecutionCostMatrix::from_rows(&rows),
+        CommCostModel::from_factors(factors),
+    );
+
+    let dirty_tasks: Vec<TaskId> = {
+        let mut v: Vec<TaskId> = w
+            .dirty_task_slots
+            .iter()
+            .filter_map(|&i| slot_task[i])
+            .collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    };
+    let dirty_edges: Vec<EdgeId> = {
+        let mut v: Vec<EdgeId> = w
+            .dirty_edge_slots
+            .iter()
+            .filter_map(|&i| slot_edge[i])
+            .collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    };
+
+    Ok(ProblemUpdate {
+        graph,
+        system,
+        task_map: slot_task[..old_graph.num_tasks()].to_vec(),
+        edge_map: slot_edge[..old_graph.num_edges()].to_vec(),
+        proc_map: slot_proc[..old_num_procs].to_vec(),
+        link_map: slot_link[..old_num_links].to_vec(),
+        old_task_of,
+        old_edge_of,
+        old_proc_of,
+        old_link_of,
+        dirty_tasks,
+        dirty_edges,
+        summary: delta.summary(),
+    })
+}
+
+impl From<DeltaError> for SolveError {
+    fn from(e: DeltaError) -> Self {
+        SolveError::Internal {
+            detail: format!("delta application failed: {e}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bsa_network::builders::ring;
+
+    fn chain3() -> TaskGraph {
+        let mut gb = TaskGraphBuilder::new();
+        let a = gb.add_task("a", 10.0);
+        let b = gb.add_task("b", 20.0);
+        let c = gb.add_task("c", 30.0);
+        gb.add_edge(a, b, 5.0).unwrap();
+        gb.add_edge(b, c, 6.0).unwrap();
+        gb.build().unwrap()
+    }
+
+    #[test]
+    fn empty_delta_is_identity() {
+        let graph = chain3();
+        let system = HeterogeneousSystem::homogeneous(&graph, ring(3).unwrap());
+        let problem = Problem::new(&graph, &system).unwrap();
+        let up = problem.apply(&ProblemDelta::new()).unwrap();
+        assert_eq!(up.graph(), &graph);
+        assert_eq!(up.summary(), "empty");
+        assert!(up.dirty_tasks().is_empty());
+        for t in graph.task_ids() {
+            assert_eq!(up.task_map(t), Some(t));
+            assert_eq!(up.old_task_of(t), Some(t));
+        }
+    }
+
+    #[test]
+    fn remove_task_drops_incident_edges_and_compacts_ids() {
+        let graph = chain3();
+        let system = HeterogeneousSystem::homogeneous(&graph, ring(3).unwrap());
+        let problem = Problem::new(&graph, &system).unwrap();
+        let mut d = ProblemDelta::new();
+        d.remove_task(TaskId(1));
+        let up = problem.apply(&d).unwrap();
+        assert_eq!(up.graph().num_tasks(), 2);
+        assert_eq!(up.graph().num_edges(), 0);
+        assert_eq!(up.task_map(TaskId(0)), Some(TaskId(0)));
+        assert_eq!(up.task_map(TaskId(1)), None);
+        assert_eq!(up.task_map(TaskId(2)), Some(TaskId(1)));
+        assert_eq!(up.edge_map(EdgeId(0)), None);
+        assert_eq!(up.edge_map(EdgeId(1)), None);
+    }
+
+    #[test]
+    fn add_task_rejects_cycles_but_accepts_forward_wiring() {
+        let graph = chain3();
+        let system = HeterogeneousSystem::homogeneous(&graph, ring(3).unwrap());
+        let problem = Problem::new(&graph, &system).unwrap();
+
+        let mut cyc = ProblemDelta::new();
+        cyc.add_task("x", 1.0, vec![(TaskId(2), 1.0)], vec![(TaskId(0), 1.0)]);
+        assert_eq!(problem.apply(&cyc).unwrap_err(), DeltaError::WouldCycle);
+
+        let mut ok = ProblemDelta::new();
+        ok.add_task("x", 7.0, vec![(TaskId(0), 1.0)], vec![(TaskId(2), 2.0)]);
+        let up = problem.apply(&ok).unwrap();
+        assert_eq!(up.graph().num_tasks(), 4);
+        assert_eq!(up.graph().num_edges(), 4);
+        let new = TaskId(3);
+        assert_eq!(up.old_task_of(new), None);
+        assert_eq!(up.dirty_tasks(), &[new]);
+        assert_eq!(up.graph().task(new).nominal_cost, 7.0);
+    }
+
+    #[test]
+    fn set_task_cost_preserves_heterogeneity_factors() {
+        let graph = chain3();
+        let exec = ExecutionCostMatrix::from_rows(&[
+            vec![10.0, 20.0, 30.0],
+            vec![20.0, 40.0, 60.0],
+            vec![30.0, 60.0, 90.0],
+        ]);
+        let topo = ring(3).unwrap();
+        let comm = CommCostModel::homogeneous(&topo);
+        let system = HeterogeneousSystem::new(topo, exec, comm);
+        let problem = Problem::new(&graph, &system).unwrap();
+        let mut d = ProblemDelta::new();
+        d.set_task_cost(TaskId(1), 40.0);
+        let up = problem.apply(&d).unwrap();
+        assert_eq!(up.system().exec_costs.row(TaskId(1)), &[40.0, 80.0, 120.0]);
+        assert_eq!(up.dirty_tasks(), &[TaskId(1)]);
+    }
+
+    #[test]
+    fn link_down_refuses_to_disconnect() {
+        let graph = chain3();
+        // A 2-processor system has a single link; taking it down would disconnect.
+        let system = HeterogeneousSystem::homogeneous(&graph, ring(2).unwrap());
+        let problem = Problem::new(&graph, &system).unwrap();
+        let mut d = ProblemDelta::new();
+        d.link_down(LinkId(0));
+        assert_eq!(problem.apply(&d).unwrap_err(), DeltaError::WouldDisconnect);
+
+        // On a 3-ring every single link is redundant.
+        let system3 = HeterogeneousSystem::homogeneous(&graph, ring(3).unwrap());
+        let problem3 = Problem::new(&graph, &system3).unwrap();
+        let up = problem3.apply(&d).unwrap();
+        assert_eq!(up.system().num_links(), 2);
+        assert_eq!(up.link_map(LinkId(0)), None);
+    }
+
+    #[test]
+    fn processor_hot_plug_and_removal_round_trip() {
+        let graph = chain3();
+        let system = HeterogeneousSystem::homogeneous(&graph, ring(3).unwrap());
+        let problem = Problem::new(&graph, &system).unwrap();
+
+        let mut up_d = ProblemDelta::new();
+        up_d.add_processor(vec![(ProcId(0), 1.0), (ProcId(2), 2.0)], 0.5);
+        let up = problem.apply(&up_d).unwrap();
+        assert_eq!(up.system().num_processors(), 4);
+        assert_eq!(up.old_proc_of(ProcId(3)), None);
+        // Speed 0.5: the new processor runs task b (nominal 20) in 10.
+        assert_eq!(up.system().exec_cost(TaskId(1), ProcId(3)), 10.0);
+
+        let (g2, s2) = (up.graph().clone(), up.system().clone());
+        let p2 = Problem::new(&g2, &s2).unwrap();
+        let mut down_d = ProblemDelta::new();
+        down_d.remove_processor(ProcId(3));
+        let down = p2.apply(&down_d).unwrap();
+        assert_eq!(down.system().num_processors(), 3);
+        assert_eq!(down.system().num_links(), 3);
+    }
+
+    #[test]
+    fn error_cases_are_typed() {
+        let graph = chain3();
+        let system = HeterogeneousSystem::homogeneous(&graph, ring(3).unwrap());
+        let problem = Problem::new(&graph, &system).unwrap();
+
+        let mut d = ProblemDelta::new();
+        d.remove_task(TaskId(9));
+        assert_eq!(
+            problem.apply(&d).unwrap_err(),
+            DeltaError::UnknownTask(TaskId(9))
+        );
+
+        let mut d = ProblemDelta::new();
+        d.set_edge_weight(EdgeId(5), 1.0);
+        assert_eq!(
+            problem.apply(&d).unwrap_err(),
+            DeltaError::UnknownEdge(EdgeId(5))
+        );
+
+        let mut d = ProblemDelta::new();
+        d.set_task_cost(TaskId(0), f64::NAN);
+        assert!(matches!(problem.apply(&d), Err(DeltaError::InvalidCost(_))));
+
+        let mut d = ProblemDelta::new();
+        d.link_up(ProcId(0), ProcId(1), 1.0);
+        assert_eq!(
+            problem.apply(&d).unwrap_err(),
+            DeltaError::DuplicateLink(ProcId(0), ProcId(1))
+        );
+
+        let mut d = ProblemDelta::new();
+        d.remove_task(TaskId(0));
+        d.remove_task(TaskId(1));
+        d.remove_task(TaskId(2));
+        assert_eq!(problem.apply(&d).unwrap_err(), DeltaError::WouldEmptyGraph);
+
+        let mut d = ProblemDelta::new();
+        d.add_processor(vec![], 1.0);
+        assert_eq!(problem.apply(&d).unwrap_err(), DeltaError::WouldDisconnect);
+    }
+
+    #[test]
+    fn summary_aggregates_kinds() {
+        let mut d = ProblemDelta::new();
+        d.set_task_cost(TaskId(0), 1.0)
+            .set_task_cost(TaskId(1), 2.0)
+            .link_down(LinkId(0));
+        assert_eq!(d.summary(), "set_task_cost x2, link_down");
+        assert_eq!(ProblemDelta::new().summary(), "empty");
+    }
+
+    #[test]
+    fn later_ops_see_entities_added_by_earlier_ops() {
+        let graph = chain3();
+        let system = HeterogeneousSystem::homogeneous(&graph, ring(3).unwrap());
+        let problem = Problem::new(&graph, &system).unwrap();
+        let mut d = ProblemDelta::new();
+        // Op 1 adds task slot 3; op 2 retunes its cost through the in-delta id.
+        d.add_task("x", 5.0, vec![(TaskId(2), 1.0)], vec![]);
+        d.set_task_cost(TaskId(3), 9.0);
+        let up = problem.apply(&d).unwrap();
+        assert_eq!(up.graph().task(TaskId(3)).nominal_cost, 9.0);
+    }
+}

@@ -40,12 +40,21 @@
 //! [`solver::Progress`] observer, and comes back as a [`Solution`] (schedule + metrics +
 //! [`SolveTrace`] + provenance).  The pre-session [`Scheduler`] trait survives as a
 //! deprecated shim blanket-implemented for every solver.
+//!
+//! Instances that **evolve** — task arrival/completion, link failure/recovery,
+//! processor hot-plug — are mutated through [`delta`] (a [`ProblemDelta`] applied with
+//! `Problem::apply`, validating only the touched region) and re-solved warm-started
+//! from the committed schedule through [`resolve`] (`Solution::resolve`), which evicts
+//! only the invalidated placements and repairs them on the transactional builder path
+//! (DESIGN.md §11).
 
 pub mod builder;
+pub mod delta;
 pub mod gantt;
 pub mod incremental;
 pub mod metrics;
 pub mod recompute;
+pub mod resolve;
 pub mod router;
 pub(crate) mod scaffold;
 pub mod schedule;
@@ -55,9 +64,11 @@ pub mod txn;
 pub mod validate;
 
 pub use builder::ScheduleBuilder;
+pub use delta::{DeltaError, DeltaOp, ProblemDelta, ProblemUpdate};
 pub use incremental::RetimeStats;
 pub use metrics::ScheduleMetrics;
 pub use recompute::RecomputeError;
+pub use resolve::ResolveError;
 pub use schedule::{MessageHop, MessageRoute, Schedule, TaskPlacement};
 pub use solver::{
     BudgetMeter, CancelToken, EventLog, IncumbentRecord, MigrationRecord, NoProgress, Problem,
@@ -117,7 +128,9 @@ pub trait Scheduler {
 /// Convenient glob-import for downstream crates.
 pub mod prelude {
     pub use crate::builder::ScheduleBuilder;
+    pub use crate::delta::{DeltaError, DeltaOp, ProblemDelta, ProblemUpdate};
     pub use crate::metrics::ScheduleMetrics;
+    pub use crate::resolve::ResolveError;
     pub use crate::schedule::{MessageHop, MessageRoute, Schedule, TaskPlacement};
     pub use crate::solver::{
         CancelToken, NoProgress, Problem, Progress, Solution, SolveError, SolveEvent, SolveOptions,

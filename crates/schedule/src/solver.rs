@@ -83,6 +83,16 @@ impl<'a> Problem<'a> {
         Ok(Problem { graph, system })
     }
 
+    /// Wraps an already-validated pair without re-checking.  Used by
+    /// [`crate::delta::ProblemUpdate::problem`]: delta application re-establishes every
+    /// invariant incrementally, so the whole-instance checks would be redundant.
+    pub(crate) fn prevalidated(graph: &'a TaskGraph, system: &'a HeterogeneousSystem) -> Self {
+        debug_assert!(graph.num_tasks() > 0);
+        debug_assert!(system.validate_for(graph).is_ok());
+        debug_assert!(system.topology.is_connected());
+        Problem { graph, system }
+    }
+
     /// The task graph.
     pub fn graph(&self) -> &'a TaskGraph {
         self.graph
@@ -100,6 +110,11 @@ impl<'a> Problem<'a> {
         ScheduleBuilder::new_prevalidated(self.graph, self.system)
     }
 }
+
+// The dynamic re-scheduling API lives in the sibling `delta` / `resolve` modules but
+// belongs to the solver-session surface, so it is re-exported here.
+pub use crate::delta::{DeltaError, DeltaOp, ProblemDelta, ProblemUpdate};
+pub use crate::resolve::ResolveError;
 
 // ---------------------------------------------------------------------------------
 // Options, cancellation, budget metering
@@ -752,6 +767,12 @@ pub struct Provenance {
     pub seed: Option<u64>,
     /// The message-routing policy from [`SolveOptions::route_policy`].
     pub route_policy: RoutePolicy,
+    /// Whether the solution was warm-started from a committed schedule
+    /// (`Solution::resolve`) rather than solved from scratch.
+    pub warm_start: bool,
+    /// The delta-kind summary for warm-started solutions (see
+    /// [`crate::delta::ProblemDelta::summary`]); `None` for cold solves.
+    pub delta: Option<String>,
 }
 
 /// The result of one solve: the schedule, its metrics, the unified trace and the

@@ -92,8 +92,9 @@ pub mod prelude {
     // while migrating.
     pub use crate::algorithms::Algo;
     pub use bsa_schedule::{
-        CancelToken, NoProgress, Problem, Progress, Schedule, ScheduleError, ScheduleMetrics,
-        Solution, SolveError, SolveEvent, SolveOptions, SolveTrace, Solver, StopReason,
+        CancelToken, DeltaError, DeltaOp, NoProgress, Problem, ProblemDelta, ProblemUpdate,
+        Progress, ResolveError, Schedule, ScheduleError, ScheduleMetrics, Solution, SolveError,
+        SolveEvent, SolveOptions, SolveTrace, Solver, StopReason,
     };
     pub use bsa_taskgraph::{EdgeId, GraphLevels, GraphStats, TaskGraph, TaskGraphBuilder, TaskId};
     pub use bsa_workloads::prelude::*;

@@ -166,4 +166,57 @@ fn steady_state_incremental_retiming_does_not_allocate() {
     let grown_before = b.scaffold_realloc_events();
     iteration(&mut b, true);
     assert_eq!(b.scaffold_realloc_events(), grown_before);
+
+    // Steady-state *resolve*: the warm-start repair kernel is exactly
+    // evict → re-place → re-book → `recompute_times_from(frontier)` on a persistent
+    // builder, so repeated small deltas must reuse the same scaffolding.  The audit
+    // window again brackets only the re-timing pass — eviction and booking go through
+    // the undo log and route vectors, whose `vec![...]` literals allocate by design.
+    let resolve_shaped = |b: &mut ScheduleBuilder<'_>, audit: bool| {
+        let txn = b.begin_txn();
+        let p = b.proc_of(consumer).unwrap();
+        b.evict_task(consumer);
+        let exec = b.exec_cost(consumer, p);
+        let ready = b.link_timeline(LinkId(0)).last_finish() + 25.0;
+        b.set_route(
+            EdgeId(0),
+            vec![MessageHop {
+                link: LinkId(0),
+                from: ProcId(0),
+                to: ProcId(1),
+                start: ready - 4.0,
+                finish: ready,
+            }],
+        );
+        let start = b.earliest_proc_slot(p, ready, exec);
+        b.place_task(consumer, p, start);
+        let before = heap_events();
+        let stats = b.recompute_times_from(&[consumer]).unwrap();
+        let after = heap_events();
+        if audit {
+            assert!(
+                stats.fell_back,
+                "an early frontier seed (the consumer) must flat-route"
+            );
+            assert_eq!(
+                (after.0 - before.0, after.1 - before.1),
+                (0, 0),
+                "steady-state resolve re-timing allocated"
+            );
+        }
+        b.commit(txn);
+    };
+    for _ in 0..5 {
+        resolve_shaped(&mut b, false);
+    }
+    let grown_before = b.scaffold_realloc_events();
+    for _ in 0..10 {
+        resolve_shaped(&mut b, true);
+    }
+    assert_eq!(
+        b.scaffold_realloc_events(),
+        grown_before,
+        "resolve-shaped deltas grew an arena after warm-up"
+    );
+    assert!(b.scaffold_matches_rebuild());
 }
