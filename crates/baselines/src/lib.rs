@@ -19,8 +19,8 @@
 //! * [`reference::SerialScheduler`] — everything on the single fastest processor (sanity
 //!   lower bound on resource usage, upper bound most schedulers should beat).
 //!
-//! All baselines implement the session-based [`bsa_schedule::Solver`] trait (and,
-//! through its deprecated shim, the legacy `Scheduler`) and produce schedules that pass
+//! All baselines implement the session-based [`bsa_schedule::Solver`] trait and
+//! produce schedules that pass
 //! `bsa_schedule::validate`.  Because they are *constructive* — no feasible schedule
 //! exists until the last task is placed — a deadline, migration budget, cancellation or
 //! observer break that fires mid-build aborts the solve with

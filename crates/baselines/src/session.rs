@@ -71,6 +71,7 @@ pub(crate) fn assemble(
             stop,
             seed: options.seed,
             route_policy: options.route_policy,
+            threads: options.threads,
             warm_start: false,
             delta: None,
         },

@@ -62,14 +62,14 @@ fn grid(quick: bool) -> Vec<Case> {
         }
     } else {
         // 3000-task cells capture the large-N regime the persistent-scaffold kernel
-        // targets; they get fewer repetitions because the full-relaxation oracle is
-        // what makes them slow.
+        // targets; three repetitions everywhere keeps the min-over-reps estimate
+        // comparable across cell sizes.
         for &tasks in &[100usize, 300, 1000, 3000] {
             for &procs in &[16usize, 32, 64] {
                 cases.push(Case {
                     tasks,
                     procs,
-                    reps: if tasks >= 3000 { 2 } else { 3 },
+                    reps: 3,
                 });
             }
         }
@@ -159,6 +159,7 @@ fn write_json(path: &str, quick: bool, results: &[CaseResult]) -> std::io::Resul
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str("  \"bench\": \"scaling\",\n");
+    out.push_str(&bsa_bench::env_header_json());
     out.push_str("  \"topology\": \"hypercube\",\n");
     // Every case compares the retiming-mode pair below; `grid` only says which case
     // grid ran.  (An earlier revision emitted a top-level `"mode"` that was easy to

@@ -55,9 +55,38 @@ pub fn system_on(
     )
 }
 
+/// Environment metadata for machine-readable bench artifacts: JSON key/value lines
+/// identifying the host's hardware parallelism and the commit that produced the
+/// numbers.  Committed artifacts are only comparable across runs when the header says
+/// what they were measured on — a 1-CPU CI runner and a 16-core workstation produce
+/// legitimately different wall-clock grids.
+///
+/// Returns lines of the form `  "host_threads": 4,\n  "commit": "abc123",\n` ready to
+/// splice into a hand-rolled JSON object header.
+pub fn env_header_json() -> String {
+    let host_threads = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let commit = std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+        .unwrap_or_else(|| "unknown".to_string());
+    format!("  \"host_threads\": {host_threads},\n  \"commit\": \"{commit}\",\n")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn env_header_names_host_threads_and_commit() {
+        let header = env_header_json();
+        assert!(header.contains("\"host_threads\": "));
+        assert!(header.contains("\"commit\": \""));
+    }
 
     #[test]
     fn builders_are_deterministic() {

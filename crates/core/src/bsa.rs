@@ -35,6 +35,7 @@
 //! which produces bit-identical times at a much higher cost per migration.
 
 use crate::config::{BsaConfig, RetimingMode};
+use crate::parallel::Crew;
 use crate::pivot::select_pivot;
 use crate::serialization::serialize;
 use crate::trace::{BsaTrace, MigrationRecord, RetimeTotals};
@@ -43,7 +44,7 @@ use bsa_schedule::router::{commit_route, route_message};
 use bsa_schedule::schedule::MessageHop;
 use bsa_schedule::solver::{
     BudgetMeter, IncumbentRecord, NoProgress, Problem, Progress, Provenance, Solution, SolveError,
-    SolveEvent, SolveOptions, SolveTrace, Solver, StopReason,
+    SolveEvent, SolveOptions, SolveTrace, Solver, StopReason, ThreadStats,
 };
 use bsa_schedule::{Schedule, ScheduleBuilder, ScheduleError, ScheduleMetrics};
 use bsa_taskgraph::{EdgeId, TaskGraph, TaskId};
@@ -62,6 +63,9 @@ struct MigrateScratch {
     tasks: Vec<TaskId>,
     /// Finish time of every task at phase start (see `compare_against_phase_start`).
     phase_ft: Vec<f64>,
+    /// Finish-time estimate per neighbour index of the current candidate task,
+    /// filled serially or by the evaluation crew before the (always serial) decision.
+    cand_ft: Vec<f64>,
 }
 
 /// The BSA scheduler.  Construct with [`Bsa::new`] or use [`Bsa::default`] for the paper's
@@ -113,6 +117,7 @@ impl Bsa {
         options: &SolveOptions,
         progress: &mut dyn Progress,
     ) -> Result<(Schedule, SolveTrace), SolveError> {
+        options.validate()?;
         let graph = problem.graph();
         let system = problem.system();
         let cfg = &self.config;
@@ -154,6 +159,7 @@ impl Bsa {
             final_length: serialized_length,
             retime: RetimeTotals::default(),
             incumbents: Vec::new(),
+            thread_stats: Vec::new(),
         };
 
         // From here on a valid incumbent exists: every early stop below returns the
@@ -172,179 +178,288 @@ impl Bsa {
         let mut incumbent = serialized_length;
 
         let mut scratch = MigrateScratch::default();
+        let mut thread0 = ThreadStats::default();
+        let mut worker_stats: Vec<ThreadStats> = Vec::new();
         if stop == StopReason::Converged {
-            'run: for sweep in 0..cfg.sweeps.max(1) {
-                let mut sweep_migrations = 0usize;
-                for &pivot in &processor_order {
-                    if progress
-                        .on_event(&SolveEvent::PivotStarted { pivot, sweep })
-                        .is_break()
-                    {
-                        stop = StopReason::ObserverStopped;
-                        break 'run;
-                    }
-                    scratch.tasks.clear();
-                    scratch.tasks.extend(builder.tasks_on(pivot));
-                    // Finish times as they stand when the pivot phase begins.  Migration decisions
-                    // compare candidate finish times against these phase-start values (the finish
-                    // time the task would keep if the pivot's schedule were left as is), which is
-                    // what lets a heavily loaded pivot shed most of its load in one phase.
-                    scratch.phase_ft.clear();
-                    scratch
-                        .phase_ft
-                        .extend(graph.task_ids().map(|x| builder.finish_of(x)));
-                    for ti in 0..scratch.tasks.len() {
-                        if let Some(s) = meter.check() {
-                            stop = s;
-                            break 'run;
-                        }
-                        let t = scratch.tasks[ti];
-                        if builder.proc_of(t) != Some(pivot) {
-                            continue;
-                        }
-                        let (drt_pivot, vip) = builder.current_drt(t);
-                        let ft_pivot = if cfg.compare_against_phase_start {
-                            scratch.phase_ft[t.index()]
-                        } else {
-                            builder.finish_of(t)
-                        };
-                        let vip_on_pivot = vip.map_or(true, |v| builder.proc_of(v) == Some(pivot));
-                        // Paper line 7: "if FT(Ti, Pivot) > DRT(Ti, Pivot) or VIP of Ti is not
-                        // scheduled to Pivot".  Since FT = ST + w ≥ DRT + w, the condition holds for
-                        // every task with positive execution cost — i.e. every task is considered
-                        // for migration in every pivot phase; only zero-cost tasks that start right
-                        // at their data-ready time next to their VIP are skipped.
-                        if ft_pivot <= drt_pivot + EPS && vip_on_pivot {
-                            continue;
-                        }
-
-                        // Evaluate every neighbour of the pivot.
-                        let mut best: Option<(ProcId, f64)> = None;
-                        let mut vip_equal: Option<(ProcId, f64)> = None;
-                        for &(py, _link) in system.topology.neighbors(pivot) {
-                            let ft_y = estimate_finish_on_neighbor(
-                                &mut builder,
-                                graph,
-                                t,
-                                pivot,
-                                py,
-                                cfg,
-                                comm,
-                                &mut scratch.remote,
-                            );
-                            if ft_y < ft_pivot - EPS {
-                                let better = best.map_or(true, |(bp, bf)| {
-                                    ft_y < bf - EPS || ((ft_y - bf).abs() <= EPS && py < bp)
-                                });
-                                if better {
-                                    best = Some((py, ft_y));
-                                }
-                            } else if cfg.use_vip_rule
-                                && (ft_y - ft_pivot).abs() <= EPS
-                                && vip.is_some_and(|v| builder.proc_of(v) == Some(py))
-                                && vip_equal.is_none()
-                            {
-                                vip_equal = Some((py, ft_y));
-                            }
-                        }
-
-                        let decision = match (best, vip_equal) {
-                            (Some(b), _) => Some((b, false)),
-                            (None, Some(v)) => Some((v, true)),
-                            (None, None) => None,
-                        };
-                        let Some(((py, ft_estimate), via_vip)) = decision else {
-                            continue;
-                        };
-
-                        // Perform the migration transactionally; if the incremental re-routing
-                        // produces ordering decisions that cannot be timed consistently (rare —
-                        // see DESIGN.md §5.2), roll back and keep the task where it was.
-                        let txn = builder.begin_txn();
-                        migrate(
-                            &mut builder,
-                            graph,
-                            t,
-                            pivot,
-                            py,
-                            cfg,
-                            true,
-                            comm,
-                            &mut scratch.remote,
-                        );
-                        let retimed = match cfg.retiming {
-                            RetimingMode::Incremental => {
-                                builder.recompute_times_incremental().map(Some)
-                            }
-                            RetimingMode::Full => builder.recompute_times().map(|()| None),
-                        };
-                        let stats = match retimed {
-                            Err(_) => {
-                                builder.rollback(txn);
-                                continue;
-                            }
-                            Ok(stats) => stats,
-                        };
-                        builder.commit(txn);
-                        if let Some(stats) = stats {
-                            trace.retime.absorb(&stats);
-                        }
-                        sweep_migrations += 1;
-                        meter.record_migration();
-                        if cfg.record_trace {
-                            trace.migrations.push(MigrationRecord {
-                                pivot,
-                                task: t,
-                                from: pivot,
-                                to: py,
-                                old_finish: ft_pivot,
-                                new_finish_estimate: ft_estimate,
-                                vip_rule: via_vip,
-                            });
-                        }
-                        let length_now = builder.schedule_length();
-                        if progress
-                            .on_event(&SolveEvent::MigrationAccepted {
-                                task: t,
-                                from: pivot,
-                                to: py,
-                                incumbent: length_now,
-                            })
-                            .is_break()
-                        {
-                            stop = StopReason::ObserverStopped;
-                            break 'run;
-                        }
-                        if length_now < incumbent {
-                            incumbent = length_now;
-                            if cfg.record_trace {
-                                trace.incumbents.push(IncumbentRecord {
-                                    migrations: meter.migrations(),
-                                    length: length_now,
-                                });
-                            }
-                            if progress
-                                .on_event(&SolveEvent::IncumbentImproved { length: length_now })
-                                .is_break()
-                            {
-                                stop = StopReason::ObserverStopped;
-                                break 'run;
-                            }
-                        }
-                    }
-                }
-                // Later sweeps stop as soon as the schedule is quiescent.
-                if sweep_migrations == 0 {
-                    break;
-                }
-                let _ = sweep;
+            let workers = options.threads - 1;
+            if workers == 0 {
+                stop = self.migration_phase(
+                    &mut builder,
+                    graph,
+                    system,
+                    comm,
+                    &processor_order,
+                    &mut meter,
+                    progress,
+                    &mut trace,
+                    &mut incumbent,
+                    &mut scratch,
+                    None,
+                    &mut thread0,
+                );
+            } else {
+                // The mirrors are cloned once from the committed post-serialization
+                // state; the crew keeps them byte-identical by replaying every
+                // commit, so estimates computed on them equal the serial path's and
+                // the schedule is bit-identical at any thread count (DESIGN.md §12).
+                (stop, worker_stats) = std::thread::scope(|scope| {
+                    let mirrors: Vec<ScheduleBuilder<'_>> =
+                        (0..workers).map(|_| builder.clone()).collect();
+                    let mut crew = Crew::spawn(scope, mirrors, graph, cfg, comm);
+                    let stop = self.migration_phase(
+                        &mut builder,
+                        graph,
+                        system,
+                        comm,
+                        &processor_order,
+                        &mut meter,
+                        progress,
+                        &mut trace,
+                        &mut incumbent,
+                        &mut scratch,
+                        Some(&mut crew),
+                        &mut thread0,
+                    );
+                    (stop, crew.finish())
+                });
             }
         }
+        trace.thread_stats.push(thread0);
+        trace.thread_stats.extend(worker_stats);
 
         trace.stop = stop;
         trace.final_length = builder.schedule_length();
         let schedule = builder.finish(Solver::name(self))?;
         Ok((schedule, trace))
+    }
+
+    /// The bubble-up migration loop (paper lines 5–21), extracted from [`Bsa::run`]
+    /// so the parallel path can wrap it in a [`std::thread::scope`].
+    ///
+    /// With a `crew`, candidate finish times are priced concurrently on the crew's
+    /// mirror builders; *decisions and commits stay on this thread*, in the exact
+    /// order of the serial loop, and every commit is broadcast to the mirrors.
+    /// Without a crew the candidates are priced inline on `builder` — the original
+    /// single-threaded path, byte for byte.
+    #[allow(clippy::too_many_arguments)]
+    fn migration_phase(
+        &self,
+        builder: &mut ScheduleBuilder<'_>,
+        graph: &TaskGraph,
+        system: &HeterogeneousSystem,
+        comm: Option<&CommModel>,
+        processor_order: &[ProcId],
+        meter: &mut BudgetMeter,
+        progress: &mut dyn Progress,
+        trace: &mut SolveTrace,
+        incumbent: &mut f64,
+        scratch: &mut MigrateScratch,
+        mut crew: Option<&mut Crew>,
+        thread0: &mut ThreadStats,
+    ) -> StopReason {
+        let cfg = &self.config;
+        let mut stop = StopReason::Converged;
+        'run: for sweep in 0..cfg.sweeps.max(1) {
+            let mut sweep_migrations = 0usize;
+            for &pivot in processor_order {
+                if progress
+                    .on_event(&SolveEvent::PivotStarted { pivot, sweep })
+                    .is_break()
+                {
+                    stop = StopReason::ObserverStopped;
+                    break 'run;
+                }
+                scratch.tasks.clear();
+                scratch.tasks.extend(builder.tasks_on(pivot));
+                // Finish times as they stand when the pivot phase begins.  Migration decisions
+                // compare candidate finish times against these phase-start values (the finish
+                // time the task would keep if the pivot's schedule were left as is), which is
+                // what lets a heavily loaded pivot shed most of its load in one phase.
+                scratch.phase_ft.clear();
+                scratch
+                    .phase_ft
+                    .extend(graph.task_ids().map(|x| builder.finish_of(x)));
+                for ti in 0..scratch.tasks.len() {
+                    if let Some(s) = meter.check() {
+                        stop = s;
+                        break 'run;
+                    }
+                    let t = scratch.tasks[ti];
+                    if builder.proc_of(t) != Some(pivot) {
+                        continue;
+                    }
+                    let (drt_pivot, vip) = builder.current_drt(t);
+                    let ft_pivot = if cfg.compare_against_phase_start {
+                        scratch.phase_ft[t.index()]
+                    } else {
+                        builder.finish_of(t)
+                    };
+                    let vip_on_pivot = vip.map_or(true, |v| builder.proc_of(v) == Some(pivot));
+                    // Paper line 7: "if FT(Ti, Pivot) > DRT(Ti, Pivot) or VIP of Ti is not
+                    // scheduled to Pivot".  Since FT = ST + w ≥ DRT + w, the condition holds for
+                    // every task with positive execution cost — i.e. every task is considered
+                    // for migration in every pivot phase; only zero-cost tasks that start right
+                    // at their data-ready time next to their VIP are skipped.
+                    if ft_pivot <= drt_pivot + EPS && vip_on_pivot {
+                        continue;
+                    }
+
+                    // Price every neighbour of the pivot: one finish-time estimate per
+                    // neighbour index, serially or fanned out across the crew.
+                    let neighbors = system.topology.neighbors(pivot);
+                    match crew.as_deref_mut() {
+                        Some(c) => c.evaluate(
+                            builder,
+                            graph,
+                            t,
+                            pivot,
+                            cfg,
+                            comm,
+                            &mut scratch.remote,
+                            neighbors.len(),
+                            &mut scratch.cand_ft,
+                            thread0,
+                        ),
+                        None => {
+                            scratch.cand_ft.clear();
+                            for &(py, _link) in neighbors {
+                                let ft = estimate_finish_on_neighbor(
+                                    builder,
+                                    graph,
+                                    t,
+                                    pivot,
+                                    py,
+                                    cfg,
+                                    comm,
+                                    &mut scratch.remote,
+                                );
+                                thread0.evals += 1;
+                                scratch.cand_ft.push(ft);
+                            }
+                        }
+                    }
+
+                    // The decision over the estimates is always serial, in neighbour
+                    // order — identical at any thread count.
+                    let mut best: Option<(ProcId, f64)> = None;
+                    let mut vip_equal: Option<(ProcId, f64)> = None;
+                    for (i, &(py, _link)) in neighbors.iter().enumerate() {
+                        let ft_y = scratch.cand_ft[i];
+                        if ft_y < ft_pivot - EPS {
+                            let better = best.map_or(true, |(bp, bf)| {
+                                ft_y < bf - EPS || ((ft_y - bf).abs() <= EPS && py < bp)
+                            });
+                            if better {
+                                best = Some((py, ft_y));
+                            }
+                        } else if cfg.use_vip_rule
+                            && (ft_y - ft_pivot).abs() <= EPS
+                            && vip.is_some_and(|v| builder.proc_of(v) == Some(py))
+                            && vip_equal.is_none()
+                        {
+                            vip_equal = Some((py, ft_y));
+                        }
+                    }
+
+                    let decision = match (best, vip_equal) {
+                        (Some(b), _) => Some((b, false)),
+                        (None, Some(v)) => Some((v, true)),
+                        (None, None) => None,
+                    };
+                    let Some(((py, ft_estimate), via_vip)) = decision else {
+                        continue;
+                    };
+
+                    // Perform the migration transactionally; if the incremental re-routing
+                    // produces ordering decisions that cannot be timed consistently (rare —
+                    // see DESIGN.md §5.2), roll back and keep the task where it was.  A
+                    // rolled-back attempt is never broadcast to the crew: the kernel's
+                    // byte-exact rollback leaves this builder in the state the mirrors
+                    // already hold.
+                    let txn = builder.begin_txn();
+                    migrate(
+                        builder,
+                        graph,
+                        t,
+                        pivot,
+                        py,
+                        cfg,
+                        true,
+                        comm,
+                        &mut scratch.remote,
+                    );
+                    let retimed = match cfg.retiming {
+                        RetimingMode::Incremental => {
+                            builder.recompute_times_incremental().map(Some)
+                        }
+                        RetimingMode::Full => builder.recompute_times().map(|()| None),
+                    };
+                    let stats = match retimed {
+                        Err(_) => {
+                            builder.rollback(txn);
+                            continue;
+                        }
+                        Ok(stats) => stats,
+                    };
+                    builder.commit(txn);
+                    if let Some(c) = crew.as_deref_mut() {
+                        c.replay(t, pivot, py);
+                    }
+                    if let Some(stats) = stats {
+                        trace.retime.absorb(&stats);
+                        thread0.retime.absorb(&stats);
+                    }
+                    sweep_migrations += 1;
+                    meter.record_migration();
+                    if cfg.record_trace {
+                        trace.migrations.push(MigrationRecord {
+                            pivot,
+                            task: t,
+                            from: pivot,
+                            to: py,
+                            old_finish: ft_pivot,
+                            new_finish_estimate: ft_estimate,
+                            vip_rule: via_vip,
+                        });
+                    }
+                    let length_now = builder.schedule_length();
+                    if progress
+                        .on_event(&SolveEvent::MigrationAccepted {
+                            task: t,
+                            from: pivot,
+                            to: py,
+                            incumbent: length_now,
+                        })
+                        .is_break()
+                    {
+                        stop = StopReason::ObserverStopped;
+                        break 'run;
+                    }
+                    if length_now < *incumbent {
+                        *incumbent = length_now;
+                        if cfg.record_trace {
+                            trace.incumbents.push(IncumbentRecord {
+                                migrations: meter.migrations(),
+                                length: length_now,
+                            });
+                        }
+                        if progress
+                            .on_event(&SolveEvent::IncumbentImproved { length: length_now })
+                            .is_break()
+                        {
+                            stop = StopReason::ObserverStopped;
+                            break 'run;
+                        }
+                    }
+                }
+            }
+            // Later sweeps stop as soon as the schedule is quiescent.
+            if sweep_migrations == 0 {
+                break;
+            }
+            let _ = sweep;
+        }
+        stop
     }
 }
 
@@ -370,6 +485,7 @@ impl Solver for Bsa {
                 stop: trace.stop,
                 seed: options.seed,
                 route_policy: options.route_policy,
+                threads: options.threads,
                 warm_start: false,
                 delta: None,
             },
@@ -390,7 +506,7 @@ impl Solver for Bsa {
 /// when several messages competed for the joining link).  Outgoing messages are skipped:
 /// they do not influence `t`'s own finish time.
 #[allow(clippy::too_many_arguments)]
-fn estimate_finish_on_neighbor(
+pub(crate) fn estimate_finish_on_neighbor(
     builder: &mut ScheduleBuilder<'_>,
     graph: &TaskGraph,
     t: TaskId,
@@ -419,7 +535,7 @@ fn estimate_finish_on_neighbor(
 ///
 /// [`Txn`]: bsa_schedule::Txn
 #[allow(clippy::too_many_arguments)]
-fn migrate(
+pub(crate) fn migrate(
     builder: &mut ScheduleBuilder<'_>,
     graph: &TaskGraph,
     t: TaskId,

@@ -27,7 +27,7 @@
 //! use bsa_core::Bsa;
 //! use bsa_network::builders::ring;
 //! use bsa_network::HeterogeneousSystem;
-//! use bsa_schedule::Scheduler;
+//! use bsa_schedule::solver::{Problem, Solver};
 //! use bsa_taskgraph::TaskGraphBuilder;
 //!
 //! let mut b = TaskGraphBuilder::new();
@@ -36,12 +36,14 @@
 //! b.add_edge(t0, t1, 5.0).unwrap();
 //! let graph = b.build().unwrap();
 //! let system = HeterogeneousSystem::homogeneous(&graph, ring(4).unwrap());
-//! let schedule = Bsa::default().schedule(&graph, &system).unwrap();
+//! let problem = Problem::new(&graph, &system).unwrap();
+//! let schedule = Bsa::default().solve_unbounded(&problem).unwrap().schedule;
 //! assert_eq!(schedule.schedule_length(), 30.0);
 //! ```
 
 pub mod bsa;
 pub mod config;
+pub(crate) mod parallel;
 pub mod pivot;
 pub mod serialization;
 pub mod trace;

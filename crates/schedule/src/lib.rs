@@ -36,10 +36,16 @@
 //!
 //! Algorithms are exposed through the **solver-session API** of [`solver`]: a
 //! [`Problem`] (graph + system, validated once) is handed to a [`Solver`] together with
-//! [`SolveOptions`] (deadline, migration budget, cancellation) and a streaming
-//! [`solver::Progress`] observer, and comes back as a [`Solution`] (schedule + metrics +
-//! [`SolveTrace`] + provenance).  The pre-session [`Scheduler`] trait survives as a
-//! deprecated shim blanket-implemented for every solver.
+//! [`SolveOptions`] (deadline, migration budget, cancellation, worker threads) and a
+//! streaming [`solver::Progress`] observer, and comes back as a [`Solution`] (schedule +
+//! metrics + [`SolveTrace`] + provenance).  The pre-session `Scheduler` trait and its
+//! blanket shim have been retired; sessions are the only solving surface.
+//!
+//! Because [`Problem`] is `Send + Sync` (statically asserted in [`solver`]), one
+//! validated instance can be raced by several solver configurations at once:
+//! [`portfolio`] runs N entries on OS threads over the shared problem, publishes the
+//! best incumbent as it lands, and cancels the losers ([`pool`] supplies the scoped
+//! worker pool).
 //!
 //! Instances that **evolve** — task arrival/completion, link failure/recovery,
 //! processor hot-plug — are mutated through [`delta`] (a [`ProblemDelta`] applied with
@@ -53,6 +59,8 @@ pub mod delta;
 pub mod gantt;
 pub mod incremental;
 pub mod metrics;
+pub mod pool;
+pub mod portfolio;
 pub mod recompute;
 pub mod resolve;
 pub mod router;
@@ -67,20 +75,18 @@ pub use builder::ScheduleBuilder;
 pub use delta::{DeltaError, DeltaOp, ProblemDelta, ProblemUpdate};
 pub use incremental::RetimeStats;
 pub use metrics::ScheduleMetrics;
+pub use portfolio::{Portfolio, PortfolioEntry, RaceStrategy};
 pub use recompute::RecomputeError;
 pub use resolve::ResolveError;
 pub use schedule::{MessageHop, MessageRoute, Schedule, TaskPlacement};
 pub use solver::{
     BudgetMeter, CancelToken, EventLog, IncumbentRecord, MigrationRecord, NoProgress, Problem,
     Progress, Provenance, RetimeTotals, Solution, SolveError, SolveEvent, SolveOptions, SolveTrace,
-    Solver, StopReason,
+    Solver, StopReason, ThreadStats, MAX_THREADS,
 };
 pub use timeline::Timeline;
 pub use txn::Txn;
 pub use validate::{validate, ValidationError};
-
-use bsa_network::HeterogeneousSystem;
-use bsa_taskgraph::TaskGraph;
 
 /// Errors a scheduler may report.
 #[derive(Debug, Clone, PartialEq)]
@@ -102,34 +108,12 @@ impl std::fmt::Display for ScheduleError {
 
 impl std::error::Error for ScheduleError {}
 
-/// A static scheduling algorithm mapping a task graph onto a heterogeneous system.
-///
-/// Deprecated: the blocking, all-or-nothing call offers no deadlines, cancellation,
-/// progress or best-so-far answers.  Every [`Solver`] still implements this trait
-/// through a blanket shim (validate, solve unbudgeted, return the bare schedule), so
-/// existing callers keep working while they migrate.
-#[deprecated(
-    since = "0.1.0",
-    note = "use the session-based `Solver` trait (`solver::Solver`) with `Problem`, \
-            `SolveOptions` and a `Progress` observer; this shim forwards to it"
-)]
-pub trait Scheduler {
-    /// Short human-readable name ("BSA", "DLS", …) used in reports.
-    fn name(&self) -> &str;
-
-    /// Produces a complete schedule of `graph` on `system`.
-    fn schedule(
-        &self,
-        graph: &TaskGraph,
-        system: &HeterogeneousSystem,
-    ) -> Result<Schedule, ScheduleError>;
-}
-
 /// Convenient glob-import for downstream crates.
 pub mod prelude {
     pub use crate::builder::ScheduleBuilder;
     pub use crate::delta::{DeltaError, DeltaOp, ProblemDelta, ProblemUpdate};
     pub use crate::metrics::ScheduleMetrics;
+    pub use crate::portfolio::{Portfolio, PortfolioEntry, RaceStrategy};
     pub use crate::resolve::ResolveError;
     pub use crate::schedule::{MessageHop, MessageRoute, Schedule, TaskPlacement};
     pub use crate::solver::{
@@ -137,8 +121,5 @@ pub mod prelude {
         SolveTrace, Solver, StopReason,
     };
     pub use crate::validate::{validate, ValidationError};
-    // The deprecated `Scheduler` shim is deliberately NOT in the prelude: `dyn Solver`
-    // implements it through the blanket impl, so importing both traits would make every
-    // `.name()` call ambiguous.  Reach it at `bsa_schedule::Scheduler` while migrating.
     pub use crate::ScheduleError;
 }

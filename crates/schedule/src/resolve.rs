@@ -285,6 +285,7 @@ impl Solution {
             stop,
             seed: options.seed,
             route_policy: options.route_policy,
+            threads: options.threads,
             warm_start: true,
             delta: Some(update.summary().to_string()),
         };

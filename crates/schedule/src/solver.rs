@@ -1,8 +1,9 @@
 //! The solver-session API: *anytime* scheduling with budgets, cancellation and
 //! streaming progress.
 //!
-//! The original entry point of this workspace was the blocking, all-or-nothing
-//! [`Scheduler::schedule`] call.  Long-running irregular computations are served in
+//! The original entry point of this workspace was a blocking, all-or-nothing
+//! `Scheduler::schedule` call (retired in favour of this API).  Long-running
+//! irregular computations are served in
 //! practice as **anytime** computations: the caller sets a budget (wall-clock deadline,
 //! iteration count, a cancellation token), observes progress as it streams in, and
 //! receives the current *incumbent* when the budget runs out.  BSA is naturally anytime
@@ -26,12 +27,14 @@
 //! * [`SolveError`] — a typed, `#[non_exhaustive]` error enum replacing the stringly
 //!   `ScheduleError::{Mismatch, Internal}`.
 //!
-//! Every algorithm implements [`Solver`]; the legacy [`Scheduler`] trait survives as a
-//! deprecated shim blanket-implemented for all solvers (see the impl at the bottom of
-//! this module).
+//! Every algorithm implements [`Solver`].  The pre-session `Scheduler` trait and its
+//! blanket shim were retired once the last in-tree caller migrated; the session API is
+//! the only public solving surface.
 //!
-//! [`Scheduler`]: crate::Scheduler
-//! [`Scheduler::schedule`]: crate::Scheduler::schedule
+//! `Problem`, [`CancelToken`] and the underlying network tables are `Send + Sync`
+//! (statically asserted below), so one validated problem can be shared by racing
+//! solver threads — the contract [`crate::portfolio`] and the concurrent
+//! neighbourhood evaluation inside BSA are built on.
 
 use crate::builder::ScheduleBuilder;
 use crate::metrics::ScheduleMetrics;
@@ -145,9 +148,10 @@ impl CancelToken {
     }
 }
 
-/// Budgets and knobs of one solve call.  The default is *unlimited*: no deadline, no
-/// iteration budget, no cancellation — byte-for-byte the legacy blocking behaviour.
-#[derive(Debug, Clone, Default)]
+/// Budgets and knobs of one solve call.  The default is *unlimited* and
+/// single-threaded: no deadline, no iteration budget, no cancellation —
+/// byte-for-byte the legacy blocking behaviour.
+#[derive(Debug, Clone)]
 pub struct SolveOptions {
     /// Wall-clock budget, measured from the moment `solve` is entered.  Anytime solvers
     /// (BSA) return their current incumbent when it expires; constructive solvers (DLS,
@@ -171,7 +175,31 @@ pub struct SolveOptions {
     /// The default, [`RoutePolicy::ShortestHop`], reproduces the pre-pluggable
     /// behaviour bit for bit.
     pub route_policy: RoutePolicy,
+    /// Worker threads a solver may use (≥ 1).  `1` (the default) is strictly
+    /// single-threaded.  BSA evaluates candidate-migration finish times concurrently
+    /// on mirror builders but commits only the serial winner, so the schedule is
+    /// **bit-identical at any thread count**; solvers without a parallel phase ignore
+    /// the knob.  Validated by [`SolveOptions::validate`] at solve entry.
+    pub threads: usize,
 }
+
+impl Default for SolveOptions {
+    fn default() -> Self {
+        SolveOptions {
+            deadline: None,
+            max_migrations: None,
+            cancel: None,
+            seed: None,
+            route_policy: RoutePolicy::default(),
+            threads: 1,
+        }
+    }
+}
+
+/// Upper bound on [`SolveOptions::threads`]: far above any sensible worker count, it
+/// exists only to turn typos (`threads: usize::MAX`) into [`SolveError::InvalidOptions`]
+/// instead of a spawn storm.
+pub const MAX_THREADS: usize = 512;
 
 impl SolveOptions {
     /// Alias for [`SolveOptions::default`]: no budget of any kind.
@@ -209,9 +237,35 @@ impl SolveOptions {
         self
     }
 
+    /// Sets the worker-thread count (see [`SolveOptions::threads`]).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
     /// Whether no budget, deadline or cancellation is configured.
     pub fn is_unlimited(&self) -> bool {
         self.deadline.is_none() && self.max_migrations.is_none() && self.cancel.is_none()
+    }
+
+    /// Checks the options for internal consistency.  Called by every solver at entry;
+    /// today the only rejectable knob is [`threads`](SolveOptions::threads) (zero, or
+    /// beyond [`MAX_THREADS`]).
+    pub fn validate(&self) -> Result<(), SolveError> {
+        if self.threads == 0 {
+            return Err(SolveError::InvalidOptions {
+                detail: "threads must be >= 1 (1 = single-threaded)".into(),
+            });
+        }
+        if self.threads > MAX_THREADS {
+            return Err(SolveError::InvalidOptions {
+                detail: format!(
+                    "threads = {} exceeds MAX_THREADS = {MAX_THREADS}",
+                    self.threads
+                ),
+            });
+        }
+        Ok(())
     }
 }
 
@@ -374,6 +428,19 @@ pub enum SolveEvent {
         /// The task's finish time at placement.
         finish: f64,
     },
+    /// A racing portfolio entry finished its solve (see [`crate::portfolio`]).
+    /// Emitted once per entry, winners and losers alike, so an observer can tell when
+    /// a configuration's event stream has ended; after the winner's `ConfigFinished`
+    /// no further per-step events from losing configurations are forwarded.
+    ConfigFinished {
+        /// Zero-based index of the entry in the portfolio's roster.
+        config: usize,
+        /// Final incumbent length of the entry (`None` when the entry produced no
+        /// feasible schedule, e.g. a cancelled constructive solver).
+        length: Option<f64>,
+        /// Why the entry's solve stopped.
+        stop: StopReason,
+    },
 }
 
 /// Streaming observer of a running solve.
@@ -468,6 +535,11 @@ pub enum SolveError {
         /// Which phase produced the cyclic decisions.
         context: &'static str,
     },
+    /// The [`SolveOptions`] are internally inconsistent (e.g. `threads == 0`).
+    InvalidOptions {
+        /// Which knob is invalid and why.
+        detail: String,
+    },
     /// Any other internal inconsistency.
     Internal {
         /// Human-readable description.
@@ -512,6 +584,7 @@ impl std::fmt::Display for SolveError {
             SolveError::CyclicDecisions { context } => {
                 write!(f, "ordering decisions form a cycle ({context})")
             }
+            SolveError::InvalidOptions { detail } => write!(f, "invalid solve options: {detail}"),
             SolveError::Internal { detail } => write!(f, "internal scheduling error: {detail}"),
         }
     }
@@ -603,6 +676,25 @@ impl RetimeTotals {
     }
 }
 
+/// Work performed by one thread of a parallel solve — the per-thread phase counters
+/// surfaced by BSA's concurrent neighbourhood evaluation.  Thread `0` is the calling
+/// thread (it owns the real builder and performs every commit); threads `1..` are the
+/// evaluation workers, whose re-timing counters come from replaying committed
+/// migrations onto their mirror builders.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ThreadStats {
+    /// Zero-based thread index (0 = the calling thread).
+    pub thread: usize,
+    /// Speculative candidate evaluations (`speculate` + rollback) performed.
+    pub evals: u64,
+    /// Committed migrations replayed onto this thread's mirror builder (always 0 for
+    /// thread 0, whose builder is the commit target itself).
+    pub replays: u64,
+    /// Re-timing phase counters accrued on this thread (commit re-timings for thread
+    /// 0, replay re-timings for workers).
+    pub retime: RetimeTotals,
+}
+
 /// One incumbent improvement: after `migrations` accepted migrations the schedule
 /// length dropped to `length`.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -641,10 +733,15 @@ pub struct SolveTrace {
     pub serialized_length: Option<f64>,
     /// Final schedule length.
     pub final_length: f64,
-    /// Aggregated re-timing phase counters (incremental kernel diagnostics).
+    /// Aggregated re-timing phase counters (incremental kernel diagnostics).  Counts
+    /// **committed** re-timings only, at any thread count, so the totals stay
+    /// comparable across `threads` settings.
     pub retime: RetimeTotals,
     /// Incumbent improvements in chronological order (when tracing is on).
     pub incumbents: Vec<IncumbentRecord>,
+    /// Per-thread work counters of a parallel solve.  Single-threaded solves record
+    /// one entry (thread 0); solvers without a parallel phase leave it empty.
+    pub thread_stats: Vec<ThreadStats>,
 }
 
 impl SolveTrace {
@@ -718,6 +815,18 @@ impl SolveTrace {
             self.retime.changed_nodes
         ));
         out.push_str(&format!(
+            "\"thread_stats\": [{}], ",
+            self.thread_stats
+                .iter()
+                .map(|t| format!(
+                    "{{\"thread\": {}, \"evals\": {}, \"replays\": {}, \"retime_passes\": {}, \
+                     \"retime_cone_nodes\": {}}}",
+                    t.thread, t.evals, t.replays, t.retime.passes, t.retime.cone_nodes
+                ))
+                .collect::<Vec<_>>()
+                .join(", ")
+        ));
+        out.push_str(&format!(
             "\"incumbents\": [{}], ",
             self.incumbents
                 .iter()
@@ -767,6 +876,8 @@ pub struct Provenance {
     pub seed: Option<u64>,
     /// The message-routing policy from [`SolveOptions::route_policy`].
     pub route_policy: RoutePolicy,
+    /// The worker-thread count from [`SolveOptions::threads`] the solve ran with.
+    pub threads: usize,
     /// Whether the solution was warm-started from a committed schedule
     /// (`Solution::resolve`) rather than solved from scratch.
     pub warm_start: bool,
@@ -802,7 +913,7 @@ impl Solution {
 }
 
 // ---------------------------------------------------------------------------------
-// The Solver trait and the deprecated Scheduler shim
+// The Solver trait
 // ---------------------------------------------------------------------------------
 
 /// A static scheduling algorithm exposed as a solver session: it maps a validated
@@ -826,33 +937,26 @@ pub trait Solver {
     }
 }
 
-/// Every solver still speaks the legacy [`Scheduler`] protocol: validate, solve with no
-/// budget, return the bare schedule.  This is the deprecated shim the ecosystem
-/// migrates away from.
-///
-/// One deliberate tightening versus the pre-session behaviour: the shim validates
-/// through [`Problem::new`], so a *disconnected* topology — which the old direct path
-/// accepted and scheduled within one component (or crashed on, for the routing-table
-/// baselines) — now fails up front with [`SolveError::DisconnectedSystem`].
-///
-/// [`Scheduler`]: crate::Scheduler
-#[allow(deprecated)]
-impl<S: Solver + ?Sized> crate::Scheduler for S {
-    fn name(&self) -> &str {
-        Solver::name(self)
-    }
+// ---------------------------------------------------------------------------------
+// The memory-sharing contract, statically asserted
+// ---------------------------------------------------------------------------------
 
-    fn schedule(
-        &self,
-        graph: &TaskGraph,
-        system: &HeterogeneousSystem,
-    ) -> Result<Schedule, ScheduleError> {
-        let problem = Problem::new(graph, system)?;
-        Ok(self
-            .solve(&problem, &SolveOptions::default(), &mut NoProgress)?
-            .schedule)
-    }
-}
+// The portfolio shares one validated `Problem` across racing OS threads and hands
+// `CancelToken` clones to every worker; BSA's concurrent neighbourhood evaluation
+// sends `ScheduleBuilder` mirrors to evaluation threads.  These compile-time
+// assertions pin the contract: if anyone threads interior mutability (`Rc`,
+// `RefCell`, raw pointers, …) into the problem data, the crate stops compiling here
+// instead of racing at run time.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    const fn assert_send<T: Send>() {}
+    assert_send_sync::<Problem<'static>>();
+    assert_send_sync::<CancelToken>();
+    assert_send_sync::<bsa_network::RoutingTable>();
+    assert_send_sync::<SolveOptions>();
+    assert_send_sync::<StopReason>();
+    assert_send::<ScheduleBuilder<'static>>();
+};
 
 #[cfg(test)]
 mod tests {
@@ -950,6 +1054,25 @@ mod tests {
     }
 
     #[test]
+    fn options_validate_rejects_zero_and_absurd_thread_counts() {
+        assert_eq!(SolveOptions::default().threads, 1);
+        assert!(SolveOptions::default().validate().is_ok());
+        assert!(SolveOptions::default()
+            .with_threads(MAX_THREADS)
+            .validate()
+            .is_ok());
+        assert!(matches!(
+            SolveOptions::default().with_threads(0).validate(),
+            Err(SolveError::InvalidOptions { .. })
+        ));
+        let e = SolveOptions::default()
+            .with_threads(MAX_THREADS + 1)
+            .validate()
+            .unwrap_err();
+        assert!(e.to_string().contains("invalid solve options"));
+    }
+
+    #[test]
     fn solve_errors_render_and_convert() {
         let e = SolveError::retiming("test", RecomputeError::CyclicDecisions);
         assert_eq!(e, SolveError::CyclicDecisions { context: "test" });
@@ -990,9 +1113,16 @@ mod tests {
                 migrations: 1,
                 length: 80.0,
             }],
+            thread_stats: vec![ThreadStats {
+                thread: 0,
+                evals: 7,
+                replays: 0,
+                retime: RetimeTotals::default(),
+            }],
         };
         let json = trace.to_json();
         assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"thread_stats\": [{\"thread\": 0, \"evals\": 7, "));
         assert!(json.contains("\"stop\": \"migration_budget_exhausted\""));
         assert!(json.contains("\"first_pivot\": 1"));
         assert!(json.contains("\"incumbents\": [{\"migrations\": 1, \"length\": 80}]"));

@@ -7,9 +7,9 @@
 //! compatibility).
 
 use bsa_baselines::{ContentionObliviousHeft, Dls, Heft, SerialScheduler};
-use bsa_core::{Bsa, BsaConfig, PivotStrategy};
-use bsa_network::ProcId;
-use bsa_schedule::Solver;
+use bsa_core::{Bsa, BsaConfig, PivotStrategy, RetimingMode};
+use bsa_network::{ProcId, RoutePolicy};
+use bsa_schedule::{Portfolio, SolveOptions, Solver};
 
 /// Identifier of a scheduler variant in reports.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -83,6 +83,39 @@ impl Algo {
     }
 }
 
+/// The standard racing roster: BSA under every (re-timing mode × route policy)
+/// combination.  Re-timing modes produce identical schedules at different costs, but
+/// route policies genuinely change the result on heterogeneous links, so the race
+/// covers the configuration axes a user would otherwise have to sweep by hand.
+///
+/// Returned with the default [`bsa_schedule::RaceStrategy::BestOfAll`], so the
+/// portfolio's answer is deterministic at any worker count; chain
+/// `.with_strategy(RaceStrategy::FirstConverged)` for the lowest-latency variant.
+pub fn standard_portfolio() -> Portfolio {
+    let axes: [(&str, RetimingMode); 2] = [
+        ("incremental", RetimingMode::Incremental),
+        ("full", RetimingMode::Full),
+    ];
+    let policies: [(&str, RoutePolicy); 2] = [
+        ("shortest-hop", RoutePolicy::ShortestHop),
+        ("min-transfer", RoutePolicy::MinTransferTime),
+    ];
+    let mut portfolio = Portfolio::new();
+    for (rlabel, retiming) in axes {
+        for (plabel, policy) in policies {
+            portfolio = portfolio.add(
+                format!("bsa/{rlabel}/{plabel}"),
+                Box::new(Bsa::new(BsaConfig {
+                    retiming,
+                    ..BsaConfig::default()
+                })),
+                SolveOptions::default().with_route_policy(policy),
+            );
+        }
+    }
+    portfolio
+}
+
 impl std::fmt::Display for Algo {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.write_str(self.label())
@@ -96,6 +129,31 @@ mod tests {
     use bsa_network::HeterogeneousSystem;
     use bsa_schedule::{Problem, StopReason};
     use bsa_taskgraph::TaskGraphBuilder;
+
+    #[test]
+    fn the_standard_portfolio_races_four_bsa_configurations() {
+        let portfolio = standard_portfolio();
+        assert_eq!(portfolio.len(), 4);
+        let labels: Vec<&str> = portfolio
+            .entries()
+            .iter()
+            .map(|e| e.label.as_str())
+            .collect();
+        assert!(labels.contains(&"bsa/incremental/shortest-hop"));
+        assert!(labels.contains(&"bsa/full/min-transfer"));
+
+        let mut b = TaskGraphBuilder::new();
+        let a = b.add_task("a", 5.0);
+        let c = b.add_task("c", 5.0);
+        b.add_edge(a, c, 1.0).unwrap();
+        let g = b.build().unwrap();
+        let sys = HeterogeneousSystem::homogeneous(&g, ring(4).unwrap());
+        let problem = Problem::new(&g, &sys).unwrap();
+        let solution = portfolio.solve_unbounded(&problem).unwrap();
+        assert_eq!(solution.provenance.solver, "Portfolio");
+        assert!(solution.provenance.config.contains("winner = bsa/"));
+        assert_eq!(solution.stop(), StopReason::Converged);
+    }
 
     #[test]
     fn every_algo_instantiates_and_solves_a_tiny_graph() {

@@ -79,6 +79,7 @@ pub use bsa_workloads as workloads;
 
 /// The most commonly used items from every sub-crate.
 pub mod prelude {
+    pub use crate::algorithms::Algo;
     pub use bsa_baselines::{ContentionObliviousHeft, Dls, Heft, SerialScheduler};
     pub use bsa_core::{Bsa, BsaConfig, PivotStrategy, RetimingMode};
     pub use bsa_network::builders::TopologyKind;
@@ -86,15 +87,11 @@ pub mod prelude {
         CommCostModel, CommModel, ExecutionCostMatrix, HeterogeneityRange, HeterogeneousSystem,
         LinkId, LinkMode, ProcId, RoutePolicy, RoutingTable, Topology,
     };
-    // The deprecated `Scheduler` shim is deliberately NOT re-exported here: `dyn
-    // Solver` implements it through the blanket impl, so importing both traits would
-    // make every `.name()` call ambiguous.  Reach it at `bsa::schedule::Scheduler`
-    // while migrating.
-    pub use crate::algorithms::Algo;
     pub use bsa_schedule::{
-        CancelToken, DeltaError, DeltaOp, NoProgress, Problem, ProblemDelta, ProblemUpdate,
-        Progress, ResolveError, Schedule, ScheduleError, ScheduleMetrics, Solution, SolveError,
-        SolveEvent, SolveOptions, SolveTrace, Solver, StopReason,
+        CancelToken, DeltaError, DeltaOp, NoProgress, Portfolio, PortfolioEntry, Problem,
+        ProblemDelta, ProblemUpdate, Progress, RaceStrategy, ResolveError, Schedule, ScheduleError,
+        ScheduleMetrics, Solution, SolveError, SolveEvent, SolveOptions, SolveTrace, Solver,
+        StopReason, ThreadStats,
     };
     pub use bsa_taskgraph::{EdgeId, GraphLevels, GraphStats, TaskGraph, TaskGraphBuilder, TaskId};
     pub use bsa_workloads::prelude::*;

@@ -1,0 +1,284 @@
+//! Cross-crate tests of the parallel solve paths (DESIGN.md §12):
+//!
+//! 1. **thread-count determinism** — a BSA solve with `with_threads(t)` is
+//!    *bit-identical* (processor, start, finish of every task) to the single-threaded
+//!    solve for any `t`, on several workload/topology shapes: the concurrent
+//!    neighbourhood evaluation prices candidates on per-thread mirrors but commits
+//!    serially, so threads may never change the answer;
+//! 2. **portfolio racing** — the merged event stream is monotone in incumbent length,
+//!    losing configurations go quiet after the winner's `ConfigFinished`, an outer
+//!    cancellation reaches every racing worker and is recorded in provenance, and
+//!    `BestOfAll` results are worker-count independent.
+
+use bsa::prelude::*;
+use bsa::schedule::validate;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::ops::ControlFlow;
+
+fn random_instance(
+    tasks: usize,
+    topology: Topology,
+    seed: u64,
+) -> (TaskGraph, HeterogeneousSystem) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let graph = bsa::workloads::random_dag::paper_random_graph(tasks, 1.0, &mut rng).unwrap();
+    let system = HeterogeneousSystem::generate(
+        &graph,
+        topology,
+        HeterogeneityRange::DEFAULT,
+        HeterogeneityRange::new(1.0, 4.0),
+        &mut rng,
+    );
+    (graph, system)
+}
+
+fn schedules_identical(graph: &TaskGraph, a: &Schedule, b: &Schedule) -> bool {
+    graph.task_ids().all(|t| {
+        a.proc_of(t) == b.proc_of(t)
+            && a.start_of(t) == b.start_of(t)
+            && a.finish_of(t) == b.finish_of(t)
+    }) && a.schedule_length() == b.schedule_length()
+}
+
+#[test]
+fn any_thread_count_yields_the_bit_identical_schedule() {
+    let instances = [
+        (
+            "hypercube",
+            random_instance(
+                120,
+                bsa::network::builders::hypercube_for(8).unwrap(),
+                0xA11,
+            ),
+        ),
+        (
+            "clique",
+            random_instance(80, bsa::network::builders::clique(6).unwrap(), 0xB22),
+        ),
+        (
+            "ring",
+            random_instance(60, bsa::network::builders::ring(5).unwrap(), 0xC33),
+        ),
+    ];
+    for (name, (graph, system)) in &instances {
+        let problem = Problem::new(graph, system).unwrap();
+        let baseline = Bsa::default()
+            .solve(
+                &problem,
+                &SolveOptions::default().with_threads(1),
+                &mut NoProgress,
+            )
+            .unwrap();
+        assert!(validate::validate(&baseline.schedule, graph, system).is_empty());
+        for threads in [2usize, 4, 8] {
+            let parallel = Bsa::default()
+                .solve(
+                    &problem,
+                    &SolveOptions::default().with_threads(threads),
+                    &mut NoProgress,
+                )
+                .unwrap();
+            assert!(
+                schedules_identical(graph, &baseline.schedule, &parallel.schedule),
+                "{name}: {threads}-thread schedule diverged from single-threaded"
+            );
+            assert_eq!(parallel.provenance.threads, threads, "{name}");
+        }
+    }
+}
+
+#[test]
+fn thread_stats_cover_every_thread_and_preserve_commit_only_retime_totals() {
+    let (graph, system) =
+        random_instance(80, bsa::network::builders::hypercube_for(8).unwrap(), 0xD44);
+    let problem = Problem::new(&graph, &system).unwrap();
+    let single = Bsa::new(BsaConfig::traced())
+        .solve(
+            &problem,
+            &SolveOptions::default().with_threads(1),
+            &mut NoProgress,
+        )
+        .unwrap();
+    assert_eq!(single.trace.thread_stats.len(), 1);
+    assert_eq!(single.trace.thread_stats[0].thread, 0);
+    assert!(single.trace.thread_stats[0].evals > 0);
+
+    let parallel = Bsa::new(BsaConfig::traced())
+        .solve(
+            &problem,
+            &SolveOptions::default().with_threads(3),
+            &mut NoProgress,
+        )
+        .unwrap();
+    let stats = &parallel.trace.thread_stats;
+    assert_eq!(stats.len(), 3);
+    assert_eq!(
+        stats.iter().map(|s| s.thread).collect::<Vec<_>>(),
+        vec![0, 1, 2]
+    );
+    // Every candidate is priced exactly once, by exactly one thread: the eval totals
+    // match the single-threaded count and the work is actually distributed.
+    let total: u64 = stats.iter().map(|s| s.evals).sum();
+    assert_eq!(total, single.trace.thread_stats[0].evals);
+    assert!(stats.iter().all(|s| s.evals > 0), "work not distributed");
+    // Workers replay every committed migration to stay byte-identical.
+    assert_eq!(
+        stats[1].replays as usize,
+        parallel.trace.num_migrations(),
+        "each worker replays each commit once"
+    );
+    // `trace.retime` stays commit-only so it is comparable across thread counts.
+    assert_eq!(parallel.trace.retime.passes, single.trace.retime.passes);
+}
+
+#[test]
+fn portfolio_merges_a_monotone_incumbent_stream_and_picks_the_best_entry() {
+    let (graph, system) =
+        random_instance(60, bsa::network::builders::hypercube_for(8).unwrap(), 0xE55);
+    let problem = Problem::new(&graph, &system).unwrap();
+    let mut log = bsa::schedule::EventLog::default();
+    let solution = bsa::algorithms::standard_portfolio()
+        .solve(&problem, &SolveOptions::default(), &mut log)
+        .unwrap();
+    assert_eq!(solution.provenance.solver, "Portfolio");
+    assert!(solution
+        .provenance
+        .config
+        .starts_with("best_of_all; 4 entries; winner = bsa/"));
+    assert!(validate::validate(&solution.schedule, &graph, &system).is_empty());
+
+    // The merged incumbent stream is strictly decreasing even though four entries
+    // emit improvements concurrently.
+    let improvements: Vec<f64> = log
+        .events
+        .iter()
+        .filter_map(|e| match e {
+            SolveEvent::IncumbentImproved { length } => Some(*length),
+            _ => None,
+        })
+        .collect();
+    assert!(!improvements.is_empty());
+    assert!(improvements.windows(2).all(|w| w[1] < w[0]));
+
+    // Every entry announces its end, and the best final length wins.
+    let finished = log
+        .events
+        .iter()
+        .filter(|e| matches!(e, SolveEvent::ConfigFinished { .. }))
+        .count();
+    assert_eq!(finished, 4);
+    let best_announced = log
+        .events
+        .iter()
+        .filter_map(|e| match e {
+            SolveEvent::ConfigFinished {
+                length: Some(l), ..
+            } => Some(*l),
+            _ => None,
+        })
+        .fold(f64::INFINITY, f64::min);
+    assert_eq!(best_announced, solution.metrics.schedule_length);
+}
+
+#[test]
+fn best_of_all_results_are_worker_count_independent() {
+    let (graph, system) =
+        random_instance(60, bsa::network::builders::hypercube_for(8).unwrap(), 0xF66);
+    let problem = Problem::new(&graph, &system).unwrap();
+    let sequential = bsa::algorithms::standard_portfolio()
+        .with_threads(1)
+        .solve_unbounded(&problem)
+        .unwrap();
+    for workers in [2usize, 4] {
+        let raced = bsa::algorithms::standard_portfolio()
+            .with_threads(workers)
+            .solve_unbounded(&problem)
+            .unwrap();
+        assert!(
+            schedules_identical(&graph, &sequential.schedule, &raced.schedule),
+            "BestOfAll diverged at {workers} workers"
+        );
+        assert_eq!(raced.provenance.config, sequential.provenance.config);
+    }
+}
+
+#[test]
+fn an_outer_cancellation_reaches_every_racing_worker() {
+    let (graph, system) = random_instance(
+        120,
+        bsa::network::builders::hypercube_for(8).unwrap(),
+        0x177,
+    );
+    let problem = Problem::new(&graph, &system).unwrap();
+    let token = CancelToken::new();
+    token.cancel();
+    let options = SolveOptions::default().with_cancel(token);
+    // Anytime BSA entries return their serialized incumbents when cancelled, so the
+    // race still produces a (valid) winner — with the cancellation recorded.
+    let solution = bsa::algorithms::standard_portfolio()
+        .solve(&problem, &options, &mut NoProgress)
+        .unwrap();
+    assert_eq!(solution.stop(), StopReason::Cancelled);
+    assert_eq!(solution.provenance.stop, StopReason::Cancelled);
+    assert!(validate::validate(&solution.schedule, &graph, &system).is_empty());
+}
+
+#[test]
+fn losing_configurations_go_quiet_after_a_first_converged_winner() {
+    let (graph, system) =
+        random_instance(80, bsa::network::builders::hypercube_for(8).unwrap(), 0x288);
+    let problem = Problem::new(&graph, &system).unwrap();
+    let mut events: Vec<SolveEvent> = Vec::new();
+    let solution = bsa::algorithms::standard_portfolio()
+        .with_strategy(RaceStrategy::FirstConverged)
+        .solve(
+            &problem,
+            &SolveOptions::default(),
+            &mut |event: &SolveEvent| {
+                events.push(*event);
+                ControlFlow::Continue(())
+            },
+        )
+        .unwrap();
+    assert!(validate::validate(&solution.schedule, &graph, &system).is_empty());
+    // After the first ConfigFinished (the winner's), the pump suppresses the losers'
+    // per-step events: only further ConfigFinished announcements may follow.
+    let first_finish = events
+        .iter()
+        .position(|e| matches!(e, SolveEvent::ConfigFinished { .. }))
+        .expect("the winner announces its finish");
+    assert!(
+        events[first_finish..]
+            .iter()
+            .all(|e| matches!(e, SolveEvent::ConfigFinished { .. })),
+        "a losing configuration's event leaked past the winner's finish"
+    );
+    let finished = events
+        .iter()
+        .filter(|e| matches!(e, SolveEvent::ConfigFinished { .. }))
+        .count();
+    assert_eq!(finished, 4, "every entry announces its end, win or lose");
+}
+
+#[test]
+fn a_portfolio_observer_break_cancels_the_race() {
+    let (graph, system) =
+        random_instance(80, bsa::network::builders::hypercube_for(8).unwrap(), 0x399);
+    let problem = Problem::new(&graph, &system).unwrap();
+    let mut seen = 0usize;
+    let result = bsa::algorithms::standard_portfolio().solve(
+        &problem,
+        &SolveOptions::default(),
+        &mut |_: &SolveEvent| {
+            seen += 1;
+            ControlFlow::Break(())
+        },
+    );
+    assert!(seen >= 1);
+    // Anytime BSA entries still return their incumbents after the break-triggered
+    // cancellation, so the portfolio reports the observer stop on a valid schedule.
+    let solution = result.unwrap();
+    assert_eq!(solution.stop(), StopReason::ObserverStopped);
+    assert!(validate::validate(&solution.schedule, &graph, &system).is_empty());
+}

@@ -1,14 +1,14 @@
 //! Cross-crate tests of the solver-session API: budget semantics, cancellation,
-//! streaming progress, provenance, and equivalence with the legacy blocking path.
+//! streaming progress, provenance, and determinism.
 //!
 //! The two core contracts pinned here:
 //!
 //! 1. **anytime validity** — a BSA solve stopped by *any* budget (deadline, migration
 //!    budget, cancellation, observer) returns an incumbent that passes the full
 //!    contention-model validation, on every workload generator in the workspace;
-//! 2. **legacy equivalence** — an unlimited-budget solve is bit-identical (processor,
-//!    start and finish of every task) to the deprecated `Scheduler::schedule` path for
-//!    every roster algorithm.
+//! 2. **determinism** — repeated unlimited-budget solves of the same problem are
+//!    bit-identical (processor, start and finish of every task) for every roster
+//!    algorithm.
 
 use bsa::prelude::*;
 use bsa::schedule::validate;
@@ -124,21 +124,18 @@ fn budgeted_solves_return_valid_incumbents_on_every_workload_generator() {
 }
 
 #[test]
-fn unlimited_solves_are_bit_identical_to_the_legacy_scheduler_path() {
-    #[allow(deprecated)]
-    use bsa::schedule::Scheduler;
+fn repeated_unlimited_solves_are_bit_identical_for_every_roster_algorithm() {
     for (name, (graph, system)) in [
         ("paper_example", paper_instance()),
         ("random_dag", random_instance(0xB5A)),
     ] {
         let problem = Problem::new(&graph, &system).unwrap();
         for algo in Algo::ALL {
-            let session = algo.solver().solve_unbounded(&problem).unwrap().schedule;
-            #[allow(deprecated)]
-            let legacy = Scheduler::schedule(&*algo.solver(), &graph, &system).unwrap();
+            let first = algo.solver().solve_unbounded(&problem).unwrap().schedule;
+            let second = algo.solver().solve_unbounded(&problem).unwrap().schedule;
             assert!(
-                schedules_identical(&graph, &session, &legacy),
-                "{algo} diverged from the legacy path on {name}"
+                schedules_identical(&graph, &first, &second),
+                "{algo} is non-deterministic on {name}"
             );
         }
     }
