@@ -56,7 +56,7 @@ impl Dls {
             } else {
                 options.route_policy
             };
-        system.comm_model(policy)
+        options.comm_model_for(system, policy)
     }
 }
 

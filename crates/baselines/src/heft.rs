@@ -80,7 +80,7 @@ impl Solver for Heft {
         let graph = problem.graph();
         let system = problem.system();
         let mut builder = problem.builder();
-        let table = system.comm_model(options.route_policy);
+        let table = options.comm_model(system);
         let order = priority_order(graph, system);
 
         // HEFT's rank order is a valid topological order (rank strictly decreases along
@@ -234,7 +234,7 @@ impl Solver for ContentionObliviousHeft {
         let graph = problem.graph();
         let system = problem.system();
         let (assignment, ideal_start) = self.decide(graph, system);
-        let table = system.comm_model(options.route_policy);
+        let table = options.comm_model(system);
         let mut builder = problem.builder();
 
         // Re-simulate under the contention model: keep the assignment and the per-processor

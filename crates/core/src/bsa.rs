@@ -126,8 +126,8 @@ impl Bsa {
         // the default shortest-hop policy BSA's emergent hop-by-hop routing is the
         // paper's algorithm and must stay bit-identical, so no table is built at all
         // (and the fast path pays nothing).
-        let comm = (options.route_policy != RoutePolicy::ShortestHop)
-            .then(|| system.comm_model(options.route_policy));
+        let comm =
+            (options.route_policy != RoutePolicy::ShortestHop).then(|| options.comm_model(system));
         let comm = comm.as_ref();
         let (pivot0, cp_lengths) = select_pivot(graph, system, cfg.pivot_strategy);
         let serialization = serialize(graph, &system.exec_costs.column(pivot0));

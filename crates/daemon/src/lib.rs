@@ -1,0 +1,28 @@
+//! `bsa_daemon` — a long-lived scheduling service around the BSA solver stack.
+//!
+//! The batch CLI pays the full cost of every solve: process start-up, problem
+//! validation, and the all-pairs routing-table build.  A scheduler-in-the-loop —
+//! re-solving as task costs drift or links fail — re-pays those costs on every
+//! iteration even though the instance barely changes.  This crate turns the solver
+//! stack into a daemon that keeps the expensive artifacts warm across requests:
+//!
+//! * [`server`] — line-delimited JSON protocol (v1) over a Unix socket or stdio:
+//!   `submit`, `attach`/`subscribe` (event streaming), `cancel`, `delta`
+//!   (warm-started re-solve), `release`, `list`, `status`, `shutdown`;
+//! * [`engine`] — session registry over a bounded worker pool with two-tier
+//!   admission control (global queue bound + per-client in-flight bound);
+//! * [`cache`] — content-addressed artifact cache: validated problem instances and
+//!   routing tables keyed by stable structural fingerprints;
+//! * [`wire`] — codecs between solver types and protocol JSON;
+//! * [`json`] — the dependency-free JSON tree underneath it all.
+//!
+//! See `DESIGN.md` §13 for the protocol reference.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod engine;
+pub mod json;
+pub mod server;
+pub mod wire;

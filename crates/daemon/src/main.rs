@@ -1,0 +1,88 @@
+//! The `bsa-daemon` binary: argument parsing and service start-up.
+
+use bsa_daemon::engine::{Engine, EngineConfig};
+use bsa_daemon::server;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+bsa-daemon — long-lived BSA scheduling service (line-delimited JSON, protocol v1)
+
+USAGE:
+    bsa-daemon --socket PATH [OPTIONS]
+    bsa-daemon --stdio [OPTIONS]
+
+OPTIONS:
+    --socket PATH         listen on a Unix socket at PATH
+    --stdio               serve a single client on stdin/stdout
+    --workers N           solver worker threads            [default: 2]
+    --max-queue N         queued sessions before submits
+                          are rejected as saturated        [default: 64]
+    --client-inflight N   unfinished sessions per client   [default: 32]
+    --cache-capacity N    artifact-cache entries per shard [default: 128]
+    --help                print this help
+";
+
+enum Mode {
+    Stdio,
+    Socket(PathBuf),
+}
+
+fn parse_args() -> Result<(Mode, EngineConfig), String> {
+    let mut mode = None;
+    let mut config = EngineConfig::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let numeric = |name: &str, args: &mut dyn Iterator<Item = String>| {
+            args.next()
+                .ok_or_else(|| format!("{name} requires a value"))?
+                .parse::<usize>()
+                .map_err(|e| format!("{name}: {e}"))
+        };
+        match arg.as_str() {
+            "--stdio" => mode = Some(Mode::Stdio),
+            "--socket" => {
+                let path = args.next().ok_or("--socket requires a path")?;
+                mode = Some(Mode::Socket(PathBuf::from(path)));
+            }
+            "--workers" => config.workers = numeric("--workers", &mut args)?.max(1),
+            "--max-queue" => config.max_queue = numeric("--max-queue", &mut args)?,
+            "--client-inflight" => {
+                config.client_inflight = numeric("--client-inflight", &mut args)?.max(1)
+            }
+            "--cache-capacity" => {
+                config.cache_capacity = numeric("--cache-capacity", &mut args)?.max(1)
+            }
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    let mode = mode.ok_or("one of --socket PATH or --stdio is required")?;
+    Ok((mode, config))
+}
+
+fn main() -> ExitCode {
+    let (mode, config) = match parse_args() {
+        Ok(parsed) => parsed,
+        Err(message) => {
+            if message.is_empty() {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("bsa-daemon: {message}\n\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let engine = Engine::start(config);
+    let served = match mode {
+        Mode::Stdio => server::serve_stdio(engine),
+        Mode::Socket(path) => server::serve_unix(engine, &path),
+    };
+    match served {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("bsa-daemon: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

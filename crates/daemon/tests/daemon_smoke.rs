@@ -1,0 +1,229 @@
+//! End-to-end smoke test against the real `bsa-daemon` binary over a Unix socket.
+//!
+//! Drives the same sequence the CI smoke job runs: start the daemon, submit over
+//! the socket, stream the result, re-submit the identical problem and require a
+//! cache hit, then shut down gracefully and require exit code 0 and a removed
+//! socket file.  (Results are validator-clean by daemon construction: the engine
+//! refuses to report a solution that fails full schedule validation.)
+
+use bsa_daemon::json::{self, Value};
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::UnixStream;
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+const PROBLEM: &str = r#"{"tasks":[{"name":"a","cost":10},{"name":"b","cost":6},{"name":"c","cost":8}],"edges":[[0,1,2],[0,2,4]],"system":{"processors":4,"links":[[0,1,1],[1,2,1],[2,3,1],[3,0,2]]}}"#;
+
+struct Daemon {
+    child: Child,
+    socket: PathBuf,
+}
+
+impl Daemon {
+    fn start() -> Daemon {
+        let socket =
+            std::env::temp_dir().join(format!("bsa-daemon-smoke-{}.sock", std::process::id()));
+        let _ = std::fs::remove_file(&socket);
+        let child = Command::new(env!("CARGO_BIN_EXE_bsa-daemon"))
+            .arg("--socket")
+            .arg(&socket)
+            .arg("--workers")
+            .arg("2")
+            .stdin(Stdio::null())
+            .stdout(Stdio::null())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("daemon binary starts");
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while !socket.exists() {
+            assert!(
+                Instant::now() < deadline,
+                "daemon did not create its socket in time"
+            );
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        Daemon { child, socket }
+    }
+
+    fn connect(&self) -> Connection {
+        let deadline = Instant::now() + Duration::from_secs(10);
+        let stream = loop {
+            match UnixStream::connect(&self.socket) {
+                Ok(s) => break s,
+                Err(e) => {
+                    assert!(Instant::now() < deadline, "connect failed for 10s: {e}");
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+            }
+        };
+        let reader = BufReader::new(stream.try_clone().expect("clone socket"));
+        let mut conn = Connection {
+            reader,
+            writer: stream,
+        };
+        let hello = conn.read();
+        assert_eq!(hello.get("event").and_then(Value::as_str), Some("hello"));
+        assert_eq!(hello.get("proto").and_then(Value::as_u64), Some(1));
+        conn
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+        let _ = std::fs::remove_file(&self.socket);
+    }
+}
+
+struct Connection {
+    reader: BufReader<UnixStream>,
+    writer: UnixStream,
+}
+
+impl Connection {
+    fn send(&mut self, line: &str) {
+        self.writer.write_all(line.as_bytes()).expect("write");
+        self.writer.write_all(b"\n").expect("write");
+        self.writer.flush().expect("flush");
+    }
+
+    fn read(&mut self) -> Value {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line).expect("read line");
+        assert!(n > 0, "daemon closed the connection unexpectedly");
+        json::parse(line.trim()).unwrap_or_else(|e| {
+            panic!("daemon wrote invalid JSON ({e}): {line:?}");
+        })
+    }
+
+    fn request(&mut self, line: &str) -> Value {
+        self.send(line);
+        self.read()
+    }
+
+    /// Streams an `attach` to its end record and returns it.
+    fn attach_to_end(&mut self, session: u64) -> Value {
+        let ack = self.request(&format!(r#"{{"cmd":"attach","session":{session}}}"#));
+        assert_eq!(ack.get("ok").and_then(Value::as_bool), Some(true));
+        let mut expected_seq = 0u64;
+        loop {
+            let item = self.read();
+            if item.get("event").and_then(Value::as_str) == Some("end") {
+                return item;
+            }
+            assert_eq!(
+                item.get("seq").and_then(Value::as_u64),
+                Some(expected_seq),
+                "event stream must be gapless and ordered"
+            );
+            expected_seq += 1;
+        }
+    }
+}
+
+#[test]
+fn socket_round_trip_cache_hit_and_graceful_shutdown() {
+    let daemon = Daemon::start();
+    let mut conn = daemon.connect();
+
+    // Cold submit: both artifacts are built.
+    let submit = format!(r#"{{"v":1,"cmd":"submit","problem":{PROBLEM},"algo":"bsa"}}"#);
+    let first = conn.request(&submit);
+    assert_eq!(first.get("ok").and_then(Value::as_bool), Some(true));
+    let session = first.get("session").and_then(Value::as_u64).expect("id");
+    let cache = first.get("cache").expect("cache info");
+    assert_eq!(cache.get("problem").and_then(Value::as_str), Some("miss"));
+    assert_eq!(cache.get("routing").and_then(Value::as_str), Some("miss"));
+
+    let end = conn.attach_to_end(session);
+    assert_eq!(end.get("ok").and_then(Value::as_bool), Some(true));
+    let result = end.get("result").expect("end carries the result");
+    let length = result
+        .get("schedule_length")
+        .and_then(Value::as_f64)
+        .expect("length");
+    assert!(length > 0.0 && length.is_finite());
+    assert_eq!(
+        result
+            .get("placements")
+            .and_then(Value::as_arr)
+            .map(<[Value]>::len),
+        Some(3),
+        "every task is placed"
+    );
+
+    // Hot submit of the identical problem — from a *second* connection, so the hit
+    // is daemon-wide, not per-client.
+    let mut conn2 = daemon.connect();
+    let second = conn2.request(&submit);
+    assert_eq!(second.get("ok").and_then(Value::as_bool), Some(true));
+    let cache2 = second.get("cache").expect("cache info");
+    assert_eq!(cache2.get("problem").and_then(Value::as_str), Some("hit"));
+    assert_eq!(cache2.get("routing").and_then(Value::as_str), Some("hit"));
+    let session2 = second.get("session").and_then(Value::as_u64).expect("id");
+    let end2 = conn2.attach_to_end(session2);
+    assert_eq!(end2.get("ok").and_then(Value::as_bool), Some(true));
+
+    // The status counters agree.
+    let status = conn.request(r#"{"cmd":"status"}"#);
+    let cache_stats = status
+        .get("status")
+        .and_then(|s| s.get("cache"))
+        .expect("cache stats");
+    let hits = |shard: &str| {
+        cache_stats
+            .get(shard)
+            .and_then(|s| s.get("hits"))
+            .and_then(Value::as_u64)
+            .unwrap_or(0)
+    };
+    assert!(hits("problems") >= 1, "problem cache hit must be counted");
+    assert!(hits("routing") >= 1, "routing cache hit must be counted");
+
+    // A delta chained over the socket warm-starts from the first session.
+    let delta = format!(
+        r#"{{"cmd":"delta","session":{session},"delta":{{"ops":[{{"op":"set_task_cost","task":1,"cost":9}}]}}}}"#
+    );
+    let re = conn.request(&delta);
+    assert_eq!(re.get("ok").and_then(Value::as_bool), Some(true));
+    let re_session = re.get("session").and_then(Value::as_u64).expect("id");
+    let re_end = conn.attach_to_end(re_session);
+    assert_eq!(re_end.get("ok").and_then(Value::as_bool), Some(true));
+    assert_eq!(
+        re_end
+            .get("result")
+            .and_then(|r| r.get("provenance"))
+            .and_then(|p| p.get("warm_start"))
+            .and_then(Value::as_bool),
+        Some(true),
+        "delta sessions must be warm-started"
+    );
+
+    // Graceful shutdown: summary over the wire, exit code 0, socket removed.
+    let bye = conn.request(r#"{"cmd":"shutdown"}"#);
+    assert_eq!(bye.get("ok").and_then(Value::as_bool), Some(true));
+    assert!(bye.get("summary").is_some());
+
+    let mut daemon = daemon;
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let status = loop {
+        match daemon.child.try_wait() {
+            Ok(Some(status)) => break status,
+            Ok(None) => {
+                assert!(
+                    Instant::now() < deadline,
+                    "daemon did not exit after shutdown"
+                );
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            Err(e) => panic!("wait failed: {e}"),
+        }
+    };
+    assert!(status.success(), "daemon must exit 0, got {status:?}");
+    assert!(
+        !daemon.socket.exists(),
+        "socket file must be removed on shutdown"
+    );
+}

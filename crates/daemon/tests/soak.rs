@@ -1,0 +1,182 @@
+//! Soak test: 10 000 sessions through a bounded pool without leaking anything.
+//!
+//! The daemon's core promise as a *long-lived* service is that its footprint is a
+//! function of its configuration, not of how much work has flowed through it.  This
+//! test pushes 10 000 sessions (sequentially over a bounded in-flight window of 64,
+//! the way a real client drives it) through a 2-worker engine, interleaving periodic
+//! delta re-solves, and then asserts the engine returned exactly to baseline:
+//!
+//! * the session registry is empty once every session is released;
+//! * the per-client fairness tracking holds no entries;
+//! * the artifact cache holds exactly one problem and one routing table — 10 000
+//!   identical submits must cost one validation and one routing build, total.
+
+use bsa::network::builders::ring;
+use bsa::network::HeterogeneousSystem;
+use bsa::schedule::{ProblemDelta, SolveOptions};
+use bsa::taskgraph::{TaskGraph, TaskGraphBuilder, TaskId};
+use bsa_daemon::engine::{AlgoChoice, Engine, EngineConfig, Rejection};
+use std::collections::VecDeque;
+
+const SESSIONS: usize = 10_000;
+const WINDOW: usize = 64;
+const DELTA_EVERY: usize = 1_000;
+
+fn tiny_instance() -> (TaskGraph, HeterogeneousSystem) {
+    let mut b = TaskGraphBuilder::new();
+    let t0 = b.add_task("t0", 6.0);
+    let t1 = b.add_task("t1", 4.0);
+    let t2 = b.add_task("t2", 5.0);
+    b.add_edge(t0, t1, 2.0).unwrap();
+    b.add_edge(t0, t2, 3.0).unwrap();
+    let graph = b.build().unwrap();
+    let system = HeterogeneousSystem::homogeneous(&graph, ring(3).unwrap());
+    (graph, system)
+}
+
+#[test]
+fn ten_thousand_sessions_return_to_baseline() {
+    let engine = Engine::start(EngineConfig {
+        workers: 2,
+        max_queue: WINDOW,
+        client_inflight: WINDOW,
+        cache_capacity: 16,
+    });
+    let (graph, system) = tiny_instance();
+
+    let mut outstanding: VecDeque<u64> = VecDeque::new();
+    let mut completed = 0usize;
+    let mut submitted = 0usize;
+    let mut delta_sessions = 0usize;
+
+    let retire = |engine: &Engine, outstanding: &mut VecDeque<u64>, completed: &mut usize| {
+        let id = outstanding.pop_front().expect("window is non-empty");
+        let session = engine.find_session(id).expect("outstanding session exists");
+        engine
+            .wait_done(&session)
+            .unwrap_or_else(|e| panic!("session {id} failed: {}", e.to_json()));
+        engine.release(id).expect("release succeeds once");
+        *completed += 1;
+    };
+
+    while submitted < SESSIONS {
+        // Keep the in-flight window bounded the way a well-behaved client would.
+        // Below the window, admission cannot reject: the queue never exceeds the
+        // outstanding count and no client holds more than the window.
+        while outstanding.len() >= WINDOW {
+            retire(&engine, &mut outstanding, &mut completed);
+        }
+        let client = (submitted % 8) as u64;
+        if submitted % DELTA_EVERY == 1 && submitted + 1 < SESSIONS {
+            // Exercise the warm-start path: solve a base, chain a perturbed-cost
+            // delta from its registered outcome, then release the base.
+            let base = engine
+                .submit(
+                    client,
+                    graph.clone(),
+                    system.clone(),
+                    SolveOptions::default(),
+                    AlgoChoice::parse("serial").unwrap(),
+                )
+                .expect("base submit below the window is admitted");
+            let base_session = engine.find_session(base.session).unwrap();
+            engine
+                .wait_done(&base_session)
+                .expect("serial solve succeeds");
+            let mut delta = ProblemDelta::new();
+            delta.set_task_cost(TaskId(1), 4.0 + (submitted % 7) as f64);
+            let re = engine
+                .delta(client, base.session, delta, SolveOptions::default())
+                .expect("delta from a finished registered session is admitted");
+            engine.release(base.session).expect("base releases cleanly");
+            completed += 1;
+            outstanding.push_back(re.session);
+            submitted += 2;
+            delta_sessions += 1;
+        } else {
+            match engine.submit(
+                client,
+                graph.clone(),
+                system.clone(),
+                SolveOptions::default(),
+                AlgoChoice::parse("serial").unwrap(),
+            ) {
+                Ok(info) => {
+                    outstanding.push_back(info.session);
+                    submitted += 1;
+                }
+                Err(Rejection::Saturated { .. }) | Err(Rejection::ClientLimit { .. }) => {
+                    retire(&engine, &mut outstanding, &mut completed);
+                }
+                Err(other) => panic!("unexpected rejection at submit {submitted}: {other:?}"),
+            }
+        }
+    }
+    while !outstanding.is_empty() {
+        retire(&engine, &mut outstanding, &mut completed);
+    }
+
+    assert_eq!(completed, SESSIONS);
+    assert_eq!(
+        engine.session_count(),
+        0,
+        "released sessions must not linger"
+    );
+    assert_eq!(
+        engine.tracked_clients(),
+        0,
+        "fairness tracking must drain with the sessions"
+    );
+
+    // 10k sessions over one identical instance: exactly one validation, one routing
+    // build.  Delta sessions warm-start from a registered outcome and never consult
+    // the cache; everything else is a hit after the very first submit.
+    let problems = engine.cache().problem_stats();
+    let tables = engine.cache().table_stats();
+    assert_eq!(
+        problems.entries, 1,
+        "problem shard must hold the one instance"
+    );
+    assert_eq!(tables.entries, 1, "routing shard must hold the one table");
+    assert_eq!(problems.misses, 1, "only the first submit may validate");
+    assert_eq!(tables.misses, 1, "only the first submit may build routes");
+    assert_eq!(problems.hits as usize, SESSIONS - delta_sessions - 1);
+    assert_eq!(tables.hits as usize, SESSIONS - delta_sessions - 1);
+
+    let summary = engine.shutdown();
+    assert_eq!(
+        summary
+            .get("sessions")
+            .and_then(|s| s.as_arr())
+            .map(|s| s.len()),
+        Some(0),
+        "shutdown after full release reports no residual sessions"
+    );
+}
+
+#[test]
+fn wait_done_reflects_released_memory_not_leaks() {
+    // A focused variant: submit-and-release in a tight loop with *no* window, so any
+    // per-session growth in the registry maps directly to an assertion failure.
+    let engine = Engine::start(EngineConfig {
+        workers: 1,
+        ..EngineConfig::default()
+    });
+    let (graph, system) = tiny_instance();
+    for i in 0..500 {
+        let info = engine
+            .submit(
+                0,
+                graph.clone(),
+                system.clone(),
+                SolveOptions::default(),
+                AlgoChoice::parse("serial").unwrap(),
+            )
+            .unwrap_or_else(|e| panic!("submit {i}: {e:?}"));
+        let session = engine.find_session(info.session).unwrap();
+        engine.wait_done(&session).expect("serial solve succeeds");
+        engine.release(info.session).unwrap();
+        assert_eq!(engine.session_count(), 0);
+    }
+    engine.shutdown();
+}

@@ -23,6 +23,7 @@ use crate::ids::{LinkId, ProcId};
 use crate::routing::RoutingTable;
 use crate::topology::Topology;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// How inter-processor routes are chosen.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
@@ -70,10 +71,16 @@ impl std::fmt::Display for RoutePolicy {
 /// This is the handle the schedulers pass around: DLS and HEFT route every message
 /// over it, BSA's migration loop consults it for cost-aware reroutes, and the
 /// experiment harness records its policy in the solve provenance.
+///
+/// The table is held behind an [`Arc`] so a model can be stamped out of a shared,
+/// already-built table in O(1) — the hook a content-addressed artifact cache (the
+/// `bsa_daemon` crate) uses to make repeated submissions of one topology pay the
+/// all-pairs BFS/Dijkstra exactly once.  [`CommModel::build`] still constructs a
+/// fresh table; [`CommModel::from_shared`] wraps a cached one.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CommModel {
     requested: RoutePolicy,
-    table: RoutingTable,
+    table: Arc<RoutingTable>,
 }
 
 impl CommModel {
@@ -81,8 +88,21 @@ impl CommModel {
     pub fn build(topology: &Topology, costs: &CommCostModel, policy: RoutePolicy) -> Self {
         CommModel {
             requested: policy,
-            table: RoutingTable::build(topology, costs, policy),
+            table: Arc::new(RoutingTable::build(topology, costs, policy)),
         }
+    }
+
+    /// Wraps an already-built routing table without rebuilding it.  The caller
+    /// guarantees the table was built over the same topology and link costs the model
+    /// will be used with (content-hash cache keys make this safe in practice); the
+    /// table's own [`RoutingTable::policy`] becomes the effective policy.
+    pub fn from_shared(requested: RoutePolicy, table: Arc<RoutingTable>) -> Self {
+        CommModel { requested, table }
+    }
+
+    /// The shared routing table, cloneable in O(1) for caching.
+    pub fn shared_table(&self) -> &Arc<RoutingTable> {
+        &self.table
     }
 
     /// The policy the caller asked for.

@@ -107,6 +107,64 @@ impl HeterogeneousSystem {
         CommModel::build(&self.topology, &self.comm_costs, policy)
     }
 
+    /// Stable structural fingerprint of the whole target: the topology shape, every
+    /// link's communication factor (hashed jointly with its endpoints, in canonical
+    /// `(a, b)` order, so link insertion order is irrelevant) and the full `n × m`
+    /// execution-cost matrix in row-major order.  Any perturbation — an execution
+    /// cost, a link multiplier, a link, the duplex mode — changes the fingerprint.
+    /// See [`bsa_taskgraph::fingerprint`] for the stability contract.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = bsa_taskgraph::Fnv1a::new();
+        h.write_tag("system");
+        h.write_u64(self.links_fingerprint());
+        h.write_tag("exec");
+        h.write_usize(self.exec_costs.num_tasks());
+        h.write_usize(self.exec_costs.num_processors());
+        for t in (0..self.exec_costs.num_tasks()).map(bsa_taskgraph::TaskId::from_index) {
+            for &c in self.exec_costs.row(t) {
+                h.write_f64(c);
+            }
+        }
+        h.finish()
+    }
+
+    /// Fingerprint of everything a routing table depends on except the policy: the
+    /// topology shape plus the per-link communication factors (execution costs
+    /// excluded — two systems differing only in task speeds route identically).
+    fn links_fingerprint(&self) -> u64 {
+        let mut h = bsa_taskgraph::Fnv1a::new();
+        h.write_tag("links");
+        h.write_u64(self.topology.fingerprint());
+        let mut links: Vec<(usize, usize, f64)> = self
+            .topology
+            .links()
+            .map(|l| (l.a.index(), l.b.index(), self.comm_costs.factor(l.id)))
+            .collect();
+        links.sort_by_key(|l| (l.0, l.1));
+        for (a, b, f) in links {
+            h.write_usize(a).write_usize(b).write_f64(f);
+        }
+        h.finish()
+    }
+
+    /// Content-hash cache key of the routing table this system builds for `policy`.
+    ///
+    /// The key hashes the **effective** policy ([`RoutePolicy::ECube`] requested off a
+    /// hypercube resolves to [`RoutePolicy::ShortestHop`]), so a cache keyed by this
+    /// value never stores two entries for one table — and never serves a hypercube's
+    /// E-cube table to a non-hypercube.
+    pub fn routing_fingerprint(&self, policy: RoutePolicy) -> u64 {
+        let effective = match policy {
+            RoutePolicy::ECube if !self.topology.is_hypercube() => RoutePolicy::ShortestHop,
+            p => p,
+        };
+        let mut h = bsa_taskgraph::Fnv1a::new();
+        h.write_tag("routing_table");
+        h.write_u64(self.links_fingerprint());
+        h.write_tag(effective.label());
+        h.finish()
+    }
+
     /// Checks that the system's cost matrix matches the graph's task count.
     pub fn validate_for(&self, graph: &TaskGraph) -> Result<(), String> {
         if self.exec_costs.num_tasks() != graph.num_tasks() {

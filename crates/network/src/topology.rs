@@ -338,6 +338,31 @@ impl Topology {
         order
     }
 
+    /// Stable structural fingerprint of the network shape: processor count, link
+    /// arbitration mode, and the link set in canonical `(a, b)` order — so two
+    /// insertion orders of the same links fingerprint identically.  Processor names
+    /// are excluded (labels do not change routing or contention).  See
+    /// [`bsa_taskgraph::fingerprint`] for the stability contract.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = bsa_taskgraph::Fnv1a::new();
+        h.write_tag("topology");
+        h.write_usize(self.num_processors());
+        h.write_tag(match self.link_mode() {
+            LinkMode::HalfDuplex => "half_duplex",
+            LinkMode::FullDuplex => "full_duplex",
+        });
+        // Links store a < b and duplicates are rejected, so (a, b) is a strict
+        // canonical order.
+        let mut links: Vec<(usize, usize)> =
+            self.links().map(|l| (l.a.index(), l.b.index())).collect();
+        links.sort_unstable();
+        h.write_usize(links.len());
+        for (a, b) in links {
+            h.write_usize(a).write_usize(b);
+        }
+        h.finish()
+    }
+
     /// Average processor degree.
     pub fn average_degree(&self) -> f64 {
         if self.processors.is_empty() {

@@ -169,6 +169,10 @@ impl Portfolio {
             (a, b) => a.or(b),
         };
         merged.seed = entry.seed.or(outer.seed);
+        // A cached routing table supplied by the caller serves any entry whose
+        // effective policy matches it (the shape/policy guard in
+        // `SolveOptions::comm_model` rebuilds for the rest).
+        merged.routing = entry.routing.clone().or_else(|| outer.routing.clone());
         merged
     }
 }

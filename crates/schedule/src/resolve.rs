@@ -209,7 +209,7 @@ impl Solution {
 
         // ----- 3. Repair in topological order -----------------------------------
         let repair_order = repair_topo_order(graph, &evicted);
-        let comm = system.comm_model(options.route_policy);
+        let comm = options.comm_model(system);
         let mut stop = StopReason::Converged;
         let mut budget_hit = false;
         let mut migrations = Vec::with_capacity(repair_order.len());

@@ -96,6 +96,35 @@ impl<'a> Problem<'a> {
         Problem { graph, system }
     }
 
+    /// Wraps a pair that is *known* to have passed [`Problem::new`] before, skipping
+    /// re-validation.  This is the content-addressed cache hook: a service that keys
+    /// validated instances by [`Problem::fingerprint`] pays validation once per
+    /// distinct problem, then re-materialises the `Problem` view for free on every
+    /// cache hit.  Checked in debug builds; passing a never-validated pair is a
+    /// contract violation that invalidates solver behaviour downstream.
+    pub fn assume_validated(graph: &'a TaskGraph, system: &'a HeterogeneousSystem) -> Self {
+        Self::prevalidated(graph, system)
+    }
+
+    /// Stable structural fingerprint of the whole instance: the task graph's
+    /// scheduling-relevant content ([`TaskGraph::fingerprint`]) combined with the
+    /// target system's ([`HeterogeneousSystem::fingerprint`]).  Equal fingerprints ⇒
+    /// structurally identical problems (up to 64-bit collision odds and the
+    /// documented name-exclusions), so the value serves as a content-hash cache key
+    /// for validated instances across processes and machines.
+    pub fn fingerprint(&self) -> u64 {
+        bsa_taskgraph::fingerprint::combine(self.graph.fingerprint(), self.system.fingerprint())
+    }
+
+    /// Content-hash cache key of the routing table this problem's system builds for
+    /// `policy` — see [`HeterogeneousSystem::routing_fingerprint`].  Distinct
+    /// policies key distinct tables (E-cube resolving to its effective fallback), so
+    /// a cache keyed by this value can share one table across every problem that
+    /// embeds the same network.
+    pub fn routing_key(&self, policy: RoutePolicy) -> u64 {
+        self.system.routing_fingerprint(policy)
+    }
+
     /// The task graph.
     pub fn graph(&self) -> &'a TaskGraph {
         self.graph
@@ -181,6 +210,15 @@ pub struct SolveOptions {
     /// **bit-identical at any thread count**; solvers without a parallel phase ignore
     /// the knob.  Validated by [`SolveOptions::validate`] at solve entry.
     pub threads: usize,
+    /// Pre-built routing table to reuse instead of running the all-pairs BFS/Dijkstra
+    /// at solve entry.  `None` (the default) builds a fresh table; `Some` is the
+    /// artifact-cache fast path — the table **must** have been built over this
+    /// problem's topology and link costs for the effective form of
+    /// [`route_policy`](SolveOptions::route_policy) (key it by
+    /// [`Problem::routing_key`]).  Tables for a different network shape are rejected
+    /// by [`SolveOptions::comm_model`]'s shape check and rebuilt; the routing result
+    /// is identical either way — only the setup cost changes.
+    pub routing: Option<Arc<bsa_network::RoutingTable>>,
 }
 
 impl Default for SolveOptions {
@@ -192,6 +230,7 @@ impl Default for SolveOptions {
             seed: None,
             route_policy: RoutePolicy::default(),
             threads: 1,
+            routing: None,
         }
     }
 }
@@ -241,6 +280,40 @@ impl SolveOptions {
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads;
         self
+    }
+
+    /// Attaches a pre-built routing table (see [`SolveOptions::routing`]).
+    pub fn with_routing(mut self, table: Arc<bsa_network::RoutingTable>) -> Self {
+        self.routing = Some(table);
+        self
+    }
+
+    /// The communication model every table-driven solver should use: the cached
+    /// table of [`SolveOptions::routing`] when one is attached and plausibly matches
+    /// this system (same processor count and same effective policy), otherwise a
+    /// freshly built table.  The shape check is a cheap guard against wiring the
+    /// wrong artifact — content-hash keyed caches never trip it.
+    pub fn comm_model(&self, system: &HeterogeneousSystem) -> bsa_network::CommModel {
+        self.comm_model_for(system, self.route_policy)
+    }
+
+    /// [`SolveOptions::comm_model`] with an explicit policy override (DLS upgrades
+    /// the default policy to E-cube on hypercubes).
+    pub fn comm_model_for(
+        &self,
+        system: &HeterogeneousSystem,
+        policy: RoutePolicy,
+    ) -> bsa_network::CommModel {
+        if let Some(table) = &self.routing {
+            let effective = match policy {
+                RoutePolicy::ECube if !system.topology.is_hypercube() => RoutePolicy::ShortestHop,
+                p => p,
+            };
+            if table.num_processors() == system.num_processors() && table.policy() == effective {
+                return bsa_network::CommModel::from_shared(policy, Arc::clone(table));
+            }
+        }
+        system.comm_model(policy)
     }
 
     /// Whether no budget, deadline or cancellation is configured.

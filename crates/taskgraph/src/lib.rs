@@ -37,12 +37,14 @@
 
 pub mod analysis;
 pub mod dot;
+pub mod fingerprint;
 pub mod graph;
 pub mod ids;
 pub mod levels;
 pub mod traversal;
 
 pub use analysis::GraphStats;
+pub use fingerprint::Fnv1a;
 pub use graph::{Edge, GraphError, Task, TaskGraph, TaskGraphBuilder};
 pub use ids::{EdgeId, TaskId};
 pub use levels::{CriticalPath, GraphLevels};

@@ -1,0 +1,183 @@
+//! Daemon client example: drive `bsa-daemon` end to end over `--stdio`.
+//!
+//! The daemon speaks line-delimited JSON (protocol v1) over a Unix socket in
+//! production; `--stdio` binds the same protocol to stdin/stdout, which is what
+//! this example (and the test suite) uses so no socket path management is needed.
+//! The session here walks the full lifecycle:
+//!
+//! 1. spawn the daemon and read its `hello` greeting;
+//! 2. `submit` a small fork–join problem on a 4-processor ring;
+//! 3. `attach` to the session and stream its `SolveEvent`s, printing each
+//!    incumbent improvement until the `end` record carries the schedule;
+//! 4. `delta` — perturb one task cost and warm-start a re-solve from the
+//!    finished session's solution;
+//! 5. `shutdown` gracefully and check the daemon exits 0.
+//!
+//! Run with `cargo run --release --example daemon_client`.
+
+use bsa_daemon::json::{self, Value};
+use std::io::{BufRead, BufReader, Lines, Write};
+use std::process::{Child, ChildStdin, ChildStdout, Command, Stdio};
+
+/// The problem, spelled exactly as it travels on the wire: a fork–join graph
+/// (one producer, three workers, one reducer) on a homogeneous 4-processor ring.
+const PROBLEM: &str = concat!(
+    r#"{"tasks":[{"name":"produce","cost":40},{"name":"work0","cost":100},"#,
+    r#"{"name":"work1","cost":100},{"name":"work2","cost":100},{"name":"reduce","cost":30}],"#,
+    r#""edges":[[0,1,25],[0,2,25],[0,3,25],[1,4,25],[2,4,25],[3,4,25]],"#,
+    r#""system":{"processors":4,"links":[[0,1,1],[1,2,1],[2,3,1],[3,0,1]]}}"#
+);
+
+struct Daemon {
+    child: Child,
+    stdin: ChildStdin,
+    lines: Lines<BufReader<ChildStdout>>,
+}
+
+impl Daemon {
+    /// Spawns `bsa-daemon --stdio`, preferring the already-built binary next to
+    /// this example's own executable and falling back to `cargo run`.
+    fn spawn() -> Daemon {
+        let sibling = std::env::current_exe().ok().and_then(|exe| {
+            let path = exe.parent()?.parent()?.join("bsa-daemon");
+            path.exists().then_some(path)
+        });
+        let mut command = match sibling {
+            Some(path) => Command::new(path),
+            None => {
+                let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_string());
+                let mut c = Command::new(cargo);
+                c.args(["run", "-q", "-p", "bsa_daemon", "--bin", "bsa-daemon", "--"]);
+                c
+            }
+        };
+        let mut child = command
+            .arg("--stdio")
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .spawn()
+            .expect("bsa-daemon spawns");
+        let stdin = child.stdin.take().expect("piped stdin");
+        let lines = BufReader::new(child.stdout.take().expect("piped stdout")).lines();
+        Daemon {
+            child,
+            stdin,
+            lines,
+        }
+    }
+
+    fn send(&mut self, line: &str) {
+        self.stdin.write_all(line.as_bytes()).expect("write");
+        self.stdin.write_all(b"\n").expect("write");
+        self.stdin.flush().expect("flush");
+    }
+
+    fn read(&mut self) -> Value {
+        let line = self
+            .lines
+            .next()
+            .expect("daemon closed its stdout")
+            .expect("read line");
+        json::parse(&line).expect("daemon writes valid JSON")
+    }
+
+    fn request(&mut self, line: &str) -> Value {
+        self.send(line);
+        let reply = self.read();
+        assert_eq!(
+            reply.get("ok").and_then(Value::as_bool),
+            Some(true),
+            "request failed: {} -> {}",
+            line,
+            reply.to_json()
+        );
+        reply
+    }
+
+    /// Attaches to a session and streams it to the end record, printing every
+    /// incumbent improvement on the way.
+    fn stream_to_end(&mut self, session: u64) -> Value {
+        self.request(&format!(r#"{{"cmd":"attach","session":{session}}}"#));
+        loop {
+            let item = self.read();
+            match item.get("event").and_then(Value::as_str) {
+                Some("end") => return item,
+                Some("incumbent_improved") => {
+                    let length = item
+                        .get("length")
+                        .and_then(Value::as_f64)
+                        .unwrap_or(f64::NAN);
+                    println!("  incumbent improved: schedule length {length:.1}");
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+fn length_of(end: &Value) -> f64 {
+    end.get("result")
+        .and_then(|r| r.get("schedule_length"))
+        .and_then(Value::as_f64)
+        .expect("successful end records carry a schedule length")
+}
+
+fn main() {
+    let mut daemon = Daemon::spawn();
+
+    let hello = daemon.read();
+    println!(
+        "connected: protocol v{}",
+        hello.get("proto").and_then(Value::as_u64).expect("proto")
+    );
+
+    // Submit and stream the initial solve.
+    let submit = format!(r#"{{"v":1,"cmd":"submit","problem":{PROBLEM},"algo":"bsa"}}"#);
+    let accepted = daemon.request(&submit);
+    let session = accepted
+        .get("session")
+        .and_then(Value::as_u64)
+        .expect("session id");
+    let cache = accepted.get("cache").expect("cache info");
+    println!(
+        "session {session} accepted (problem cache: {}, routing cache: {})",
+        cache.get("problem").and_then(Value::as_str).unwrap_or("?"),
+        cache.get("routing").and_then(Value::as_str).unwrap_or("?"),
+    );
+    let end = daemon.stream_to_end(session);
+    println!("solved: schedule length {:.1}", length_of(&end));
+
+    // Perturb one worker's cost and warm-start a re-solve from the finished session.
+    let delta = format!(
+        r#"{{"cmd":"delta","session":{session},"delta":{{"ops":[{{"op":"set_task_cost","task":2,"cost":160}}]}}}}"#
+    );
+    let re_accepted = daemon.request(&delta);
+    let re_session = re_accepted
+        .get("session")
+        .and_then(Value::as_u64)
+        .expect("session id");
+    println!("delta session {re_session} accepted (set_task_cost work1 -> 160)");
+    let re_end = daemon.stream_to_end(re_session);
+    let warm = re_end
+        .get("result")
+        .and_then(|r| r.get("provenance"))
+        .and_then(|p| p.get("warm_start"))
+        .and_then(Value::as_bool)
+        .unwrap_or(false);
+    println!(
+        "re-solved: schedule length {:.1} (warm start: {warm})",
+        length_of(&re_end)
+    );
+
+    // Graceful shutdown: the daemon cancels what's left, reports a summary, exits 0.
+    let bye = daemon.request(r#"{"cmd":"shutdown"}"#);
+    let finished = bye
+        .get("summary")
+        .and_then(|s| s.get("sessions"))
+        .and_then(Value::as_arr)
+        .map_or(0, <[Value]>::len);
+    drop(daemon.stdin);
+    let status = daemon.child.wait().expect("daemon exits");
+    println!("shut down: {finished} session(s) in the summary, exit {status}");
+    assert!(status.success(), "daemon must exit 0");
+}

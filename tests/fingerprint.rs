@@ -1,0 +1,198 @@
+//! Property tests of the stable structural fingerprints behind the daemon's
+//! content-addressed artifact cache (`Problem::fingerprint` / `Problem::routing_key`).
+//!
+//! The cache is only sound if (a) the fingerprint is a pure function of structural
+//! content — unchanged under re-construction and under edge/link insertion order —
+//! and (b) any change the solver can observe (a task cost, an edge weight, a link
+//! multiplier, the route policy) moves the key.  (b) is probabilistic for a 64-bit
+//! hash, so the tests perturb randomly chosen components and require the hash to
+//! move every time on the fuzz corpus.
+
+use bsa::network::{
+    CommCostModel, ExecutionCostMatrix, HeterogeneousSystem, RoutePolicy, Topology,
+};
+use bsa::schedule::Problem;
+use bsa::taskgraph::{TaskGraph, TaskGraphBuilder, TaskId};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// An explicit instance description, so tests can rebuild it with one component
+/// perturbed or with container orders shuffled.
+#[derive(Clone)]
+struct Spec {
+    task_costs: Vec<f64>,
+    edges: Vec<(u32, u32, f64)>,
+    processors: usize,
+    links: Vec<(usize, usize, f64)>,
+}
+
+impl Spec {
+    fn random(seed: u64) -> Spec {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = rng.gen_range(4..16);
+        let task_costs: Vec<f64> = (0..n).map(|_| rng.gen_range(1.0..100.0)).collect();
+        let mut edges = Vec::new();
+        for dst in 1..n {
+            // Every task gets at least one parent so the DAG is connected enough to
+            // be interesting; extra edges are sprinkled at random.
+            let src = rng.gen_range(0..dst);
+            edges.push((src as u32, dst as u32, rng.gen_range(1.0..50.0)));
+            if rng.gen_bool(0.3) && dst > 1 {
+                let extra = rng.gen_range(0..dst) as u32;
+                if extra != src as u32 {
+                    edges.push((extra, dst as u32, rng.gen_range(1.0..50.0)));
+                }
+            }
+        }
+        let processors = rng.gen_range(2..6);
+        // A path, closed into a ring only when the closing link is distinct from the
+        // path's own first hop (a 2-processor "ring" would duplicate it).
+        let mut links: Vec<(usize, usize, f64)> = (0..processors - 1)
+            .map(|p| (p, p + 1, rng.gen_range(0.5..4.0)))
+            .collect();
+        if processors > 2 {
+            links.push((processors - 1, 0, rng.gen_range(0.5..4.0)));
+        }
+        Spec {
+            task_costs,
+            edges,
+            processors,
+            links,
+        }
+    }
+
+    fn build(&self) -> (TaskGraph, HeterogeneousSystem) {
+        self.build_ordered(
+            &(0..self.edges.len()).collect::<Vec<_>>(),
+            &(0..self.links.len()).collect::<Vec<_>>(),
+        )
+    }
+
+    /// Builds the same instance inserting edges and links in the given orders.
+    fn build_ordered(
+        &self,
+        edge_order: &[usize],
+        link_order: &[usize],
+    ) -> (TaskGraph, HeterogeneousSystem) {
+        let mut gb = TaskGraphBuilder::new();
+        for (i, &c) in self.task_costs.iter().enumerate() {
+            gb.add_task(format!("t{i}"), c);
+        }
+        for &i in edge_order {
+            let (src, dst, w) = self.edges[i];
+            gb.add_edge(TaskId(src), TaskId(dst), w).unwrap();
+        }
+        let graph = gb.build().unwrap();
+        let pairs: Vec<(usize, usize)> = link_order
+            .iter()
+            .map(|&i| (self.links[i].0, self.links[i].1))
+            .collect();
+        let factors: Vec<f64> = link_order.iter().map(|&i| self.links[i].2).collect();
+        let topology = Topology::new("fp", self.processors, &pairs).unwrap();
+        let exec = ExecutionCostMatrix::homogeneous(&graph, self.processors);
+        let system = HeterogeneousSystem::new(topology, exec, CommCostModel::from_factors(factors));
+        (graph, system)
+    }
+}
+
+fn fingerprint(spec: &Spec) -> u64 {
+    let (graph, system) = spec.build();
+    Problem::new(&graph, &system).unwrap().fingerprint()
+}
+
+fn shuffled(n: usize, rng: &mut StdRng) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..n).collect();
+    for i in (1..order.len()).rev() {
+        order.swap(i, rng.gen_range(0..=i));
+    }
+    order
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Rebuilding the identical instance — even with edges and links inserted in a
+    /// different order — yields the identical fingerprint.
+    #[test]
+    fn fingerprint_is_construction_order_independent(seed in any::<u64>()) {
+        let spec = Spec::random(seed);
+        let base = fingerprint(&spec);
+        prop_assert_eq!(base, fingerprint(&spec), "rebuild must not move the hash");
+
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed);
+        let edge_order = shuffled(spec.edges.len(), &mut rng);
+        let link_order = shuffled(spec.links.len(), &mut rng);
+        let (graph, system) = spec.build_ordered(&edge_order, &link_order);
+        let reordered = Problem::new(&graph, &system).unwrap().fingerprint();
+        prop_assert_eq!(base, reordered, "insertion order must not move the hash");
+    }
+
+    /// Perturbing any single task cost moves the fingerprint.
+    #[test]
+    fn task_cost_perturbation_moves_the_hash(seed in any::<u64>()) {
+        let spec = Spec::random(seed);
+        let base = fingerprint(&spec);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x7a5c);
+        let mut perturbed = spec.clone();
+        let i = rng.gen_range(0..perturbed.task_costs.len());
+        perturbed.task_costs[i] += 0.5;
+        prop_assert!(base != fingerprint(&perturbed));
+    }
+
+    /// Perturbing any single edge weight moves the fingerprint.
+    #[test]
+    fn edge_weight_perturbation_moves_the_hash(seed in any::<u64>()) {
+        let spec = Spec::random(seed);
+        let base = fingerprint(&spec);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xed9e);
+        let mut perturbed = spec.clone();
+        let i = rng.gen_range(0..perturbed.edges.len());
+        perturbed.edges[i].2 += 0.5;
+        prop_assert!(base != fingerprint(&perturbed));
+    }
+
+    /// Perturbing any single link's transfer-rate multiplier moves both the problem
+    /// fingerprint and the routing key.
+    #[test]
+    fn link_factor_perturbation_moves_the_hash(seed in any::<u64>()) {
+        let spec = Spec::random(seed);
+        let base = fingerprint(&spec);
+        let (graph, system) = spec.build();
+        let base_routing = Problem::new(&graph, &system)
+            .unwrap()
+            .routing_key(RoutePolicy::MinTransferTime);
+
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x11ff);
+        let mut perturbed = spec.clone();
+        let i = rng.gen_range(0..perturbed.links.len());
+        perturbed.links[i].2 += 0.25;
+        prop_assert!(base != fingerprint(&perturbed));
+
+        let (pg, ps) = perturbed.build();
+        let perturbed_routing = Problem::new(&pg, &ps)
+            .unwrap()
+            .routing_key(RoutePolicy::MinTransferTime);
+        prop_assert!(base_routing != perturbed_routing);
+    }
+
+    /// The routing key separates route policies on the same system, and does not
+    /// depend on the task graph.
+    #[test]
+    fn routing_key_tracks_policy_not_graph(seed in any::<u64>()) {
+        let spec = Spec::random(seed);
+        let (graph, system) = spec.build();
+        let problem = Problem::new(&graph, &system).unwrap();
+        let hop = problem.routing_key(RoutePolicy::ShortestHop);
+        let time = problem.routing_key(RoutePolicy::MinTransferTime);
+        prop_assert!(hop != time, "policies must not share a routing artifact");
+
+        // A different graph on the same system shares the routing artifact.
+        let mut other = spec.clone();
+        other.task_costs[0] += 1.0;
+        let (og, os) = other.build();
+        let other_problem = Problem::new(&og, &os).unwrap();
+        prop_assert_eq!(hop, other_problem.routing_key(RoutePolicy::ShortestHop));
+        prop_assert_eq!(time, other_problem.routing_key(RoutePolicy::MinTransferTime));
+    }
+}
