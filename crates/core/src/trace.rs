@@ -103,6 +103,16 @@ impl BsaTrace {
                 self.retime.changed_nodes,
                 self.retime.mean_cone()
             ));
+            if self.retime.delta_passes > 0 || self.retime.fallbacks > 0 {
+                s.push_str(&format!(
+                    "  kernel mix: {} delta ({} evals), flat: {} by seeds / {} by model / {} by cap\n",
+                    self.retime.delta_passes,
+                    self.retime.delta_evals,
+                    self.retime.flat_by_seeds,
+                    self.retime.flat_by_model,
+                    self.retime.flat_by_cap
+                ));
+            }
         }
         for m in &self.migrations {
             s.push_str(&format!(
@@ -149,6 +159,9 @@ mod tests {
                 cone_nodes: 5,
                 cone_edges: 6,
                 changed_nodes: 3,
+                delta_passes: 1,
+                delta_evals: 4,
+                ..RetimeTotals::default()
             },
         };
         let s = trace.summary();
@@ -158,6 +171,7 @@ mod tests {
         assert!(s.contains("100.00 -> final length: 80.00"));
         assert!(s.contains("re-timing: 1 passes (0 fallbacks)"));
         assert!(s.contains("mean cone 5.0"));
+        assert!(s.contains("kernel mix: 1 delta (4 evals)"));
         assert_eq!(trace.num_migrations(), 1);
         assert_eq!(trace.migrations_of_pivot(ProcId(1)).len(), 1);
         assert_eq!(trace.migrations_of_pivot(ProcId(0)).len(), 0);

@@ -25,8 +25,8 @@ use crate::wire;
 use bsa::algorithms::{standard_portfolio, Algo};
 use bsa::network::HeterogeneousSystem;
 use bsa::schedule::{
-    CancelToken, Problem, ProblemDelta, ResolveError, Solution, SolveError, SolveEvent,
-    SolveOptions, Solver,
+    CancelToken, Problem, ProblemDelta, ResolveError, RetimeTotals, Solution, SolveError,
+    SolveEvent, SolveOptions, Solver,
 };
 use bsa::taskgraph::TaskGraph;
 use std::collections::{HashMap, VecDeque};
@@ -392,6 +392,10 @@ struct Counters {
     completed: u64,
     rejected_saturated: u64,
     rejected_client_limit: u64,
+    /// Daemon-lifetime aggregate of the incremental re-timing phase counters of every
+    /// successful session (surfaced under `status.retime`): how much decision-graph
+    /// work the kernels did and which kernel — delta, cone or flat — did it.
+    retime: RetimeTotals,
 }
 
 /// The long-lived scheduling engine (see module docs).
@@ -764,7 +768,13 @@ impl Engine {
             }
         }
         drop(registry);
-        self.counters.lock().expect("engine lock").completed += 1;
+        {
+            let mut counters = self.counters.lock().expect("engine lock");
+            counters.completed += 1;
+            if let Ok(ok) = &outcome {
+                counters.retime.merge(&ok.solution.trace.retime);
+            }
+        }
         let mut shared = session.shared.lock().expect("session lock");
         shared.outcome = Some(outcome);
         shared.state = SessionState::Done;
@@ -887,14 +897,27 @@ impl Engine {
             (pool.queue.len(), pool.running)
         };
         let sessions = self.session_count();
-        let c = {
+        let (c, retime) = {
             let c = self.counters.lock().expect("engine lock");
-            obj(vec![
+            let counters = obj(vec![
                 ("submitted", u(c.submitted)),
                 ("completed", u(c.completed)),
                 ("rejected_saturated", u(c.rejected_saturated)),
                 ("rejected_client_limit", u(c.rejected_client_limit)),
-            ])
+            ]);
+            let r = &c.retime;
+            let retime = obj(vec![
+                ("passes", u(r.passes as u64)),
+                ("fallbacks", u(r.fallbacks as u64)),
+                ("cone_nodes", u(r.cone_nodes as u64)),
+                ("changed_nodes", u(r.changed_nodes as u64)),
+                ("delta_passes", u(r.delta_passes as u64)),
+                ("delta_evals", u(r.delta_evals as u64)),
+                ("flat_by_seeds", u(r.flat_by_seeds as u64)),
+                ("flat_by_model", u(r.flat_by_model as u64)),
+                ("flat_by_cap", u(r.flat_by_cap as u64)),
+            ]);
+            (counters, retime)
         };
         let shard = |s: crate::cache::ShardStats| {
             obj(vec![
@@ -910,6 +933,7 @@ impl Engine {
             ("running", u(running as u64)),
             ("sessions", u(sessions as u64)),
             ("counters", c),
+            ("retime", retime),
             (
                 "cache",
                 obj(vec![

@@ -181,6 +181,14 @@ fn socket_round_trip_cache_hit_and_graceful_shutdown() {
     };
     assert!(hits("problems") >= 1, "problem cache hit must be counted");
     assert!(hits("routing") >= 1, "routing cache hit must be counted");
+    let retime = status
+        .get("status")
+        .and_then(|s| s.get("retime"))
+        .expect("aggregate retime counters");
+    assert!(
+        retime.get("passes").and_then(Value::as_u64).unwrap_or(0) >= 1,
+        "completed solves must contribute re-timing passes to the daemon aggregate"
+    );
 
     // A delta chained over the socket warm-starts from the first session.
     let delta = format!(

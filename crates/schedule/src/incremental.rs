@@ -35,13 +35,25 @@
 //!
 //! Cone-proportional is only a win while the cone is small.  A migration of an
 //! early-schedule task dirties nearly everything downstream — at 1000+ tasks the mean
-//! cone covers ~90% of the schedule and per-node cone bookkeeping *loses* to a flat
-//! sweep.  The pass therefore routes between two same-result kernels: the cone-local
-//! Kahn above, and `flat_relax` — a whole-schedule relaxation on the same arenas
-//! (CSR via two counting sweeps, in-place write-back, zero steady-state allocations)
-//! that replaces the much costlier [`crate::recompute`] oracle on the big-cone path.
-//! Routing is decided before any cone work from the seed count ([`FALLBACK_NUM`]) and
-//! a seed-horizon estimate ([`FLAT_EST_NUM`]), with a mid-discovery cap as backstop.
+//! successor closure covers most of the schedule — yet the set of nodes whose *times*
+//! actually move is far smaller, because committed slack absorbs most perturbations.
+//! The pass therefore routes between several same-result kernels (see [`RetimeKind`]):
+//!
+//! * the **delta kernel** (`try_delta`, tried first on large full placements) —
+//!   value-driven propagation over a committed-start-ordered worklist that stops
+//!   wherever slack absorbs the change, costing O(|affected| · log) instead of
+//!   O(|closure|), with an evaluation budget ([`DELTA_EVAL_NUM`]) bounding the
+//!   downside of an attempt that has to bail;
+//! * the cone-local Kahn kernel above, for small problems and delta bails whose
+//!   horizon stays small;
+//! * `flat_relax` — a whole-schedule relaxation on the same arenas (CSR via two
+//!   counting sweeps, level-batched frontier, in-place write-back, zero steady-state
+//!   allocations) that replaces the much costlier [`crate::recompute`] oracle when
+//!   nearly everything must be re-timed anyway.  It is routed to by the seed count
+//!   ([`FALLBACK_NUM`]), by the *measured* cone-vs-flat crossover model on the
+//!   seed-horizon estimate (`RetimeScaffold::flat_by_model`, which scales the
+//!   estimate by the observed cone-per-estimate ratio of completed cone passes), or
+//!   by the mid-discovery cap as backstop.
 //!
 //! The result is bit-identical to a full [`crate::recompute`] pass **provided the
 //! schedule outside the cone is already compacted** — which BSA guarantees by
@@ -58,25 +70,50 @@ use crate::scaffold::{slot_lookup, RetimeScaffold, NONE};
 use crate::txn::{DirtyNode, UndoOp};
 use bsa_taskgraph::TaskId;
 
+/// Which same-result kernel an incremental re-timing pass finished on, and — for the
+/// flat sweeps — which routing rule sent it there.  Every kernel computes the identical
+/// earliest-start fixpoint; the kind is diagnostics for the crossover model only.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RetimeKind {
+    /// Cone-local Kahn relaxation over the successor closure of the seeds (the classic
+    /// dirty-cone kernel; also what an empty pass reports).
+    #[default]
+    Cone,
+    /// Value-driven delta propagation: re-evaluation stopped wherever committed slack
+    /// absorbed the change, without ever materializing the successor closure.
+    Delta,
+    /// Flat sweep, routed by the seed-count check ([`FALLBACK_NUM`]).
+    FlatSeeds,
+    /// Flat sweep, routed by the measured crossover model on the seed-horizon estimate
+    /// (see `RetimeScaffold::flat_by_model`).
+    FlatModel,
+    /// Flat sweep, after cone discovery outgrew its cap mid-expansion.
+    FlatCap,
+}
+
 /// What an incremental re-timing pass did, for diagnostics, the BSA trace's phase
 /// counters, and the scaling benchmark.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct RetimeStats {
     /// Live, deduplicated seeds the pass started from (setup phase).
     pub seed_nodes: usize,
-    /// Nodes (tasks + hops) in the relaxed dirty cone (cone phase).
+    /// Nodes (tasks + hops) the pass touched: the relaxed dirty cone (cone kernel),
+    /// the discovered affected set (delta kernel), or the whole decision graph (flat).
     pub cone_nodes: usize,
-    /// Cone-local dependency edges relaxed by the Kahn pass (relax phase).
+    /// Cone-local dependency edges relaxed by the Kahn pass (relax phase; the delta
+    /// kernel never materializes an edge list and reports 0).
     pub cone_edges: usize,
     /// Cone nodes whose start or finish time actually changed (write-back phase).
     pub changed_nodes: usize,
-    /// Whether the pass ran the arena-backed **flat relaxation** instead of the
-    /// cone-local one — because the seed set alone covered most of the schedule
-    /// ([`FALLBACK_NUM`] / [`FALLBACK_DEN`]), because the seed-horizon estimate said
-    /// the cone would ([`FLAT_EST_NUM`] / [`FLAT_EST_DEN`]), or because cone discovery
-    /// outgrew its cap.  Identical results either way; `cone_nodes` then counts the
-    /// whole decision graph.
+    /// Whether the pass ran the arena-backed **flat relaxation** instead of a
+    /// node-local kernel (`kind` is one of the `Flat*` variants).  Identical results
+    /// either way; `cone_nodes` then counts the whole decision graph.
     pub fell_back: bool,
+    /// Which kernel finished the pass, and why (see [`RetimeKind`]).
+    pub kind: RetimeKind,
+    /// Node evaluations spent by the delta kernel this pass — including the evaluations
+    /// of an attempt that hit its budget and bailed to the classic routing.
+    pub delta_evals: usize,
 }
 
 /// When the (deduplicated) seeds alone exceed `FALLBACK_NUM / FALLBACK_DEN` of all
@@ -97,23 +134,21 @@ pub const FALLBACK_DEN: usize = 4;
 /// the incremental path.
 pub const FALLBACK_FLOOR: usize = 64;
 
-/// Horizon estimate threshold.  Decision-graph edges (processor order, link order,
-/// route chains) essentially always point forward in committed time, so the dirty cone
-/// is — up to the stale windows of the mutation itself — contained in the set of nodes
-/// scheduled at or after the earliest seed.  That set is countable in
-/// O((procs + links) · log n) by one `partition_point` per timeline, *before* paying
-/// for any cone discovery.  When it exceeds `FLAT_EST_NUM / FLAT_EST_DEN` of the
-/// decision graph, the pass goes straight to the flat relaxation: at that size the
-/// cone's discovery overhead (per-node slot claims, timeline position lookups,
-/// explicit dependency-edge list) costs more than it saves.  This is the routing rule
-/// that keeps the kernel from *losing* to the oracle on migrations of early-schedule
-/// tasks, whose cones cover nearly the whole schedule (`BENCH_scaling.json`, 1000+
-/// tasks).  The estimate is a heuristic for *routing only* — both targets compute the
-/// identical fixpoint — and the mid-discovery cap above backstops the rare cone that
-/// outgrows its estimate.
-pub const FLAT_EST_NUM: usize = 1;
-/// See [`FLAT_EST_NUM`].
-pub const FLAT_EST_DEN: usize = 2;
+/// Evaluation budget of the delta kernel, as a fraction of the decision graph: the
+/// value-driven pass may spend at most `total_nodes · DELTA_EVAL_NUM / DELTA_EVAL_DEN`
+/// node evaluations before bailing to the classic cone/flat routing.  One delta
+/// evaluation costs about one flat-relax node visit (a full fold over the node's
+/// predecessors), so a bailed attempt wastes at most ~one flat sweep.  The
+/// committed-start-ordered worklist keeps successful passes near one evaluation per
+/// affected node, but a sizeable minority of migrations genuinely touch more than
+/// half the decision graph (compaction ripples every removal downstream), so the
+/// budget is the full graph — anything tighter bails passes that were about to
+/// converge.  The budget is also the divergence backstop: a decision cycle with
+/// positive total duration grows values forever and can only exit through it (the
+/// classic kernels then report the cycle).
+pub const DELTA_EVAL_NUM: usize = 1;
+/// See [`DELTA_EVAL_NUM`].
+pub const DELTA_EVAL_DEN: usize = 1;
 
 /// Whether a dirty entry still refers to an existing decision-graph node.
 fn node_exists(b: &ScheduleBuilder<'_>, n: DirtyNode) -> bool {
@@ -177,6 +212,358 @@ fn start_of_node(b: &ScheduleBuilder<'_>, n: DirtyNode) -> f64 {
         DirtyNode::Task(t) => b.task_start[t.index()],
         DirtyNode::Hop(e, k) => b.routes[e.index()][k as usize].start,
     }
+}
+
+/// Committed `(start, finish)` window of a live decision-graph node.
+fn committed_times(b: &ScheduleBuilder<'_>, n: DirtyNode) -> (f64, f64) {
+    match n {
+        DirtyNode::Task(t) => (b.task_start[t.index()], b.task_finish[t.index()]),
+        DirtyNode::Hop(e, k) => {
+            let hop = &b.routes[e.index()][k as usize];
+            (hop.start, hop.finish)
+        }
+    }
+}
+
+/// Discovers `n` for the delta kernel: claims a slot, records the timeline position,
+/// and initializes the node's scratch window to its committed one (undiscovered
+/// nodes *are* their committed windows, so discovery must be value-neutral).
+fn delta_discover(
+    b: &ScheduleBuilder<'_>,
+    sc: &mut RetimeScaffold,
+    n: DirtyNode,
+    pos_hint: Option<u32>,
+) -> Result<u32, RecomputeError> {
+    let before = sc.nodes.len();
+    let slot = add_to_cone(b, sc, n, pos_hint)?;
+    if sc.nodes.len() > before {
+        let (cs, cf) = committed_times(b, n);
+        sc.start.push(cs);
+        sc.finish.push(cf);
+        sc.queued.push(false);
+        sc.key.push(start_key(cs));
+    }
+    Ok(slot)
+}
+
+/// Monotone map from a committed start instant to a totally ordered heap key
+/// (the standard sign-flip trick, so even a negative start would order correctly).
+fn start_key(start: f64) -> u64 {
+    let b = start.to_bits();
+    if b >> 63 == 1 {
+        !b
+    } else {
+        b | (1 << 63)
+    }
+}
+
+/// Enqueues cone slot `v` for (re-)evaluation unless it is already pending: a queued
+/// node will observe the newest predecessor values when popped, so queueing it once
+/// per update *wave* — not once per updated predecessor — preserves the "any
+/// inconsistent node is queued" invariant.  The worklist is a min-heap on committed
+/// start: every decision edge that predates this pass points from an earlier
+/// committed start to a strictly later one (durations are positive), so committed-
+/// start order is a topological order of the unperturbed decision graph and each node
+/// settles in one evaluation.  Only edges the current change *introduced* (around the
+/// migrated task and its hops — the seeds) can violate the order, and those trigger
+/// the ordinary changed-value re-enqueue, bounding the extra work by the seed count.
+fn delta_enqueue(sc: &mut RetimeScaffold, v: u32) {
+    if !sc.queued[v as usize] {
+        sc.queued[v as usize] = true;
+        sc.heap.push(std::cmp::Reverse((sc.key[v as usize], v)));
+    }
+}
+
+/// Full re-evaluation of a node's earliest start under the current decision edges:
+/// the max over *all* its predecessors' finishes, reading discovered predecessors
+/// from the delta scratch and everything else from the committed schedule.  `Err(())`
+/// means the node has an unroutable cross-processor message — the delta kernel bails
+/// and lets the classic path surface the exact error.
+fn delta_eval(
+    b: &ScheduleBuilder<'_>,
+    sc: &RetimeScaffold,
+    n: DirtyNode,
+    pos: usize,
+) -> Result<f64, ()> {
+    let pred_finish = |n2: DirtyNode, committed: f64| -> f64 {
+        let sl = slot_lookup(sc.epoch, &sc.task_mark, &sc.hop_mark, n2);
+        if sl == NONE {
+            committed
+        } else {
+            sc.finish[sl as usize]
+        }
+    };
+    let mut s = 0.0f64;
+    match n {
+        DirtyNode::Task(t) => {
+            let p = b.assignment[t.index()].expect("delta nodes are placed");
+            if pos > 0 {
+                let prev = b.proc_timelines[p.index()].intervals()[pos - 1].payload;
+                let v = pred_finish(DirtyNode::Task(prev), b.task_finish[prev.index()]);
+                if v > s {
+                    s = v;
+                }
+            }
+            for &eid in b.graph.in_edges(t) {
+                let route_len = b.routes[eid.index()].len();
+                if route_len == 0 {
+                    let src = b.graph.edge(eid).src;
+                    let sp = b.assignment[src.index()].expect("delta runs on full placements");
+                    if sp != p {
+                        return Err(());
+                    }
+                    let v = pred_finish(DirtyNode::Task(src), b.task_finish[src.index()]);
+                    if v > s {
+                        s = v;
+                    }
+                } else {
+                    let k = (route_len - 1) as u32;
+                    let v = pred_finish(
+                        DirtyNode::Hop(eid, k),
+                        b.routes[eid.index()][k as usize].finish,
+                    );
+                    if v > s {
+                        s = v;
+                    }
+                }
+            }
+        }
+        DirtyNode::Hop(e, k) => {
+            let hop = b.routes[e.index()][k as usize];
+            if pos > 0 {
+                let (pe, pk) =
+                    b.link_timelines[b.link_slot(hop.link, hop.from)].intervals()[pos - 1].payload;
+                let v = pred_finish(
+                    DirtyNode::Hop(pe, pk),
+                    b.routes[pe.index()][pk as usize].finish,
+                );
+                if v > s {
+                    s = v;
+                }
+            }
+            if k == 0 {
+                let src = b.graph.edge(e).src;
+                let v = pred_finish(DirtyNode::Task(src), b.task_finish[src.index()]);
+                if v > s {
+                    s = v;
+                }
+            } else {
+                let v = pred_finish(
+                    DirtyNode::Hop(e, k - 1),
+                    b.routes[e.index()][(k - 1) as usize].finish,
+                );
+                if v > s {
+                    s = v;
+                }
+            }
+        }
+    }
+    Ok(s)
+}
+
+/// Enqueues every decision-graph successor of node `u` for re-evaluation (discovering
+/// it first if needed) — the same successor enumeration the cone expansion uses.
+/// `Ok(false)` = bail (cross-processor edge without a route; classic path reports it).
+fn delta_push_successors(
+    b: &ScheduleBuilder<'_>,
+    sc: &mut RetimeScaffold,
+    u: usize,
+) -> Result<bool, RecomputeError> {
+    let node = sc.nodes[u];
+    let pos = sc.tpos[u] as usize;
+    match node {
+        DirtyNode::Task(t) => {
+            let p = b.assignment[t.index()].expect("delta nodes are placed");
+            let next = b.proc_timelines[p.index()]
+                .intervals()
+                .get(pos + 1)
+                .map(|iv| iv.payload);
+            if let Some(next) = next {
+                let v = delta_discover(b, sc, DirtyNode::Task(next), Some(pos as u32 + 1))?;
+                delta_enqueue(sc, v);
+            }
+            for &eid in b.graph.out_edges(t) {
+                if b.routes[eid.index()].is_empty() {
+                    let dst = b.graph.edge(eid).dst;
+                    let dp = b.assignment[dst.index()].expect("delta runs on full placements");
+                    if dp != p {
+                        return Ok(false);
+                    }
+                    let v = delta_discover(b, sc, DirtyNode::Task(dst), None)?;
+                    delta_enqueue(sc, v);
+                } else {
+                    let v = delta_discover(b, sc, DirtyNode::Hop(eid, 0), None)?;
+                    delta_enqueue(sc, v);
+                }
+            }
+        }
+        DirtyNode::Hop(e, k) => {
+            let hop = b.routes[e.index()][k as usize];
+            let next = b.link_timelines[b.link_slot(hop.link, hop.from)]
+                .intervals()
+                .get(pos + 1)
+                .map(|iv| iv.payload);
+            if let Some((ne, nk)) = next {
+                let v = delta_discover(b, sc, DirtyNode::Hop(ne, nk), Some(pos as u32 + 1))?;
+                delta_enqueue(sc, v);
+            }
+            let v = if (k as usize) + 1 < b.routes[e.index()].len() {
+                delta_discover(b, sc, DirtyNode::Hop(e, k + 1), None)?
+            } else {
+                delta_discover(b, sc, DirtyNode::Task(b.graph.edge(e).dst), None)?
+            };
+            delta_enqueue(sc, v);
+        }
+    }
+    Ok(true)
+}
+
+/// The delta kernel: incremental longest-path maintenance by value-driven propagation.
+///
+/// Instead of materializing the successor closure of the seeds (whose size is what
+/// erodes the incremental advantage at scale — the closure of an early-schedule
+/// migration covers nearly everything downstream regardless of whether any time
+/// actually moves), this kernel re-evaluates *values*: each worklist node recomputes
+/// its earliest start from its current predecessors, and only a node whose window
+/// actually **changed** pushes its successors.  Wherever committed slack absorbs the
+/// perturbation, propagation dies immediately — a migration's true cost becomes
+/// O(|affected|), not O(|closure|).
+///
+/// Correctness relies on the same compaction invariant as the cone kernel: committed
+/// windows outside the discovered set are the previous fixpoint, and every node whose
+/// predecessor *set* changed is a seed.  On a DAG the fixpoint is unique and the
+/// worklist maintains "any locally inconsistent node is queued", so an empty worklist
+/// *is* the fixpoint; `f64` max over identical operand sets is order-independent, so
+/// the result is bit-identical to [`crate::recompute`].  The kernel **never touches
+/// the builder until convergence** (scratch windows only), so a bail — budget
+/// exhausted, a zero-duration node (which could let a freshly created decision cycle
+/// stabilize silently instead of erroring), or a missing route — simply falls through
+/// to the classic routing with the builder untouched and every error surface intact;
+/// positive-duration cycles diverge and exit through the budget.
+///
+/// Returns `Ok(None)` to bail; `evals` reports the evaluations spent either way.
+fn try_delta(
+    b: &mut ScheduleBuilder<'_>,
+    sc: &mut RetimeScaffold,
+    budget: usize,
+    evals: &mut usize,
+) -> Result<Option<RetimeStats>, RecomputeError> {
+    let seed_nodes = sc.nodes.len();
+    for i in 0..seed_nodes {
+        let (cs, cf) = committed_times(b, sc.nodes[i]);
+        sc.start.push(cs);
+        sc.finish.push(cf);
+        sc.queued.push(true);
+        sc.key.push(start_key(cs));
+        sc.heap.push(std::cmp::Reverse((sc.key[i], i as u32)));
+    }
+    while let Some(std::cmp::Reverse((_, u))) = sc.heap.pop() {
+        *evals += 1;
+        if *evals > budget {
+            return Ok(None);
+        }
+        let u = u as usize;
+        sc.queued[u] = false;
+        let n = sc.nodes[u];
+        let dur = duration_of(b, n);
+        if dur == 0.0 {
+            return Ok(None);
+        }
+        let s = match delta_eval(b, sc, n, sc.tpos[u] as usize) {
+            Ok(s) => s,
+            Err(()) => return Ok(None),
+        };
+        let f = s + dur;
+        if s == sc.start[u] && f == sc.finish[u] {
+            continue;
+        }
+        sc.start[u] = s;
+        sc.finish[u] = f;
+        if !delta_push_successors(b, sc, u)? {
+            return Ok(None);
+        }
+    }
+    let changed = write_back(b, &sc.nodes, &sc.tpos, &sc.start, &sc.finish);
+    Ok(Some(RetimeStats {
+        seed_nodes,
+        cone_nodes: sc.nodes.len(),
+        cone_edges: 0,
+        changed_nodes: changed,
+        fell_back: false,
+        kind: RetimeKind::Delta,
+        delta_evals: *evals,
+    }))
+}
+
+/// In-place write-back of changed node windows, shared by the cone and delta kernels.
+/// Re-timing preserves every timeline's interval order, so each changed window is
+/// overwritten in place at its known position — no remove/insert shifting.  Old times
+/// of moved nodes go onto the builder's persistent undo stacks; the logged
+/// [`UndoOp::Retime`] only records the watermarks (see [`crate::txn`]).  Clears the
+/// dirty list (the pass consumed it).
+fn write_back(
+    b: &mut ScheduleBuilder<'_>,
+    nodes: &[DirtyNode],
+    tpos: &[u32],
+    start: &[f64],
+    finish: &[f64],
+) -> usize {
+    let log = b.in_txn();
+    let tasks_from = b.retime_undo_tasks.len();
+    let hops_from = b.retime_undo_hops.len();
+    let mut changed = 0usize;
+    for i in 0..nodes.len() {
+        let pos = tpos[i] as usize;
+        match nodes[i] {
+            DirtyNode::Task(t) => {
+                if b.task_start[t.index()] != start[i] || b.task_finish[t.index()] != finish[i] {
+                    if log {
+                        b.retime_undo_tasks.push((
+                            t,
+                            b.task_start[t.index()],
+                            b.task_finish[t.index()],
+                        ));
+                    }
+                    changed += 1;
+                    let p = b.assignment[t.index()].expect("cone tasks are placed");
+                    b.task_start[t.index()] = start[i];
+                    b.task_finish[t.index()] = finish[i];
+                    b.proc_timelines[p.index()].set_window(pos, start[i], finish[i]);
+                }
+            }
+            DirtyNode::Hop(e, k) => {
+                let hop = b.routes[e.index()][k as usize];
+                if hop.start != start[i] || hop.finish != finish[i] {
+                    if log {
+                        b.retime_undo_hops.push((e, k, hop.start, hop.finish));
+                    }
+                    changed += 1;
+                    let slot = b.link_slot(hop.link, hop.from);
+                    let hop = &mut b.routes[e.index()][k as usize];
+                    hop.start = start[i];
+                    hop.finish = finish[i];
+                    b.link_timelines[slot].set_window(pos, start[i], finish[i]);
+                }
+            }
+        }
+    }
+    #[cfg(debug_assertions)]
+    {
+        for tl in &b.proc_timelines {
+            debug_assert!(tl.is_consistent(), "processor timeline after write-back");
+        }
+        for tl in &b.link_timelines {
+            debug_assert!(tl.is_consistent(), "link timeline after write-back");
+        }
+    }
+    if log {
+        b.log_undo(UndoOp::Retime {
+            tasks_from,
+            hops_from,
+        });
+    }
+    b.clear_dirty();
+    changed
 }
 
 /// Enumerates every decision-graph dependency edge `(u, v)` in flat numbering (tasks
@@ -301,12 +688,19 @@ fn flat_relax(
         })?;
     }
 
-    // Kahn relaxation from scratch (initial starts all zero).
+    // Level-batched Kahn relaxation from scratch (initial starts all zero).  The
+    // whole state is struct-of-arrays over the CSR mirrors (start/finish/dur/indeg
+    // indexed by flat node id); instead of a FIFO the sweep processes one *level* of
+    // ready nodes per batch from a pair of swapped frontier arenas — tight sequential
+    // loops over the arrays, no queue churn.  Relaxation order is irrelevant to the
+    // result (max-merges commute) and the processed count is the same, so cycle
+    // detection and the computed fixpoint are identical to the queue formulation.
     sc.start.resize(num_nodes, 0.0);
     sc.finish.resize(num_nodes, 0.0);
     {
         let RetimeScaffold {
-            ref mut queue,
+            ref mut frontier,
+            ref mut frontier_next,
             ref mut start,
             ref mut finish,
             ref mut indeg,
@@ -315,23 +709,27 @@ fn flat_relax(
             ref dur,
             ..
         } = *sc;
-        queue.extend((0..num_nodes as u32).filter(|&i| indeg[i as usize] == 0));
+        frontier.extend((0..num_nodes as u32).filter(|&i| indeg[i as usize] == 0));
         let mut processed = 0usize;
-        while let Some(u) = queue.pop_front() {
-            let u = u as usize;
-            let f = start[u] + dur[u];
-            finish[u] = f;
-            processed += 1;
-            for &v in &csr[offsets[u] as usize..offsets[u + 1] as usize] {
-                let v = v as usize;
-                if f > start[v] {
-                    start[v] = f;
-                }
-                indeg[v] -= 1;
-                if indeg[v] == 0 {
-                    queue.push_back(v as u32);
+        while !frontier.is_empty() {
+            for &u in frontier.iter() {
+                let u = u as usize;
+                let f = start[u] + dur[u];
+                finish[u] = f;
+                processed += 1;
+                for &v in &csr[offsets[u] as usize..offsets[u + 1] as usize] {
+                    let v = v as usize;
+                    if f > start[v] {
+                        start[v] = f;
+                    }
+                    indeg[v] -= 1;
+                    if indeg[v] == 0 {
+                        frontier_next.push(v as u32);
+                    }
                 }
             }
+            std::mem::swap(frontier, frontier_next);
+            frontier_next.clear();
         }
         if processed != num_nodes {
             return Err(RecomputeError::CyclicDecisions);
@@ -407,15 +805,18 @@ fn flat_relax(
             hops_from,
         });
     }
-    b.dirty.clear();
+    b.clear_dirty();
     Ok((num_nodes, sc.csr.len(), changed))
 }
 
-/// Wraps [`flat_relax`] into the pass result (`fell_back` marks the flat route).
+/// Wraps [`flat_relax`] into the pass result (`fell_back` marks the flat route;
+/// `kind` records which routing rule chose it).
 fn flat_pass(
     b: &mut ScheduleBuilder<'_>,
     sc: &mut RetimeScaffold,
     seed_nodes: usize,
+    kind: RetimeKind,
+    delta_evals: usize,
 ) -> Result<RetimeStats, RecomputeError> {
     let (num_nodes, dep_edges, changed) = flat_relax(b, sc)?;
     Ok(RetimeStats {
@@ -424,6 +825,8 @@ fn flat_pass(
         cone_edges: dep_edges,
         changed_nodes: changed,
         fell_back: true,
+        kind,
+        delta_evals,
     })
 }
 
@@ -474,16 +877,21 @@ fn run_pass(
     }
     let seed_nodes = sc.nodes.len();
 
-    // ---- flat-relaxation routing (see FALLBACK_NUM / FLAT_EST_NUM) -----------------
+    // ---- flat-relaxation routing (see FALLBACK_NUM / DELTA_EVAL_NUM) ---------------
     let total_nodes = b.graph.num_tasks() + sc.total_hops;
     let big = total_nodes >= FALLBACK_FLOOR;
     if big && seed_nodes > total_nodes * FALLBACK_NUM / FALLBACK_DEN {
-        // Almost everything is dirty before the cone is even expanded.
-        return flat_pass(b, sc, seed_nodes);
+        // Almost everything is dirty before any kernel starts: a bulk-mutation batch.
+        // Neither delta propagation nor a cone can beat the flat sweep here.
+        return flat_pass(b, sc, seed_nodes, RetimeKind::FlatSeeds, 0);
     }
-    if big && b.all_placed() {
-        // Count the nodes scheduled at or after the earliest seed — an O((P+L) log n)
-        // upper-bound proxy for the cone.
+
+    // ---- seed-horizon estimate: shared input of both routing models ----------------
+    // Count the nodes scheduled at or after the earliest seed — an O((P+L) log n)
+    // upper-bound proxy for the work downstream of the seeds, computed once before any
+    // kernel runs.  The delta model scales it by the observed affected-per-estimate
+    // ratio ĝΔ, the cone model by the cone-per-estimate ratio ĝ.
+    let observed_est = if big && b.all_placed() {
         let mut est = 0usize;
         for tl in &b.proc_timelines {
             est += tl.len() - tl.intervals().partition_point(|iv| iv.start < t_min);
@@ -491,8 +899,56 @@ fn run_pass(
         for tl in &b.link_timelines {
             est += tl.len() - tl.intervals().partition_point(|iv| iv.start < t_min);
         }
-        if est * FLAT_EST_DEN > total_nodes * FLAT_EST_NUM {
-            return flat_pass(b, sc, seed_nodes);
+        Some(est)
+    } else {
+        None
+    };
+
+    // ---- delta kernel: value-driven propagation (see `try_delta`) ------------------
+    // Tried before any closure-based routing — but only when the measured model
+    // predicts a small affected set (see `RetimeScaffold::delta_by_model`): one delta
+    // evaluation costs ≈4× one level-batched flat-relaxation step, so past
+    // ~sixth-of-the-graph cascades the flat sweep wins even though delta would
+    // converge.
+    // The eval budget bounds the downside of a wrong prediction.  Every pass feeds the
+    // model exactly once — an attempted delta with its final affected set (or the
+    // partial set at the bail point), a skipped delta with the `changed_nodes` count
+    // of whatever kernel ran instead (the true affected size, so a wrong skip is
+    // observed and self-corrects rather than locking in; see the closing feed below).
+    let mut delta_evals = 0usize;
+    let mut delta_fed = false;
+    if let Some(est) = observed_est {
+        if !sc.delta_by_model(est, total_nodes) {
+            delta_fed = true;
+            let budget = total_nodes * DELTA_EVAL_NUM / DELTA_EVAL_DEN;
+            if let Some(stats) = try_delta(b, sc, budget, &mut delta_evals)? {
+                sc.note_delta_observation(stats.cone_nodes, est);
+                return Ok(stats);
+            }
+            // Bailed: record the partially discovered affected set, then reset the
+            // scaffold and rebuild the seed state for the classic paths.
+            sc.note_delta_observation(sc.nodes.len(), est);
+            sc.begin_pass();
+            for i in 0..b.dirty.len() {
+                let s = b.dirty[i];
+                if node_exists(b, s) {
+                    add_to_cone(b, sc, s, None)?;
+                }
+            }
+            for &t in extra_seeds {
+                add_to_cone(b, sc, DirtyNode::Task(t), None)?;
+            }
+        }
+    }
+
+    // ---- measured cone-vs-flat crossover on the seed-horizon estimate --------------
+    if let Some(est) = observed_est {
+        if sc.flat_by_model(est, total_nodes) {
+            let stats = flat_pass(b, sc, seed_nodes, RetimeKind::FlatModel, delta_evals)?;
+            if !delta_fed {
+                sc.note_delta_observation(stats.changed_nodes, est);
+            }
+            return Ok(stats);
         }
     }
     // Backstop for cones that outgrow their estimate: abandon discovery and go flat.
@@ -508,7 +964,13 @@ fn run_pass(
     let mut cursor = 0usize;
     while cursor < sc.nodes.len() {
         if sc.nodes.len() > cone_cap {
-            return flat_pass(b, sc, seed_nodes);
+            let stats = flat_pass(b, sc, seed_nodes, RetimeKind::FlatCap, delta_evals)?;
+            if !delta_fed {
+                if let Some(est) = observed_est {
+                    sc.note_delta_observation(stats.changed_nodes, est);
+                }
+            }
+            return Ok(stats);
         }
         let u = cursor as u32;
         let node = sc.nodes[cursor];
@@ -678,75 +1140,28 @@ fn run_pass(
         return Err(RecomputeError::CyclicDecisions);
     }
 
-    // ---- in-place write-back of changed nodes only --------------------------------
-    // Re-timing preserves every timeline's interval order, so each changed window is
-    // overwritten in place at its known position — no remove/insert shifting.  Old
-    // times of moved nodes go onto the builder's persistent undo stacks; the logged
-    // `UndoOp::Retime` only records the watermarks (see `crate::txn`).
-    let log = b.in_txn();
-    let tasks_from = b.retime_undo_tasks.len();
-    let hops_from = b.retime_undo_hops.len();
-    let mut changed = 0usize;
-    for i in 0..m {
-        let pos = tpos[i] as usize;
-        match nodes[i] {
-            DirtyNode::Task(t) => {
-                if b.task_start[t.index()] != start[i] || b.task_finish[t.index()] != finish[i] {
-                    if log {
-                        b.retime_undo_tasks.push((
-                            t,
-                            b.task_start[t.index()],
-                            b.task_finish[t.index()],
-                        ));
-                    }
-                    changed += 1;
-                    let p = b.assignment[t.index()].expect("cone tasks are placed");
-                    b.task_start[t.index()] = start[i];
-                    b.task_finish[t.index()] = finish[i];
-                    b.proc_timelines[p.index()].set_window(pos, start[i], finish[i]);
-                }
-            }
-            DirtyNode::Hop(e, k) => {
-                let hop = b.routes[e.index()][k as usize];
-                if hop.start != start[i] || hop.finish != finish[i] {
-                    if log {
-                        b.retime_undo_hops.push((e, k, hop.start, hop.finish));
-                    }
-                    changed += 1;
-                    let slot = b.link_slot(hop.link, hop.from);
-                    let hop = &mut b.routes[e.index()][k as usize];
-                    hop.start = start[i];
-                    hop.finish = finish[i];
-                    b.link_timelines[slot].set_window(pos, start[i], finish[i]);
-                }
-            }
+    // ---- in-place write-back of changed nodes only (shared with the delta kernel) --
+    let cone_edges = dep_edges.len();
+    let changed = write_back(b, nodes, tpos, start, finish);
+    // Feed the crossover model: this completed cone pass is one (cone, estimate)
+    // observation of how much of the seed horizon a real cone covers.  When the delta
+    // model skipped the delta attempt, the write-back's changed count is this pass's
+    // true affected size — feed it so the skip decision gets audited too.
+    if let Some(est) = observed_est {
+        sc.note_cone_observation(m, est);
+        if !delta_fed {
+            sc.note_delta_observation(changed, est);
         }
     }
-    #[cfg(debug_assertions)]
-    {
-        for tl in &b.proc_timelines {
-            debug_assert!(tl.is_consistent(), "processor timeline after write-back");
-        }
-        for tl in &b.link_timelines {
-            debug_assert!(tl.is_consistent(), "link timeline after write-back");
-        }
-    }
-
-    let stats = RetimeStats {
+    Ok(RetimeStats {
         seed_nodes,
         cone_nodes: m,
-        cone_edges: dep_edges.len(),
+        cone_edges,
         changed_nodes: changed,
         fell_back: false,
-    };
-    if log {
-        b.log_undo(UndoOp::Retime {
-            tasks_from,
-            hops_from,
-        });
-    }
-    b.dirty.clear();
-    Ok(stats)
+        kind: RetimeKind::Cone,
+        delta_evals,
+    })
 }
 
 #[cfg(test)]
@@ -905,9 +1320,10 @@ mod tests {
     fn seed_counts_on_both_sides_of_the_fallback_threshold_match_the_oracle() {
         // 80 placed tasks, no routes: 80 decision-graph nodes, seed threshold at
         // seeds > 80 * 3/4 = 60.  61 seeds trip the seed-count route before any other
-        // check; 60 stay under it (this bulk case then flat-routes via the horizon
-        // estimate instead — the seeds reach back to t = 0).  Either trigger must be
-        // invisible in the results: both sides bit-identical to the full relaxation.
+        // check; 60 stay under it and land in the delta kernel, which converges well
+        // inside its budget (the chain is already settled, so no value moves).  Either
+        // path must be invisible in the results: both sides bit-identical to the full
+        // relaxation.
         let (g, sys) = placed_chain(80);
         assert_eq!(g.num_tasks() * FALLBACK_NUM / FALLBACK_DEN, 60);
         let mut b = ScheduleBuilder::new(&g, &sys).unwrap();
@@ -923,10 +1339,12 @@ mod tests {
         let stats = b.recompute_times_from(&at_threshold).unwrap();
         oracle.recompute_times().unwrap();
         assert_eq!(stats.seed_nodes, 60);
-        assert!(
-            stats.fell_back,
-            "60 early seeds flat-route via the estimate"
+        assert_eq!(
+            stats.kind,
+            RetimeKind::Delta,
+            "60 early seeds stay under the seed-count route and settle in the delta kernel"
         );
+        assert!(!stats.fell_back);
         assert!(b.same_schedule_state(&oracle));
 
         let over_threshold: Vec<TaskId> = g.task_ids().take(61).collect();
@@ -934,6 +1352,7 @@ mod tests {
         let stats = b.recompute_times_from(&over_threshold).unwrap();
         oracle.recompute_times().unwrap();
         assert!(stats.fell_back, "seeds > threshold must flat-route");
+        assert_eq!(stats.kind, RetimeKind::FlatSeeds);
         assert_eq!(stats.seed_nodes, 61);
         assert!(b.same_schedule_state(&oracle));
     }

@@ -73,7 +73,7 @@ pub mod validate;
 
 pub use builder::ScheduleBuilder;
 pub use delta::{DeltaError, DeltaOp, ProblemDelta, ProblemUpdate};
-pub use incremental::RetimeStats;
+pub use incremental::{RetimeKind, RetimeStats};
 pub use metrics::ScheduleMetrics;
 pub use portfolio::{Portfolio, PortfolioEntry, RaceStrategy};
 pub use recompute::RecomputeError;

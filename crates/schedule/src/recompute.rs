@@ -230,7 +230,7 @@ pub(crate) fn recompute(b: &mut ScheduleBuilder<'_>) -> Result<(), RecomputeErro
     }
     b.link_timelines = new_link;
     // A full pass supersedes any pending dirty-cone work.
-    b.dirty.clear();
+    b.clear_dirty();
     Ok(())
 }
 

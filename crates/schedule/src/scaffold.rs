@@ -85,11 +85,46 @@ pub(crate) struct RetimeScaffold {
     pub(crate) csr: Vec<u32>,
     /// Kahn ready queue.
     pub(crate) queue: VecDeque<u32>,
+    /// Delta-kernel worklist membership per cone slot: a node already queued for
+    /// re-evaluation is not queued again (it will observe the newer predecessor value
+    /// when popped), collapsing the per-predecessor churn to one evaluation per
+    /// update wave.
+    pub(crate) queued: Vec<bool>,
+    /// Delta-kernel worklist: a min-heap of `(committed-start key, slot)`.  Popping in
+    /// committed-start order approximates topological order (every pre-existing
+    /// decision edge points from an earlier committed start to a later one, durations
+    /// being positive), so almost every node is evaluated exactly once — the unordered
+    /// FIFO re-evaluated each node ~2.5–5× per pass on the 1000-task benchmark.
+    pub(crate) heap: std::collections::BinaryHeap<std::cmp::Reverse<(u64, u32)>>,
+    /// Committed-start heap key per cone slot, fixed at discovery (scratch starts
+    /// move during the pass; the key must not).
+    pub(crate) key: Vec<u64>,
+    /// Current level of the flat relaxation's batched frontier (see
+    /// `crate::incremental::flat_relax`): nodes whose predecessors are all settled.
+    pub(crate) frontier: Vec<u32>,
+    /// Next level of the batched frontier (swapped with `frontier` per sweep).
+    pub(crate) frontier_next: Vec<u32>,
     /// Flat-relaxation hop numbering: prefix sums of route lengths (`num_edges + 1`
     /// entries), refilled per flat pass (the flat pass is O(V + E) anyway).
     pub(crate) hop_base: Vec<u32>,
     /// Flat-relaxation durations per node.
     pub(crate) dur: Vec<f64>,
+
+    // ---- measured cone-vs-flat crossover model -----------------------------------
+    /// Accumulated cone sizes of completed cone passes (numerator of the observed
+    /// cone-per-estimate growth ratio ĝ; see [`RetimeScaffold::flat_by_model`]).
+    xover_cone: u64,
+    /// Accumulated seed-horizon estimates of those same passes (denominator of ĝ).
+    xover_est: u64,
+    /// Accumulated affected-set sizes of delta passes (numerator of the observed
+    /// affected-per-estimate ratio ĝΔ; see [`RetimeScaffold::delta_by_model`]).
+    /// Successful passes feed their final affected count; bailed passes feed the
+    /// count discovered up to the bail — a lower bound, which only makes the model
+    /// more willing to retry delta, never less.
+    xover_delta_aff: u64,
+    /// Accumulated seed-horizon estimates of those same delta passes (denominator
+    /// of ĝΔ).
+    xover_delta_est: u64,
 
     /// Number of passes after which some arena had to grow (capacity high-water moved).
     /// Steady state is *zero new events*: the counting-allocator test asserts the hard
@@ -153,6 +188,11 @@ impl RetimeScaffold {
         self.fill.clear();
         self.csr.clear();
         self.queue.clear();
+        self.queued.clear();
+        self.heap.clear();
+        self.key.clear();
+        self.frontier.clear();
+        self.frontier_next.clear();
         self.hop_base.clear();
         self.dur.clear();
     }
@@ -169,6 +209,11 @@ impl RetimeScaffold {
             + self.fill.capacity()
             + self.csr.capacity()
             + self.queue.capacity()
+            + self.queued.capacity()
+            + self.heap.capacity() * 2
+            + self.key.capacity()
+            + self.frontier.capacity()
+            + self.frontier_next.capacity()
             + self.hop_base.capacity()
             + self.dur.capacity() * 2;
         if cap > self.capacity_watermark {
@@ -182,6 +227,81 @@ impl RetimeScaffold {
     /// Number of passes (excluding the first) in which an arena had to grow.
     pub(crate) fn realloc_events(&self) -> u64 {
         self.realloc_events
+    }
+
+    /// Feeds the crossover model one completed cone pass: the pass's seed-horizon
+    /// estimate said `est` nodes, the finished cone actually held `cone_nodes`.  The
+    /// accumulated ratio ĝ = Σcone / Σest measures how much of the horizon a cone
+    /// really covers *on this workload*; both accumulators are halved past a cap so the
+    /// model tracks the current solve phase (an exponential moving average in integer
+    /// arithmetic — deterministic, unlike any wall-clock-fed model, so thread-mirror
+    /// replays and repeated solves route identically).
+    pub(crate) fn note_cone_observation(&mut self, cone_nodes: usize, est: usize) {
+        if est == 0 {
+            return;
+        }
+        self.xover_cone += cone_nodes as u64;
+        self.xover_est += est as u64;
+        if self.xover_est > 1 << 20 {
+            self.xover_cone /= 2;
+            self.xover_est /= 2;
+        }
+    }
+
+    /// Feeds the delta-vs-flat model one delta attempt: the pass's seed-horizon
+    /// estimate said `est` nodes and the kernel touched `affected` of them (the final
+    /// affected set on success, the partial set at the bail point otherwise).  Same
+    /// integer-EWMA shape as [`RetimeScaffold::note_cone_observation`], tracking the
+    /// distinct ratio ĝΔ = Σaffected / Σest — on the steady-state migration workload
+    /// the affected set is much smaller than the successor closure, so the two models
+    /// must learn separately.
+    pub(crate) fn note_delta_observation(&mut self, affected: usize, est: usize) {
+        if est == 0 {
+            return;
+        }
+        self.xover_delta_aff += affected as u64;
+        self.xover_delta_est += est as u64;
+        if self.xover_delta_est > 1 << 20 {
+            self.xover_delta_aff /= 2;
+            self.xover_delta_est /= 2;
+        }
+    }
+
+    /// The measured delta-vs-flat routing decision: skip the delta attempt iff the
+    /// *predicted* affected set — the horizon estimate scaled by the observed ratio
+    /// ĝΔ — exceeds a sixth of the decision graph (`6 · ĝΔ · est > total`).  The
+    /// profiled per-node cost ratio alone is ≈4× (one delta evaluation pays for
+    /// heap-ordered discovery, committed-position searches, and route pointer chasing
+    /// against one level-batched flat relaxation step); the calibrated factor is
+    /// higher because a wrong delta attempt also pays the bail and seed-rebuild
+    /// overhead, and because ĝΔ's feed mixes visited counts (attempted passes) with
+    /// changed counts (skipped passes), which biases it low.  Six is the measured
+    /// wall-clock optimum on both the 1000- and 3000-task bench cells, with a flat
+    /// plateau up to ~8.  With no observations yet the model is optimistic (ĝΔ = 0 →
+    /// always try delta): the budget bail bounds the downside of a wrong first guess
+    /// and immediately feeds the model.  Routing only — both kernels compute the
+    /// identical fixpoint.
+    pub(crate) fn delta_by_model(&self, est: usize, total_nodes: usize) -> bool {
+        if self.xover_delta_est == 0 {
+            return false;
+        }
+        6 * self.xover_delta_aff * (est as u64) > (total_nodes as u64) * self.xover_delta_est
+    }
+
+    /// The measured cone-vs-flat routing decision: go flat iff the *predicted* cone —
+    /// the horizon estimate scaled by the observed growth ratio ĝ — exceeds half the
+    /// decision graph (`2 · ĝ · est > total`).  With no observations yet, ĝ defaults
+    /// to 1 and the rule degenerates to the static `est > total / 2` heuristic this
+    /// model replaces; as cone passes complete, ĝ < 1 workloads (slack absorbs most of
+    /// the horizon) keep more passes cone-local.  Routing only — every kernel computes
+    /// the identical fixpoint, so the model can never change a schedule.
+    pub(crate) fn flat_by_model(&self, est: usize, total_nodes: usize) -> bool {
+        let (num, den) = if self.xover_est == 0 {
+            (1, 1)
+        } else {
+            (self.xover_cone.max(1), self.xover_est)
+        };
+        2 * num * (est as u64) > (total_nodes as u64) * den
     }
 
     /// Cone slot of `n`, or [`NONE`] if `n` is outside the cone this pass.  The pass

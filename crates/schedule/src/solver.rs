@@ -726,6 +726,17 @@ pub struct RetimeTotals {
     pub cone_edges: usize,
     /// Write-back phase: nodes whose start/finish actually moved.
     pub changed_nodes: usize,
+    /// Passes finished by the value-driven delta kernel (no closure materialized).
+    pub delta_passes: usize,
+    /// Node re-evaluations performed by the delta kernel, including bailed attempts
+    /// that were finished by another kernel.
+    pub delta_evals: usize,
+    /// Flat sweeps routed by seed saturation (bulk-mutation batches).
+    pub flat_by_seeds: usize,
+    /// Flat sweeps routed by the measured cone-vs-flat crossover model.
+    pub flat_by_model: usize,
+    /// Flat sweeps routed by the cone-growth cap mid-discovery.
+    pub flat_by_cap: usize,
 }
 
 impl RetimeTotals {
@@ -737,6 +748,30 @@ impl RetimeTotals {
         self.cone_nodes += s.cone_nodes;
         self.cone_edges += s.cone_edges;
         self.changed_nodes += s.changed_nodes;
+        self.delta_evals += s.delta_evals;
+        match s.kind {
+            crate::RetimeKind::Cone => {}
+            crate::RetimeKind::Delta => self.delta_passes += 1,
+            crate::RetimeKind::FlatSeeds => self.flat_by_seeds += 1,
+            crate::RetimeKind::FlatModel => self.flat_by_model += 1,
+            crate::RetimeKind::FlatCap => self.flat_by_cap += 1,
+        }
+    }
+
+    /// Folds another total into this one (e.g. per-run traces into a daemon-lifetime
+    /// aggregate).
+    pub fn merge(&mut self, o: &RetimeTotals) {
+        self.passes += o.passes;
+        self.fallbacks += o.fallbacks;
+        self.seed_nodes += o.seed_nodes;
+        self.cone_nodes += o.cone_nodes;
+        self.cone_edges += o.cone_edges;
+        self.changed_nodes += o.changed_nodes;
+        self.delta_passes += o.delta_passes;
+        self.delta_evals += o.delta_evals;
+        self.flat_by_seeds += o.flat_by_seeds;
+        self.flat_by_model += o.flat_by_model;
+        self.flat_by_cap += o.flat_by_cap;
     }
 
     /// Mean cone size per pass (0 when no pass ran).
@@ -879,13 +914,20 @@ impl SolveTrace {
         ));
         out.push_str(&format!(
             "\"retime\": {{\"passes\": {}, \"fallbacks\": {}, \"seed_nodes\": {}, \
-             \"cone_nodes\": {}, \"cone_edges\": {}, \"changed_nodes\": {}}}, ",
+             \"cone_nodes\": {}, \"cone_edges\": {}, \"changed_nodes\": {}, \
+             \"delta_passes\": {}, \"delta_evals\": {}, \"flat_by_seeds\": {}, \
+             \"flat_by_model\": {}, \"flat_by_cap\": {}}}, ",
             self.retime.passes,
             self.retime.fallbacks,
             self.retime.seed_nodes,
             self.retime.cone_nodes,
             self.retime.cone_edges,
-            self.retime.changed_nodes
+            self.retime.changed_nodes,
+            self.retime.delta_passes,
+            self.retime.delta_evals,
+            self.retime.flat_by_seeds,
+            self.retime.flat_by_model,
+            self.retime.flat_by_cap
         ));
         out.push_str(&format!(
             "\"thread_stats\": [{}], ",
@@ -893,8 +935,15 @@ impl SolveTrace {
                 .iter()
                 .map(|t| format!(
                     "{{\"thread\": {}, \"evals\": {}, \"replays\": {}, \"retime_passes\": {}, \
-                     \"retime_cone_nodes\": {}}}",
-                    t.thread, t.evals, t.replays, t.retime.passes, t.retime.cone_nodes
+                     \"retime_cone_nodes\": {}, \"retime_delta_passes\": {}, \
+                     \"retime_delta_evals\": {}}}",
+                    t.thread,
+                    t.evals,
+                    t.replays,
+                    t.retime.passes,
+                    t.retime.cone_nodes,
+                    t.retime.delta_passes,
+                    t.retime.delta_evals
                 ))
                 .collect::<Vec<_>>()
                 .join(", ")

@@ -17,11 +17,50 @@
 //! [`Timeline::remove_index`] delete it without a scan.  Callers that know an
 //! interval's start time (schedulers always do — they booked it) should prefer these
 //! over the linear [`Timeline::remove_where`] escape hatch.
+//!
+//! # The chunked gap index
+//!
+//! On timelines with thousands of busy slots the residual linear scan of
+//! [`Timeline::earliest_gap`] — from the first interval still alive at `ready` to the
+//! first gap that fits — dominates the speculation loops of the migration phase
+//! (DESIGN.md §14).  The timeline therefore keeps a lazily maintained two-level
+//! summary: intervals are grouped in chunks of `CHUNK` intervals and each chunk stores
+//!
+//! * `pmax` — the maximum finish instant inside the chunk, and
+//! * `room` — the largest *internal headroom* `start[i] − max(finish[j] : j < i, same
+//!   chunk)` of any interval in the chunk (the chunk's first interval contributes
+//!   `+∞`, because its headroom is bounded only by state outside the chunk).
+//!
+//! A gap query walks chunk summaries instead of intervals: a whole chunk whose
+//! headroom upper bound is (conservatively, with a floating-point safety margin)
+//! smaller than the requested duration provably contains no fitting gap and is
+//! skipped in O(1), folding its `pmax` into the scan state; only chunks that *might*
+//! host the fit are scanned interval-by-interval with the exact scalar rule, so the
+//! result is identical to the plain scan — the skip test errs toward descending,
+//! never toward skipping a fit.  Queries cost O(n / CHUNK + CHUNK) on fresh
+//! summaries instead of O(n).
+//!
+//! Mutations stay cheap: every structural change (insert / remove / window rewrite)
+//! only lowers a freshness watermark in O(1); the next gap query on a large timeline
+//! re-derives the stale chunk summaries once (self-healing, amortized across the many
+//! speculative queries between mutation batches).  The summary lives behind a
+//! `RefCell` because queries take `&self`; the timeline as a whole stays `Send`,
+//! which is all the parallel solver's mirror builders require.  Summaries are pure
+//! caches: equality ([`PartialEq`]) compares intervals only, so builders that took
+//! different mutation paths to the same schedule still compare equal.
 
 use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
 
 /// Numerical slack used when comparing schedule instants.
 pub const TIME_EPS: f64 = 1e-9;
+
+/// Intervals per chunk of the gap index.
+const CHUNK: usize = 32;
+
+/// Below this many intervals a gap query runs the plain scalar scan: two chunks'
+/// worth of summaries cannot beat a scan that short.
+const CHUNK_MIN_LEN: usize = 2 * CHUNK;
 
 /// One busy interval tagged with a caller-chosen payload.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -34,16 +73,40 @@ pub struct Interval<P> {
     pub payload: P,
 }
 
+/// Lazily maintained per-chunk summaries for [`Timeline::earliest_gap`] (see the
+/// module documentation).  A pure cache — never part of timeline equality.
+#[derive(Debug, Clone, Default)]
+struct GapIndex {
+    /// Per-chunk maximum finish instant.
+    pmax: Vec<f64>,
+    /// Per-chunk maximum internal headroom (`+∞` for the chunk's first interval).
+    room: Vec<f64>,
+    /// Chunks `[0, fresh)` are valid; mutations lower the watermark, queries heal it.
+    fresh: usize,
+}
+
 /// A sorted sequence of non-overlapping busy intervals.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Timeline<P> {
     intervals: Vec<Interval<P>>,
+    /// Chunked gap-index cache (interior mutability: queries are `&self`).
+    index: RefCell<GapIndex>,
+}
+
+/// Timeline equality is *schedule* equality: the busy intervals, bit for bit.  The
+/// gap-index cache is explicitly excluded — its freshness depends on the mutation
+/// history, not on the schedule state (see `ScheduleBuilder::same_schedule_state`).
+impl<P: PartialEq + Copy> PartialEq for Timeline<P> {
+    fn eq(&self, other: &Self) -> bool {
+        self.intervals == other.intervals
+    }
 }
 
 impl<P> Default for Timeline<P> {
     fn default() -> Self {
         Timeline {
             intervals: Vec::new(),
+            index: RefCell::new(GapIndex::default()),
         }
     }
 }
@@ -74,18 +137,50 @@ impl<P: Copy> Timeline<P> {
         self.intervals.last().map_or(0.0, |i| i.finish)
     }
 
-    /// Earliest start time `s >= ready` such that `[s, s + duration)` does not overlap any
-    /// busy interval.  The gap between consecutive busy intervals is used if large enough
-    /// ("insertion scheduling"); otherwise the item goes after the last interval.
-    ///
-    /// Intervals that finish before `ready` can neither host the item nor push the
-    /// candidate later, so the scan starts at the first interval still alive at `ready`
-    /// (binary search) instead of at the beginning of the timeline.
-    pub fn earliest_gap(&self, ready: f64, duration: f64) -> f64 {
+    /// Invalidates every chunk summary from the one containing `pos` onward.  O(1):
+    /// mutations only lower the freshness watermark, queries re-derive.
+    #[inline]
+    fn invalidate_from(&mut self, pos: usize) {
+        let idx = self.index.get_mut();
+        idx.fresh = idx.fresh.min(pos / CHUNK);
+    }
+
+    /// Recomputes the chunk summaries `[idx.fresh, upto)` from the intervals.
+    fn heal_index(&self, idx: &mut GapIndex, upto: usize) {
+        let n = self.intervals.len();
+        if idx.pmax.len() < upto {
+            idx.pmax.resize(upto, 0.0);
+            idx.room.resize(upto, 0.0);
+        }
+        for k in idx.fresh..upto {
+            let lo = k * CHUNK;
+            let hi = ((k + 1) * CHUNK).min(n);
+            let mut pmax = f64::NEG_INFINITY;
+            let mut room = f64::NEG_INFINITY;
+            for iv in &self.intervals[lo..hi] {
+                // First interval of the chunk: headroom bounded only by outside state.
+                let r = if pmax == f64::NEG_INFINITY {
+                    f64::INFINITY
+                } else {
+                    iv.start - pmax
+                };
+                if r > room {
+                    room = r;
+                }
+                if iv.finish > pmax {
+                    pmax = iv.finish;
+                }
+            }
+            idx.pmax[k] = pmax;
+            idx.room[k] = room;
+        }
+        idx.fresh = idx.fresh.max(upto);
+    }
+
+    /// The plain scalar gap scan from `first_alive` — the reference semantics every
+    /// other path must reproduce bit-for-bit.
+    fn scalar_gap(&self, ready: f64, duration: f64, first_alive: usize) -> f64 {
         let mut candidate = ready;
-        let first_alive = self
-            .intervals
-            .partition_point(|iv| iv.finish < ready - TIME_EPS);
         for iv in &self.intervals[first_alive..] {
             if candidate + duration <= iv.start + TIME_EPS {
                 // Fits entirely before this busy interval.
@@ -94,6 +189,69 @@ impl<P: Copy> Timeline<P> {
             if iv.finish > candidate {
                 candidate = iv.finish;
             }
+        }
+        candidate
+    }
+
+    /// Earliest start time `s >= ready` such that `[s, s + duration)` does not overlap any
+    /// busy interval.  The gap between consecutive busy intervals is used if large enough
+    /// ("insertion scheduling"); otherwise the item goes after the last interval.
+    ///
+    /// Intervals that finish before `ready` can neither host the item nor push the
+    /// candidate later, so the scan starts at the first interval still alive at `ready`
+    /// (binary search) instead of at the beginning of the timeline.  Large timelines
+    /// additionally consult the chunked gap index (see the module documentation) to skip
+    /// whole chunks that provably cannot host a fit; the result is identical to the
+    /// scalar scan.
+    pub fn earliest_gap(&self, ready: f64, duration: f64) -> f64 {
+        let n = self.intervals.len();
+        let first_alive = self
+            .intervals
+            .partition_point(|iv| iv.finish < ready - TIME_EPS);
+        if n - first_alive < CHUNK_MIN_LEN {
+            return self.scalar_gap(ready, duration, first_alive);
+        }
+        let mut idx = self.index.borrow_mut();
+        let num_chunks = n.div_ceil(CHUNK);
+        self.heal_index(&mut idx, num_chunks);
+
+        // The scan state is `candidate = max(ready, max finish of scanned intervals)`.
+        // Intervals before `first_alive` all finish before `ready`, so folding their
+        // chunks' pmax in would be absorbed by `ready` anyway — start from `ready`.
+        let mut candidate = ready;
+        let mut i = first_alive;
+        while i < n {
+            let k = i / CHUNK;
+            let hi = ((k + 1) * CHUNK).min(n);
+            if i == k * CHUNK {
+                // Whole chunk ahead: a fit at interval `j` inside it needs both
+                // `candidate + duration` and `(chunk-local max finish before j) +
+                // duration` to be ≤ `start[j] + EPS`; `start[j] ≤ last start` and the
+                // local headroom is ≤ `room[k]`, so if either bound falls short by
+                // more than a floating-point safety margin, no fit exists in the
+                // chunk and it is skipped whole.  The margin errs toward descending
+                // (a scanned chunk is always exact), never toward a wrong skip.
+                let last_start = self.intervals[hi - 1].start;
+                let bound = (last_start - candidate).min(idx.room[k]);
+                let margin =
+                    1e-12 * (last_start.abs() + candidate.abs() + idx.pmax[k].abs() + duration);
+                if bound < duration - TIME_EPS - margin {
+                    if idx.pmax[k] > candidate {
+                        candidate = idx.pmax[k];
+                    }
+                    i = hi;
+                    continue;
+                }
+            }
+            for iv in &self.intervals[i..hi] {
+                if candidate + duration <= iv.start + TIME_EPS {
+                    return candidate;
+                }
+                if iv.finish > candidate {
+                    candidate = iv.finish;
+                }
+            }
+            i = hi;
         }
         candidate
     }
@@ -131,6 +289,7 @@ impl<P: Copy> Timeline<P> {
                 payload,
             },
         );
+        self.invalidate_from(pos);
         pos
     }
 
@@ -155,7 +314,7 @@ impl<P: Copy> Timeline<P> {
     /// when the caller knows where the interval was booked).
     pub fn remove_at(&mut self, start: f64, matches: impl FnMut(P) -> bool) -> Option<Interval<P>> {
         let pos = self.position_at(start, matches)?;
-        Some(self.intervals.remove(pos))
+        Some(self.remove_index(pos))
     }
 
     /// Removes and returns the interval at `index` (obtained from
@@ -164,7 +323,9 @@ impl<P: Copy> Timeline<P> {
     /// # Panics
     /// Panics if `index` is out of bounds.
     pub fn remove_index(&mut self, index: usize) -> Interval<P> {
-        self.intervals.remove(index)
+        let removed = self.intervals.remove(index);
+        self.invalidate_from(index);
+        removed
     }
 
     /// Overwrites the window of the interval at `index` **without** re-sorting.
@@ -177,6 +338,7 @@ impl<P: Copy> Timeline<P> {
         let iv = &mut self.intervals[index];
         iv.start = start;
         iv.finish = finish;
+        self.invalidate_from(index);
     }
 
     /// The busy interval covering `time`, if any (binary search).
@@ -208,19 +370,24 @@ impl<P: Copy> Timeline<P> {
     /// time; everything on the scheduling hot path uses [`Timeline::remove_at`].
     pub fn remove_where<F: FnMut(&Interval<P>) -> bool>(&mut self, pred: F) -> Option<Interval<P>> {
         let pos = self.intervals.iter().position(pred)?;
-        Some(self.intervals.remove(pos))
+        Some(self.remove_index(pos))
     }
 
     /// Removes every interval matching `pred`; returns how many were removed.
     pub fn remove_all_where<F: FnMut(&Interval<P>) -> bool>(&mut self, mut pred: F) -> usize {
         let before = self.intervals.len();
         self.intervals.retain(|iv| !pred(iv));
-        before - self.intervals.len()
+        let removed = before - self.intervals.len();
+        if removed > 0 {
+            self.invalidate_from(0);
+        }
+        removed
     }
 
     /// Clears all intervals.
     pub fn clear(&mut self) {
         self.intervals.clear();
+        self.invalidate_from(0);
     }
 
     /// Total busy time.
@@ -392,5 +559,121 @@ mod tests {
         let mut t = Timeline::new();
         t.insert(0.0, 10.0, 1u32);
         t.insert(5.0, 10.0, 2);
+    }
+
+    // ---- chunked gap index ----------------------------------------------------------
+
+    /// The pre-index scalar semantics, for differential checks.
+    fn reference_gap(t: &Timeline<usize>, ready: f64, duration: f64) -> f64 {
+        let first_alive = t
+            .intervals()
+            .partition_point(|iv| iv.finish < ready - TIME_EPS);
+        let mut candidate = ready;
+        for iv in &t.intervals()[first_alive..] {
+            if candidate + duration <= iv.start + TIME_EPS {
+                return candidate;
+            }
+            if iv.finish > candidate {
+                candidate = iv.finish;
+            }
+        }
+        candidate
+    }
+
+    /// Simple deterministic LCG for the index tests.
+    fn lcg(x: &mut u64) -> u64 {
+        *x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        *x >> 11
+    }
+
+    #[test]
+    fn chunked_index_matches_scalar_on_large_timelines() {
+        // Build a long timeline with irregular holes, then fire gap queries across
+        // the whole ready/duration spectrum and compare bit-for-bit to the scalar.
+        let mut t = Timeline::new();
+        let mut rng = 0x1234_5678u64;
+        let mut cursor = 0.0f64;
+        for i in 0..500 {
+            let hole = (lcg(&mut rng) % 40) as f64 / 4.0; // 0..10
+            let dur = (lcg(&mut rng) % 37) as f64 / 4.0 + 0.25; // 0.25..9.5
+            cursor += hole;
+            t.insert(cursor, dur, i);
+            cursor += dur;
+        }
+        for _ in 0..2000 {
+            let ready = (lcg(&mut rng) % 5000) as f64 / 1.3;
+            let duration = (lcg(&mut rng) % 60) as f64 / 4.0 + 0.05;
+            let got = t.earliest_gap(ready, duration);
+            let want = reference_gap(&t, ready, duration);
+            assert_eq!(
+                got.to_bits(),
+                want.to_bits(),
+                "chunked gap diverged at ready={ready} duration={duration}: \
+                 got {got}, scalar {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn chunked_index_self_heals_after_mutation_storms() {
+        // Interleave structural mutations (insert / remove / window rewrites) with
+        // queries so the freshness watermark keeps dropping mid-stream.
+        let mut t = Timeline::new();
+        let mut rng = 0x9e37_79b9u64;
+        let mut cursor = 0.0f64;
+        for i in 0..300usize {
+            let hole = (lcg(&mut rng) % 16) as f64 / 8.0;
+            cursor += hole + 0.125;
+            t.insert(cursor, 1.0, i);
+            cursor += 1.0;
+        }
+        for round in 0..300 {
+            match lcg(&mut rng) % 3 {
+                0 => {
+                    // Remove a random interval…
+                    let pos = (lcg(&mut rng) as usize) % t.len();
+                    let iv = t.remove_index(pos);
+                    // … and re-insert it at the far end.
+                    let start = t.last_finish() + 0.5 + (round as f64) * 0.01;
+                    t.insert(start, iv.finish - iv.start, iv.payload);
+                }
+                1 => {
+                    // Shrink a random interval in place (order is preserved).
+                    let pos = (lcg(&mut rng) as usize) % t.len();
+                    let iv = t.intervals()[pos];
+                    let mid = iv.start + (iv.finish - iv.start) * 0.5;
+                    t.set_window(pos, iv.start, mid.max(iv.start));
+                }
+                _ => {}
+            }
+            let ready = (lcg(&mut rng) % 2000) as f64 / 1.7;
+            let duration = (lcg(&mut rng) % 24) as f64 / 8.0 + 0.01;
+            let got = t.earliest_gap(ready, duration);
+            let want = reference_gap(&t, ready, duration);
+            assert_eq!(
+                got.to_bits(),
+                want.to_bits(),
+                "round {round}: chunked gap diverged at ready={ready} duration={duration}"
+            );
+            assert!(t.is_consistent());
+        }
+    }
+
+    #[test]
+    fn equality_ignores_the_index_cache() {
+        let mut a = Timeline::new();
+        let mut b = Timeline::new();
+        for i in 0..100usize {
+            a.insert(i as f64 * 2.0, 1.0, i);
+            b.insert(i as f64 * 2.0, 1.0, i);
+        }
+        // Heat a's cache only; the timelines must still compare equal.
+        let _ = a.earliest_gap(0.0, 0.5);
+        assert_eq!(a, b);
+        // And a real schedule difference must still be visible.
+        b.set_window(0, 0.0, 1.5);
+        assert_ne!(a, b);
     }
 }

@@ -133,7 +133,15 @@ impl<'a> ScheduleBuilder<'a> {
             let op = self.undo.pop().expect("undo log is non-empty");
             self.apply_undo(op);
         }
+        // Restoring the snapshot wholesale invalidates the insertion-dedup stamps:
+        // start a fresh generation and re-stamp the restored entries so future
+        // `mark_dirty` calls keep deduplicating against them.
         self.dirty = txn.dirty_snapshot;
+        self.dirty_gen += 1;
+        for i in 0..self.dirty.len() {
+            let node = self.dirty[i];
+            self.stamp_dirty(node);
+        }
         self.txn_depth -= 1;
     }
 
@@ -164,9 +172,44 @@ impl<'a> ScheduleBuilder<'a> {
         }
     }
 
-    /// Marks a decision-graph node as needing re-timing.
+    /// Marks a decision-graph node as needing re-timing.  Deduplicated in O(1) via the
+    /// generation stamps: a node already in the dirty list this generation is not
+    /// pushed again, so bulk mutation batches (and the dirty-snapshot clone every
+    /// [`ScheduleBuilder::begin_txn`] takes) stay proportional to the number of
+    /// *distinct* dirty nodes, not to the number of mutations.
     pub(crate) fn mark_dirty(&mut self, node: DirtyNode) {
-        self.dirty.push(node);
+        if self.stamp_dirty(node) {
+            self.dirty.push(node);
+        }
+    }
+
+    /// Stamps `node` with the current dirty generation; returns whether it was not
+    /// stamped yet (i.e. the caller should add it to the list).  Hop stamp storage is
+    /// grow-only, like the scaffold's slot maps.
+    fn stamp_dirty(&mut self, node: DirtyNode) -> bool {
+        let gen = self.dirty_gen;
+        let stamp = match node {
+            DirtyNode::Task(t) => &mut self.task_dirty_stamp[t.index()],
+            DirtyNode::Hop(e, k) => {
+                let marks = &mut self.hop_dirty_stamp[e.index()];
+                if marks.len() <= k as usize {
+                    marks.resize(k as usize + 1, 0);
+                }
+                &mut marks[k as usize]
+            }
+        };
+        if *stamp == gen {
+            return false;
+        }
+        *stamp = gen;
+        true
+    }
+
+    /// Empties the dirty list (a re-timing pass consumed it).  Bumping the generation
+    /// invalidates every stamp in O(1) — no map to clear.
+    pub(crate) fn clear_dirty(&mut self) {
+        self.dirty.clear();
+        self.dirty_gen += 1;
     }
 
     /// Applies one reverse operation.  Bypasses logging and dirty tracking: rollback

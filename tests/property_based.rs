@@ -400,6 +400,111 @@ proptest! {
         }
     }
 
+    /// Whatever kernel the adaptive routing picks — cone, delta, or one of the flat
+    /// sweeps — the committed timings must be byte-identical to the full-relaxation
+    /// oracle.  `frac` sweeps the dirty-seed count from a few nodes to the whole
+    /// schedule, straddling the delta eval budget, the seed-saturation threshold and
+    /// the crossover model, so each routing decision is exercised across cases.
+    #[test]
+    fn every_retime_kernel_is_byte_identical_to_the_oracle(
+        n in 64usize..110,
+        gran in prop_oneof![Just(0.1), Just(1.0), Just(10.0)],
+        seed in any::<u64>(),
+        frac in 0.02f64..1.0,
+    ) {
+        let graph = build_graph(n, gran, seed);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xD1FF);
+        let topology = TopologyKind::Ring.build(4, &mut rng).unwrap();
+        let system = HeterogeneousSystem::generate(
+            &graph,
+            topology,
+            HeterogeneityRange::DEFAULT,
+            HeterogeneityRange::homogeneous(),
+            &mut rng,
+        );
+        let table = system.comm_model(RoutePolicy::ShortestHop);
+        let mut builder = build_routed_schedule(&graph, &system, &table, seed);
+        builder.recompute_times().unwrap();
+
+        // Dirty ~frac·n tasks by re-placing each at the front-most free slot of its
+        // own processor — real time changes, not no-op bounces.
+        let bounces = ((n as f64 * frac).ceil() as usize).max(1);
+        for _ in 0..bounces {
+            let t = TaskId(rng.gen_range(0..graph.num_tasks()) as u32);
+            let p = builder.proc_of(t).unwrap();
+            builder.unplace_task(t);
+            let exec = builder.exec_cost(t, p);
+            let start = builder.earliest_proc_slot(p, 0.0, exec);
+            builder.place_task(t, p, start);
+        }
+        let mut oracle = builder.clone();
+        let inc = builder.recompute_times_incremental();
+        let orc = oracle.recompute_times();
+        match (&inc, &orc) {
+            (Ok(stats), Ok(())) => prop_assert!(
+                builder.same_schedule_state(&oracle),
+                "kernel {:?} diverged from the oracle ({} seeds)",
+                stats.kind,
+                stats.seed_nodes
+            ),
+            (Err(_), Err(_)) => {
+                // A front-moved task can order a processor predecessor after itself;
+                // both kernels must reject the cycle and leave the builder untouched.
+                prop_assert!(
+                    builder.same_schedule_state(&oracle),
+                    "error paths must leave both builders in the same (pre-pass) state"
+                );
+            }
+            _ => prop_assert!(false, "kernel disagreement: {inc:?} vs {orc:?}"),
+        }
+    }
+
+    /// The chunked gap index answers `earliest_gap` bit-identically to the scalar
+    /// linear scan it accelerates, across randomized insert/remove/query sequences
+    /// (the index is healed lazily, so removals and stale summaries are the
+    /// interesting part).
+    #[test]
+    fn chunked_gap_index_matches_the_scalar_reference(
+        ops in prop::collection::vec(
+            (0.0f64..2000.0, 0.1f64..60.0, any::<u16>()),
+            1..220,
+        )
+    ) {
+        use bsa::schedule::timeline::TIME_EPS;
+        let mut timeline: bsa::schedule::Timeline<u32> = bsa::schedule::Timeline::new();
+        for (i, (ready, duration, action)) in ops.iter().enumerate() {
+            // Mostly inserts, some removals: index invalidation + heal get exercised.
+            if *action % 4 == 0 && !timeline.is_empty() {
+                timeline.remove_index(*action as usize % timeline.len());
+            }
+            let got = timeline.earliest_gap(*ready, *duration);
+            // Scalar reference: first-fit scan over the raw interval list.
+            let mut want = *ready;
+            for iv in timeline.intervals() {
+                if iv.finish < *ready - TIME_EPS {
+                    continue;
+                }
+                if want + *duration <= iv.start + TIME_EPS {
+                    break;
+                }
+                if iv.finish > want {
+                    want = iv.finish;
+                }
+            }
+            prop_assert_eq!(
+                got.to_bits(),
+                want.to_bits(),
+                "chunked earliest_gap({}, {}) = {} != scalar {}",
+                ready,
+                duration,
+                got,
+                want
+            );
+            timeline.insert(got, *duration, i as u32);
+            prop_assert!(timeline.is_consistent());
+        }
+    }
+
     /// Seeded incremental re-timing equals the oracle on a freshly gapped placement.
     #[test]
     fn seeded_incremental_recompute_equals_the_oracle(
